@@ -1,0 +1,116 @@
+//! Criterion wall-clock benchmarks for Theorem 1 (E-T1-explicit /
+//! E-T1-implicit): cooperative vs sequential searches on real hardware.
+//!
+//! The PRAM *step* measurements live in the harness; these benches confirm
+//! that the implementation itself is fast and that the step reductions are
+//! not bought with pathological constant factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::search::{search_path_fc, search_path_naive};
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::implicit::{coop_search_implicit, ConsistentLeafOracle, LeafOracleAdapter};
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_explicit(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let n = 1usize << 16;
+    let tree = gen::balanced_binary(12, n, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let leaf = gen::random_leaf(st.tree(), &mut rng);
+    let path = st.tree().path_from_root(leaf);
+    let ys: Vec<i64> = (0..64).map(|_| rng.gen_range(0..(n as i64 * 16))).collect();
+
+    let mut g = c.benchmark_group("explicit_search");
+    g.bench_function("naive_per_node", |b| {
+        b.iter(|| {
+            for &y in &ys {
+                std::hint::black_box(search_path_naive(st.tree(), &path, y, None));
+            }
+        })
+    });
+    g.bench_function("sequential_fc", |b| {
+        b.iter(|| {
+            for &y in &ys {
+                std::hint::black_box(search_path_fc(st.cascade(), &path, y, None));
+            }
+        })
+    });
+    for p in [1usize << 12, 1 << 20, 1 << 30] {
+        g.bench_with_input(BenchmarkId::new("coop", p), &p, |b, &p| {
+            b.iter(|| {
+                for &y in &ys {
+                    let mut pram = Pram::new(p, Model::Crew);
+                    std::hint::black_box(coop_search_explicit(&st, &path, y, &mut pram));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_implicit(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let n = 1usize << 15;
+    let tree = gen::balanced_binary(11, n, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let target = gen::random_leaf(st.tree(), &mut rng);
+    let oracle = ConsistentLeafOracle::new(st.tree(), target);
+    let ys: Vec<i64> = (0..32).map(|_| rng.gen_range(0..(n as i64 * 16))).collect();
+
+    let mut g = c.benchmark_group("implicit_search");
+    for p in [1usize, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("coop", p), &p, |b, &p| {
+            let adapter = LeafOracleAdapter::new(st.tree(), &oracle);
+            b.iter(|| {
+                for &y in &ys {
+                    let mut pram = Pram::new(p, Model::Crew);
+                    std::hint::black_box(coop_search_implicit(&st, &adapter, y, &mut pram));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    // Inter-query parallelism on real cores: rayon batch vs sequential
+    // loop over the same queries.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 1usize << 16;
+    let tree = gen::balanced_binary(12, n, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let queries: Vec<(fc_catalog::NodeId, i64)> = (0..512)
+        .map(|_| {
+            (
+                gen::random_leaf(st.tree(), &mut rng),
+                rng.gen_range(0..(n as i64 * 16)),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("batch_512_queries");
+    g.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(fc_coop::batch::explicit_batch_seq(&st, &queries, 1 << 16)))
+    });
+    g.bench_function("rayon", |b| {
+        b.iter(|| std::hint::black_box(fc_coop::batch::explicit_batch(&st, &queries, 1 << 16)))
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_explicit, bench_implicit, bench_batch_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion wall-clock benchmarks for Theorems 4 and 5 (E-T4-planar /
+//! E-T5-spatial): point-location query latency across locators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_coop::ParamMode;
+use fc_geom::cooploc::locate_coop;
+use fc_geom::septree::{locate_binary_per_node, locate_sequential, SeparatorTree};
+use fc_geom::spatial::{
+    locate_spatial_coop, locate_spatial_sequential, SpatialComplex, SpatialLocator, SpatialParams,
+};
+use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_planar(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let sub = MonotoneSubdivision::generate(
+        SubdivisionParams {
+            regions: 2048,
+            strips: 32,
+            stick: 0.35,
+            detach: 0.45,
+        },
+        &mut rng,
+    );
+    let t = SeparatorTree::build(sub, ParamMode::Auto);
+    let queries: Vec<(f64, f64)> = (0..64).map(|_| t.sub.random_query(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("planar_point_location");
+    g.bench_function("binary_per_node", |b| {
+        b.iter(|| {
+            for &(x, y) in &queries {
+                std::hint::black_box(locate_binary_per_node(&t, x, y, None));
+            }
+        })
+    });
+    g.bench_function("bridged_sequential", |b| {
+        b.iter(|| {
+            for &(x, y) in &queries {
+                std::hint::black_box(locate_sequential(&t, x, y, None));
+            }
+        })
+    });
+    for p in [1usize << 14, 1 << 24] {
+        g.bench_with_input(BenchmarkId::new("coop", p), &p, |b, &p| {
+            b.iter(|| {
+                for &(x, y) in &queries {
+                    let mut pram = Pram::new(p, Model::Crew);
+                    std::hint::black_box(locate_coop(&t, x, y, &mut pram));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let complex = SpatialComplex::generate(
+        SpatialParams {
+            cells: 64,
+            footprint: SubdivisionParams {
+                regions: 64,
+                strips: 12,
+                stick: 0.4,
+                detach: 0.4,
+            },
+            coincide: 0.3,
+        },
+        &mut rng,
+    );
+    let loc = SpatialLocator::build(complex, ParamMode::Auto);
+    let queries: Vec<(f64, f64, f64)> = (0..32).map(|_| loc.complex.random_query(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("spatial_point_location");
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for &(x, y, z) in &queries {
+                let mut pram = Pram::new(1, Model::Crew);
+                std::hint::black_box(locate_spatial_sequential(&loc, x, y, z, &mut pram));
+            }
+        })
+    });
+    g.bench_function("coop_p_2e20", |b| {
+        b.iter(|| {
+            for &(x, y, z) in &queries {
+                let mut pram = Pram::new(1 << 20, Model::Crew);
+                std::hint::black_box(locate_spatial_coop(&loc, x, y, z, &mut pram));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_planar, bench_spatial
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for E-T1-prep: sequential, rayon-parallel, and
+//! bidirectional cascade construction, plus full `T'` preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::CascadedTree;
+use fc_coop::{CoopStructure, ParamMode};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_cascade_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cascade_build");
+    for exp in [14u32, 16] {
+        let n = 1usize << exp;
+        let mut rng = SmallRng::seed_from_u64(exp as u64);
+        let tree = gen::balanced_binary(exp - 4, n, SizeDist::Uniform, &mut rng);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(CascadedTree::build(tree.clone(), 4)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon_levels", n), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(CascadedTree::build_par(tree.clone(), 4)))
+        });
+        g.bench_with_input(BenchmarkId::new("bidirectional", n), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(CascadedTree::build_bidir(tree.clone(), 4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_preprocess(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coop_preprocess");
+    g.sample_size(10);
+    for exp in [14u32] {
+        let n = 1usize << exp;
+        let mut rng = SmallRng::seed_from_u64(100 + exp as u64);
+        let tree = gen::balanced_binary(exp - 4, n, SizeDist::Uniform, &mut rng);
+        for mode in [ParamMode::Auto, ParamMode::Theory] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), n),
+                &tree,
+                |b, tree| {
+                    b.iter(|| {
+                        std::hint::black_box(CoopStructure::preprocess(tree.clone(), mode))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_cascade_builds, bench_full_preprocess
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion wall-clock benchmarks for Theorem 6 / Corollary 2
+//! (E-T6-segint / E-T6-range / E-T6-enclose / E-C2-3d).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_coop::ParamMode;
+use fc_pram::{Model, Pram};
+use fc_retrieval::enclosure::{random_rects, PointEnclosure};
+use fc_retrieval::range2d::{random_points, RangeTree2D, Rect};
+use fc_retrieval::range3d::{random_points3, Box3, RangeTree3D};
+use fc_retrieval::segint::{random_segments, HQuery, SegmentIntersection};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_segint(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let s = SegmentIntersection::build(random_segments(10_000, 100_000, &mut rng), ParamMode::Auto);
+    let queries: Vec<HQuery> = (0..64)
+        .map(|_| {
+            let x0 = rng.gen_range(0..100_000);
+            HQuery {
+                y: rng.gen_range(0..100_000),
+                x_lo: x0,
+                x_hi: x0 + 5000,
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("segment_intersection");
+    for (name, direct) in [("direct", true), ("indirect", false)] {
+        g.bench_with_input(BenchmarkId::new(name, 10_000), &direct, |b, &direct| {
+            b.iter(|| {
+                for &q in &queries {
+                    let mut pram = Pram::new(1 << 16, if direct { Model::Crew } else { Model::Crcw });
+                    std::hint::black_box(s.query_coop(q, direct, &mut pram));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_range2d(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let t = RangeTree2D::build(random_points(8192, 1 << 20, &mut rng), ParamMode::Auto);
+    let queries: Vec<Rect> = (0..64)
+        .map(|_| {
+            let (a, b) = (rng.gen_range(0i64..1 << 20), rng.gen_range(0i64..1 << 20));
+            let (c_, d) = (rng.gen_range(0i64..1 << 20), rng.gen_range(0i64..1 << 20));
+            Rect {
+                x1: a.min(b),
+                x2: a.max(b),
+                y1: c_.min(d),
+                y2: c_.max(d),
+            }
+        })
+        .collect();
+    c.bench_function("range2d_query", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let mut pram = Pram::new(1 << 16, Model::Crew);
+                std::hint::black_box(t.query_coop(q, false, &mut pram));
+            }
+        })
+    });
+}
+
+fn bench_enclosure_and_3d(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(25);
+    let pe = PointEnclosure::build(random_rects(5000, 100_000, &mut rng));
+    c.bench_function("point_enclosure_query", |b| {
+        b.iter(|| {
+            for _ in 0..32 {
+                let (x, y) = (rng.gen_range(0..100_000), rng.gen_range(0..100_000));
+                let mut pram = Pram::new(1 << 16, Model::Crew);
+                std::hint::black_box(pe.query_coop(x, y, &mut pram));
+            }
+        })
+    });
+    let t3 = RangeTree3D::build(random_points3(512, 1 << 18, &mut rng), ParamMode::Auto);
+    c.bench_function("range3d_query", |b| {
+        b.iter(|| {
+            for _ in 0..16 {
+                let mut dim = || {
+                    let (a, b) = (rng.gen_range(0i64..1 << 18), rng.gen_range(0i64..1 << 18));
+                    (a.min(b), a.max(b))
+                };
+                let q = Box3 {
+                    x: dim(),
+                    y: dim(),
+                    z: dim(),
+                };
+                let mut pram = Pram::new(1 << 16, Model::Crew);
+                std::hint::black_box(t3.query_coop(q, &mut pram));
+            }
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_segint, bench_range2d, bench_enclosure_and_3d
+}
+criterion_main!(benches);

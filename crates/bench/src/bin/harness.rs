@@ -1,0 +1,57 @@
+//! Experiment harness: regenerate the tables for every theorem, lemma,
+//! corollary, and figure of the paper (see DESIGN.md's experiment index).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p fc-bench --release --bin harness              # all
+//! cargo run -p fc-bench --release --bin harness -- t1 t4    # subset
+//! cargo run -p fc-bench --release --bin harness -- --list   # ids
+//! ```
+
+use fc_bench::experiments;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return;
+    }
+    // Optional: --csv <dir> writes each table as <dir>/<id>.csv too.
+    let mut csv_dir: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv requires a directory argument");
+            std::process::exit(1);
+        }
+        csv_dir = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    #[allow(clippy::type_complexity)]
+    let selected: Vec<&(&str, fn() -> fc_bench::Table)> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment id(s): {args:?}; use --list");
+        std::process::exit(1);
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for (id, f) in selected {
+        eprintln!("[harness] running {id} ...");
+        let table = f();
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("[harness] wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # fc-bench — the experiment harness
+//!
+//! One function per experiment in DESIGN.md's index; each regenerates the
+//! quantity the corresponding theorem/lemma/figure of the paper bounds or
+//! illustrates, and returns a printable [`Table`]. The `harness` binary
+//! prints any subset:
+//!
+//! ```text
+//! cargo run -p fc-bench --release --bin harness            # everything
+//! cargo run -p fc-bench --release --bin harness -- t1 t4   # a subset
+//! ```
+//!
+//! The measured quantity is always **CREW/EREW PRAM steps** from
+//! `fc-pram`'s cost model (plus words for the space experiments) — the
+//! paper is a theory paper whose evaluation *is* its theorems, so the
+//! reproduction measures the bounded quantities directly (see DESIGN.md,
+//! "Faithfulness notes").
+
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

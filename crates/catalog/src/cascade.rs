@@ -1,0 +1,690 @@
+//! The fractional cascaded structure `S` (Section 2 of the paper).
+//!
+//! Every node's native catalog is *augmented* with a `1/s` sample of each
+//! child's augmented catalog (plus a terminal `+∞`), and every augmented
+//! entry stores:
+//!
+//! * `native_succ` — the position of the smallest **native** entry `>=` the
+//!   augmented key, which converts an augmented-catalog location into the
+//!   `find(y, v)` answer the application wants;
+//! * one **bridge** per child — the position of the smallest entry `>=` the
+//!   augmented key in that child's augmented catalog.
+//!
+//! With sampling factor `s` strictly greater than the node degree, the total
+//! augmented size is `O(n)` and the structure satisfies the paper's three
+//! properties (Section 2):
+//!
+//! 1. *Fan-out*: `find(y, w)` lies within `b = s - 1` entries of
+//!    `bridge[v, w, find(y, v)]`.
+//! 2. Adjacent entries of `v` bridge to positions at most `2b + 1` apart in
+//!    a child.
+//! 3. Bridges never cross (they are monotone in the entry order).
+//!
+//! Properties 1 and 3 hold by construction (verified by
+//! [`crate::invariants`]); property 2 is implied and measured by the
+//! Figure 4 experiment.
+//!
+//! Three builders are provided: [`CascadedTree::build`] (sequential
+//! bottom-up), [`CascadedTree::build_par`] (rayon, level-synchronous), and
+//! [`CascadedTree::build_cost`] (level-synchronous with EREW PRAM cost
+//! accounting). All three produce bit-identical structures; the
+//! level-synchronous schedule costs `O(log² n)` PRAM steps, a relaxation of
+//! the `O(log n)` pipelined schedule of Atallah–Cole–Goodrich [1]
+//! (documented in DESIGN.md; the pipelined *cost schedule* is available as
+//! [`CascadedTree::pipelined_depth_estimate`] for the preprocessing
+//! experiment).
+
+use crate::key::CatalogKey;
+use crate::tree::{CatalogTree, NodeId};
+use fc_pram::cost::Pram;
+use fc_pram::primitives::lower_bound;
+use rayon::prelude::*;
+
+/// Augmented catalog and bridge arrays of one node (structure-of-arrays).
+#[derive(Debug, Clone)]
+pub struct CascadedNode<K> {
+    /// Augmented catalog: non-decreasing, always ends with `K::SUPREMUM`.
+    pub keys: Vec<K>,
+    /// `native_succ[i]` = smallest native-catalog index `j` with
+    /// `native[j] >= keys[i]`, or `native.len()` if none.
+    pub native_succ: Vec<u32>,
+    /// `bridges[c][i]` = smallest index `j` in child `c`'s augmented catalog
+    /// with `child.keys[j] >= keys[i]`. One vector per child slot.
+    pub bridges: Vec<Vec<u32>>,
+}
+
+/// The fractional cascaded data structure over a [`CatalogTree`].
+#[derive(Debug, Clone)]
+pub struct CascadedTree<K> {
+    tree: CatalogTree<K>,
+    nodes: Vec<CascadedNode<K>>,
+    sample: usize,
+}
+
+/// Result of locating `y` at one node: the index of the smallest native
+/// entry `>= y`, which equals `catalog.len()` when the answer is the
+/// conceptual terminal `+∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Find {
+    /// Index into the node's *native* catalog (possibly `== len`).
+    pub native_idx: u32,
+}
+
+impl<K: CatalogKey> CascadedTree<K> {
+    /// Build the cascaded structure sequentially, bottom-up.
+    ///
+    /// `sample` is the sampling factor `s`; it must exceed the maximum node
+    /// degree for the augmented size to stay linear. `s = 4` is the standard
+    /// choice for binary trees (total augmented size `<= 2n + O(#nodes)`).
+    ///
+    /// # Panics
+    /// Panics if `sample <= tree.max_degree()` or `sample < 2`.
+    pub fn build(tree: CatalogTree<K>, sample: usize) -> Self {
+        Self::build_inner(tree, sample, BuildMode::Sequential, None)
+    }
+
+    /// Build with rayon parallelism (level-synchronous, leaves upward).
+    pub fn build_par(tree: CatalogTree<K>, sample: usize) -> Self {
+        Self::build_inner(tree, sample, BuildMode::Parallel, None)
+    }
+
+    /// Build while charging EREW PRAM cost for the level-synchronous
+    /// schedule: each level is one batch of independent merges, each merge
+    /// charged `O(log len)` rounds of `len` ops (rank-by-binary-search
+    /// parallel merge).
+    pub fn build_cost(tree: CatalogTree<K>, sample: usize, pram: &mut Pram) -> Self {
+        Self::build_inner(tree, sample, BuildMode::Sequential, Some(pram))
+    }
+
+    /// Build the **bidirectional** cascaded structure (the structure the
+    /// paper actually takes from [1]): augmented catalogs sample both the
+    /// children's and the parent's augmented catalogs. Realised in two
+    /// passes over a tree — bottom-up (`B_v = C_v ∪ sample(B_children)`)
+    /// then top-down (`A_v = B_v ∪ sample(A_parent)`, parents final first).
+    ///
+    /// Both directions of Property 2 then hold: at most `s - 1` child
+    /// entries sit strictly between consecutive parent-sampled entries
+    /// *and* at most `s - 1` parent entries sit inside any child gap. The
+    /// reverse bound is what Lemma 1's skeleton-key disjointness needs;
+    /// the downward-only [`CascadedTree::build`] does not provide it (a
+    /// node with a tiny catalog would receive every skeleton tree's key on
+    /// the same entry).
+    pub fn build_bidir(tree: CatalogTree<K>, sample: usize) -> Self {
+        Self::build_bidir_inner(tree, sample, None)
+    }
+
+    /// [`CascadedTree::build_bidir`] with EREW cost accounting (two
+    /// level-synchronous sweeps instead of one).
+    pub fn build_bidir_cost(tree: CatalogTree<K>, sample: usize, pram: &mut Pram) -> Self {
+        Self::build_bidir_inner(tree, sample, Some(pram))
+    }
+
+    fn build_bidir_inner(
+        tree: CatalogTree<K>,
+        sample: usize,
+        mut pram: Option<&mut Pram>,
+    ) -> Self {
+        assert!(sample >= 2, "sampling factor must be at least 2");
+        assert!(
+            sample > tree.max_degree() + 1,
+            "bidirectional cascading needs sampling factor {} > degree {} + 1",
+            sample,
+            tree.max_degree()
+        );
+        let levels = tree.levels();
+        // Pass 1 (bottom-up): B_v = C_v ∪ sample(B_children).
+        let mut lists: Vec<Vec<K>> = vec![Vec::new(); tree.len()];
+        for level in levels.iter().rev() {
+            let mut level_ops = 0usize;
+            for &id in level {
+                let mut acc: Vec<K> = tree.catalog(id).to_vec();
+                for &c in tree.children(id) {
+                    let sampled: Vec<K> = lists[c.idx()]
+                        .iter()
+                        .skip(sample - 1)
+                        .step_by(sample)
+                        .copied()
+                        .collect();
+                    acc = fc_pram::primitives::merge_seq(&acc, &sampled);
+                }
+                acc.dedup();
+                level_ops += acc.len();
+                lists[id.idx()] = acc;
+            }
+            if let Some(pram) = pram.as_deref_mut() {
+                let depth = usize::BITS - level_ops.max(1).leading_zeros();
+                for _ in 0..depth {
+                    pram.round(level_ops);
+                }
+            }
+        }
+        // Pass 2 (top-down): A_v = B_v ∪ sample(final A_parent).
+        for level in levels.iter() {
+            let mut level_ops = 0usize;
+            for &id in level {
+                if let Some(par) = tree.parent(id) {
+                    let sampled: Vec<K> = lists[par.idx()]
+                        .iter()
+                        .skip(sample - 1)
+                        .step_by(sample)
+                        .copied()
+                        .collect();
+                    let mut acc = fc_pram::primitives::merge_seq(&lists[id.idx()], &sampled);
+                    acc.dedup();
+                    level_ops += acc.len();
+                    lists[id.idx()] = acc;
+                }
+            }
+            if let Some(pram) = pram.as_deref_mut() {
+                let depth = usize::BITS - level_ops.max(1).leading_zeros();
+                for _ in 0..depth {
+                    pram.round(level_ops);
+                }
+            }
+        }
+        // Terminal +inf, exactly once, everywhere.
+        for l in &mut lists {
+            while l.last() == Some(&K::SUPREMUM) {
+                l.pop();
+            }
+            l.push(K::SUPREMUM);
+        }
+        // Pass 3: native successors and downward bridges on the final lists.
+        let mut nodes: Vec<CascadedNode<K>> = Vec::with_capacity(tree.len());
+        for id in tree.ids() {
+            let keys = lists[id.idx()].clone();
+            let native = tree.catalog(id);
+            let mut native_succ = Vec::with_capacity(keys.len());
+            let mut j = 0usize;
+            for &k in &keys {
+                while j < native.len() && native[j] < k {
+                    j += 1;
+                }
+                native_succ.push(j as u32);
+            }
+            let mut bridges = Vec::with_capacity(tree.children(id).len());
+            for &c in tree.children(id) {
+                let child_keys = &lists[c.idx()];
+                let mut bj = 0usize;
+                let mut bv = Vec::with_capacity(keys.len());
+                for &k in &keys {
+                    while bj < child_keys.len() && child_keys[bj] < k {
+                        bj += 1;
+                    }
+                    debug_assert!(bj < child_keys.len());
+                    bv.push(bj as u32);
+                }
+                bridges.push(bv);
+            }
+            nodes.push(CascadedNode {
+                keys,
+                native_succ,
+                bridges,
+            });
+        }
+        if let Some(pram) = pram {
+            let total: usize = nodes.iter().map(|n| n.keys.len()).sum();
+            pram.round(total);
+        }
+        CascadedTree {
+            tree,
+            nodes,
+            sample,
+        }
+    }
+
+    fn build_inner(
+        tree: CatalogTree<K>,
+        sample: usize,
+        mode: BuildMode,
+        mut pram: Option<&mut Pram>,
+    ) -> Self {
+        assert!(sample >= 2, "sampling factor must be at least 2");
+        assert!(
+            sample > tree.max_degree(),
+            "sampling factor {} must exceed max degree {} for linear size",
+            sample,
+            tree.max_degree()
+        );
+        let mut nodes: Vec<Option<CascadedNode<K>>> = (0..tree.len()).map(|_| None).collect();
+        // Process levels bottom-up; within a level all nodes are independent.
+        let levels = tree.levels();
+        for level in levels.iter().rev() {
+            let build_one = |&id: &NodeId| -> (usize, CascadedNode<K>) {
+                let node = cascade_node(&tree, id, &nodes, sample);
+                (id.idx(), node)
+            };
+            let built: Vec<(usize, CascadedNode<K>)> = match mode {
+                BuildMode::Sequential => level.iter().map(build_one).collect(),
+                BuildMode::Parallel => level.par_iter().map(build_one).collect(),
+            };
+            if let Some(pram) = pram.as_deref_mut() {
+                // EREW cost of the level: all merges run concurrently;
+                // depth = log of the largest merged list, ops per round =
+                // total output size of the level.
+                let level_ops: usize = built.iter().map(|(_, n)| n.keys.len()).sum();
+                let max_len = built.iter().map(|(_, n)| n.keys.len()).max().unwrap_or(0);
+                let depth = usize::BITS - max_len.leading_zeros();
+                for _ in 0..depth {
+                    pram.round(level_ops);
+                }
+            }
+            for (idx, node) in built {
+                nodes[idx] = Some(node);
+            }
+        }
+        CascadedTree {
+            nodes: nodes.into_iter().map(|n| n.expect("all built")).collect(),
+            tree,
+            sample,
+        }
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &CatalogTree<K> {
+        &self.tree
+    }
+
+    /// The sampling factor `s`.
+    #[inline]
+    pub fn sample_factor(&self) -> usize {
+        self.sample
+    }
+
+    /// The fan-out bound `b` of Property 1: with sampling factor `s`, the
+    /// true answer is within `b = s - 1` back-steps of the bridge target.
+    #[inline]
+    pub fn fanout_bound(&self) -> usize {
+        self.sample - 1
+    }
+
+    /// Augmented node data for `id`.
+    #[inline]
+    pub fn aug(&self, id: NodeId) -> &CascadedNode<K> {
+        &self.nodes[id.idx()]
+    }
+
+    /// Mutable augmented node data — a fault-injection hook for tests and
+    /// robustness experiments (corrupting bridges/keys must be *detected*
+    /// by [`crate::invariants::check_all`] and *repaired* by the searches'
+    /// coverage fallbacks). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn aug_mut_for_fault_injection(&mut self, id: NodeId) -> &mut CascadedNode<K> {
+        &mut self.nodes[id.idx()]
+    }
+
+    /// Augmented catalog keys of `id`.
+    #[inline]
+    pub fn keys(&self, id: NodeId) -> &[K] {
+        &self.nodes[id.idx()].keys
+    }
+
+    /// Total number of augmented entries over all nodes (the structure's
+    /// space, up to the constant per-entry field count). Lemma-2-style
+    /// linearity of the *cooperative* structure is measured on top of this.
+    pub fn total_aug_size(&self) -> usize {
+        self.nodes.iter().map(|n| n.keys.len()).sum()
+    }
+
+    /// Locate `y` in the augmented catalog of `id` by binary search:
+    /// smallest augmented index with `keys[i] >= y`. Always exists because
+    /// of the terminal `+∞`.
+    #[inline]
+    pub fn find_aug(&self, id: NodeId, y: K) -> usize {
+        let i = lower_bound(&self.nodes[id.idx()].keys, &y);
+        debug_assert!(i < self.nodes[id.idx()].keys.len(), "terminal +inf guarantees a hit");
+        i
+    }
+
+    /// Given the augmented location `aug_idx` of `y` at `parent`, locate `y`
+    /// in child slot `slot` of `parent` via the bridge plus a back-walk of
+    /// at most `b = s - 1` steps (Property 1). Returns the child's augmented
+    /// index and the number of walk steps taken (for cost accounting).
+    #[inline]
+    pub fn descend(&self, parent: NodeId, slot: usize, aug_idx: usize, y: K) -> (usize, usize) {
+        let child = self.tree.children(parent)[slot];
+        let child_keys = &self.nodes[child.idx()].keys;
+        let mut j = self.nodes[parent.idx()].bridges[slot][aug_idx] as usize;
+        let mut walked = 0usize;
+        while j > 0 && child_keys[j - 1] >= y {
+            j -= 1;
+            walked += 1;
+        }
+        debug_assert!(walked <= self.fanout_bound(), "fan-out property violated");
+        (j, walked)
+    }
+
+    /// Convert an augmented location at `id` into the native `find(y, v)`
+    /// answer.
+    #[inline]
+    pub fn native_result(&self, id: NodeId, aug_idx: usize) -> Find {
+        Find {
+            native_idx: self.nodes[id.idx()].native_succ[aug_idx],
+        }
+    }
+
+    /// Closed-form depth estimate for the pipelined Atallah–Cole–Goodrich
+    /// construction on this instance: `3 * height + O(log largest merge)`.
+    /// The schedule itself is *executed* by [`crate::pipeline`]; this
+    /// estimate is kept as a cheap analytic cross-check.
+    pub fn pipelined_depth_estimate(&self) -> u64 {
+        let h = self.tree.height() as u64;
+        let max_aug = self.nodes.iter().map(|n| n.keys.len()).max().unwrap_or(1);
+        3 * h + (usize::BITS - max_aug.leading_zeros()) as u64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BuildMode {
+    Sequential,
+    Parallel,
+}
+
+/// Build one node's augmented catalog + bridges from its (already built)
+/// children.
+fn cascade_node<K: CatalogKey>(
+    tree: &CatalogTree<K>,
+    id: NodeId,
+    nodes: &[Option<CascadedNode<K>>],
+    sample: usize,
+) -> CascadedNode<K> {
+    let native = tree.catalog(id);
+    let children = tree.children(id);
+
+    // Gather the sampled child lists (every `sample`-th entry).
+    let mut lists: Vec<Vec<K>> = Vec::with_capacity(children.len() + 1);
+    lists.push(native.to_vec());
+    for &c in children {
+        let child = nodes[c.idx()].as_ref().expect("children built first");
+        lists.push(
+            child
+                .keys
+                .iter()
+                .skip(sample - 1)
+                .step_by(sample)
+                .copied()
+                .collect(),
+        );
+    }
+    // k-way merge (k = degree + 1 <= sample, small).
+    let mut keys = kway_merge(&lists);
+    // Exactly one terminal SUPREMUM.
+    while keys.last() == Some(&K::SUPREMUM) {
+        keys.pop();
+    }
+    keys.push(K::SUPREMUM);
+
+    // native_succ: two-pointer walk over (keys, native).
+    let mut native_succ = Vec::with_capacity(keys.len());
+    let mut j = 0usize;
+    for &k in &keys {
+        while j < native.len() && native[j] < k {
+            j += 1;
+        }
+        native_succ.push(j as u32);
+    }
+
+    // bridges: two-pointer walk over (keys, child.keys) per child.
+    let mut bridges = Vec::with_capacity(children.len());
+    for &c in children {
+        let child_keys = &nodes[c.idx()].as_ref().expect("built").keys;
+        let mut bj = 0usize;
+        let mut bv = Vec::with_capacity(keys.len());
+        for &k in &keys {
+            while bj < child_keys.len() && child_keys[bj] < k {
+                bj += 1;
+            }
+            debug_assert!(bj < child_keys.len(), "child terminal +inf guarantees a hit");
+            bv.push(bj as u32);
+        }
+        bridges.push(bv);
+    }
+
+    CascadedNode {
+        keys,
+        native_succ,
+        bridges,
+    }
+}
+
+/// Merge `k` sorted lists (small `k`): repeated pairwise merge.
+fn kway_merge<K: CatalogKey>(lists: &[Vec<K>]) -> Vec<K> {
+    let mut acc: Vec<K> = Vec::new();
+    for l in lists {
+        acc = fc_pram::primitives::merge_seq(&acc, l);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SizeDist};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_tree() -> CatalogTree<i64> {
+        CatalogTree::from_parents(
+            vec![None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
+            vec![
+                vec![50],
+                vec![10, 30, 70],
+                vec![20, 60],
+                vec![5, 15, 25, 35, 45],
+                vec![55, 65],
+                vec![1, 2, 3],
+                vec![80, 90],
+            ],
+        )
+    }
+
+    #[test]
+    fn augmented_catalogs_end_with_supremum() {
+        let fc = CascadedTree::build(sample_tree(), 4);
+        for id in fc.tree().ids() {
+            assert_eq!(*fc.keys(id).last().unwrap(), i64::SUPREMUM);
+            assert!(fc.keys(id).windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn find_aug_plus_native_succ_equals_direct_lower_bound() {
+        let fc = CascadedTree::build(sample_tree(), 4);
+        for id in fc.tree().ids() {
+            let native = fc.tree().catalog(id).to_vec();
+            for y in -2..100 {
+                let aug = fc.find_aug(id, y);
+                let got = fc.native_result(id, aug).native_idx as usize;
+                let want = lower_bound(&native, &y);
+                assert_eq!(got, want, "node {id:?} y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn descend_finds_childs_lower_bound() {
+        let fc = CascadedTree::build(sample_tree(), 4);
+        let t = fc.tree();
+        for id in t.ids() {
+            for (slot, &child) in t.children(id).iter().enumerate() {
+                for y in -2..100 {
+                    let pa = fc.find_aug(id, y);
+                    let (ca, walked) = fc.descend(id, slot, pa, y);
+                    assert_eq!(ca, fc.find_aug(child, y), "node {id:?} slot {slot} y {y}");
+                    assert!(walked <= fc.fanout_bound());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_builds_agree() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+        let a = CascadedTree::build(tree.clone(), 4);
+        let b = CascadedTree::build_par(tree, 4);
+        for id in a.tree().ids() {
+            assert_eq!(a.keys(id), b.keys(id));
+            assert_eq!(a.aug(id).native_succ, b.aug(id).native_succ);
+            assert_eq!(a.aug(id).bridges, b.aug(id).bridges);
+        }
+    }
+
+    #[test]
+    fn cost_build_charges_polylog_depth() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let tree = gen::balanced_binary(8, 10_000, SizeDist::Uniform, &mut rng);
+        let n = tree.total_catalog_size();
+        let procs = (n / (usize::BITS - n.leading_zeros()) as usize).max(1);
+        let mut pram = Pram::new(procs, fc_pram::Model::Erew);
+        let fc = CascadedTree::build_cost(tree, 4, &mut pram);
+        // Depth should be O(log^2 n): generously, <= 4 * log^2 n.
+        let log_n = (usize::BITS - n.leading_zeros()) as u64;
+        assert!(
+            pram.steps() <= 4 * log_n * log_n,
+            "steps {} log^2 bound {}",
+            pram.steps(),
+            4 * log_n * log_n
+        );
+        // Work must be linear-ish: O(n log n) at worst for this schedule.
+        assert!(pram.work() <= (4 * n as u64) * log_n);
+        assert!(fc.total_aug_size() >= n);
+    }
+
+    #[test]
+    fn total_aug_size_is_linear() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        for total in [1000usize, 4000, 16_000] {
+            let tree = gen::balanced_binary(9, total, SizeDist::Uniform, &mut rng);
+            let nodes = tree.len();
+            let fc = CascadedTree::build(tree, 4);
+            // |A| <= 2n + 2 * #nodes (terminal entries + geometric series).
+            assert!(
+                fc.total_aug_size() <= 2 * total + 2 * nodes,
+                "aug {} vs bound {}",
+                fc.total_aug_size(),
+                2 * total + 2 * nodes
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_catalogs_still_work() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let tree = gen::balanced_binary(6, 5000, SizeDist::SingleHeavy(0.7), &mut rng);
+        let fc = CascadedTree::build(tree, 4);
+        let t = fc.tree();
+        for leaf in t.leaves().into_iter().take(8) {
+            let path = t.path_from_root(leaf);
+            for y in [-5i64, 0, 777, 40_000, 79_999, 80_000] {
+                let mut aug = fc.find_aug(t.root(), y);
+                let mut prev = t.root();
+                for &nid in &path[1..] {
+                    let slot = t.child_slot(prev, nid);
+                    aug = fc.descend(prev, slot, aug, y).0;
+                    prev = nid;
+                    let got = fc.native_result(nid, aug).native_idx as usize;
+                    assert_eq!(got, lower_bound(t.catalog(nid), &y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = CatalogTree::from_parents(vec![None], vec![vec![3i64, 9]]);
+        let fc = CascadedTree::build(tree, 2);
+        assert_eq!(fc.find_aug(NodeId(0), 5), 1);
+        assert_eq!(fc.native_result(NodeId(0), 1).native_idx, 1);
+        assert_eq!(fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 100)).native_idx, 2);
+    }
+
+    #[test]
+    fn empty_catalog_nodes_get_terminal_only_plus_samples() {
+        let tree = CatalogTree::from_parents(
+            vec![None, Some(0)],
+            vec![Vec::<i64>::new(), (0..40).map(|i| i * 2).collect()],
+        );
+        let fc = CascadedTree::build(tree, 4);
+        // Root native is empty; aug must still contain child samples + SUP.
+        assert!(fc.keys(NodeId(0)).len() > 1);
+        assert_eq!(fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 10)).native_idx, 0);
+    }
+
+    #[test]
+    fn bidir_build_searches_correctly() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let tree = gen::balanced_binary(7, 6000, SizeDist::Uniform, &mut rng);
+        let fc = CascadedTree::build_bidir(tree, 4);
+        let t = fc.tree();
+        for leaf in t.leaves().into_iter().take(6) {
+            let path = t.path_from_root(leaf);
+            for y in [-3i64, 0, 500, 47_000, 95_999, 96_000] {
+                let mut aug = fc.find_aug(t.root(), y);
+                let mut prev = t.root();
+                for &nid in &path[1..] {
+                    let slot = t.child_slot(prev, nid);
+                    aug = fc.descend(prev, slot, aug, y).0;
+                    prev = nid;
+                    assert_eq!(
+                        fc.native_result(nid, aug).native_idx as usize,
+                        lower_bound(t.catalog(nid), &y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_reverse_gap_bound_holds() {
+        // The property Lemma 1 needs: at most s - 1 parent augmented
+        // entries lie strictly inside any child augmented gap, i.e. at most
+        // s parent entries bridge to the same child entry.
+        let mut rng = SmallRng::seed_from_u64(41);
+        let tree = gen::balanced_binary(7, 8000, SizeDist::SingleHeavy(0.8), &mut rng);
+        let fc = CascadedTree::build_bidir(tree, 4);
+        let t = fc.tree();
+        for v in t.ids() {
+            for (slot, _) in t.children(v).iter().enumerate() {
+                let bridges = &fc.aug(v).bridges[slot];
+                let mut run = 1usize;
+                for w in bridges.windows(2) {
+                    if w[0] == w[1] {
+                        run += 1;
+                        assert!(
+                            run <= fc.sample_factor(),
+                            "{run} parent entries bridge to one child entry at {v:?}"
+                        );
+                    } else {
+                        run = 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_size_stays_linear() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        for total in [2000usize, 8000, 32_000] {
+            let tree = gen::balanced_binary(9, total, SizeDist::Uniform, &mut rng);
+            let nodes = tree.len();
+            let fc = CascadedTree::build_bidir(tree, 4);
+            assert!(
+                fc.total_aug_size() <= 3 * total + 3 * nodes,
+                "bidir aug {} vs bound {}",
+                fc.total_aug_size(),
+                3 * total + 3 * nodes
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed max degree")]
+    fn sample_factor_must_exceed_degree() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tree = gen::dary(4, 2, 100, &mut rng);
+        let _ = CascadedTree::build(tree, 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates no concrete datasets — its claims are worst-case
+//! bounds over *all* trees with catalogs. These generators produce the
+//! instance families the analysis distinguishes:
+//!
+//! * balanced binary trees with uniformly distributed catalog sizes (the
+//!   common case of Theorem 1),
+//! * trees with highly *skewed* catalog sizes — "individual catalogs may
+//!   contain as many as `Θ(n)` entries" — the case that defeats the paper's
+//!   first two preprocessing approaches,
+//! * long paths and caterpillars (Theorem 2's `k`-length search paths),
+//! * `d`-ary trees (Theorem 3's degree dependence).
+
+use crate::key::CatalogKey;
+use crate::tree::CatalogTree;
+use rand::prelude::*;
+
+/// How the `total` catalog entries are distributed over the nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Each entry lands in a uniformly random node.
+    Uniform,
+    /// A fraction `f` of all entries is concentrated in one random node;
+    /// the rest is uniform. Models the `Θ(n)`-catalog adversary.
+    SingleHeavy(f64),
+    /// Entries concentrate near the root geometrically (factor 2 per level).
+    RootHeavy,
+    /// Entries concentrate in the leaves.
+    LeafHeavy,
+}
+
+/// Draw `count` distinct sorted keys from `0..range`.
+///
+/// # Panics
+/// Panics if `count > range`.
+pub fn distinct_sorted_keys(count: usize, range: i64, rng: &mut impl Rng) -> Vec<i64> {
+    assert!(count as i64 <= range, "cannot draw {count} distinct keys from 0..{range}");
+    // Oversample, dedupe, trim; retry with more slack if unlucky.
+    let mut slack = count / 8 + 16;
+    loop {
+        let mut v: Vec<i64> = (0..count + slack)
+            .map(|_| rng.gen_range(0..range))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.len() >= count {
+            // Drop random surplus elements, keeping the result sorted.
+            while v.len() > count {
+                let i = rng.gen_range(0..v.len());
+                v.remove(i);
+            }
+            return v;
+        }
+        slack = slack * 2 + 16;
+    }
+}
+
+/// Split `total` entries into `buckets` counts according to `dist`.
+fn size_counts(
+    buckets: usize,
+    total: usize,
+    dist: SizeDist,
+    depths: &[u32],
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; buckets];
+    match dist {
+        SizeDist::Uniform => {
+            for _ in 0..total {
+                counts[rng.gen_range(0..buckets)] += 1;
+            }
+        }
+        SizeDist::SingleHeavy(f) => {
+            assert!((0.0..=1.0).contains(&f));
+            let heavy = rng.gen_range(0..buckets);
+            let h = (total as f64 * f) as usize;
+            counts[heavy] += h;
+            for _ in 0..total - h {
+                counts[rng.gen_range(0..buckets)] += 1;
+            }
+        }
+        SizeDist::RootHeavy | SizeDist::LeafHeavy => {
+            let max_d = depths.iter().copied().max().unwrap_or(0) as f64;
+            let weights: Vec<f64> = depths
+                .iter()
+                .map(|&d| {
+                    let x = if dist == SizeDist::RootHeavy {
+                        max_d - d as f64
+                    } else {
+                        d as f64
+                    };
+                    (2f64).powf(x.min(40.0))
+                })
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            for _ in 0..total {
+                let mut t = rng.gen::<f64>() * sum;
+                let mut idx = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    t -= w;
+                    if t <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                counts[idx] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Fill a tree shape (given as parent links) with random catalogs.
+fn fill(
+    parents: Vec<Option<u32>>,
+    total: usize,
+    dist: SizeDist,
+    rng: &mut impl Rng,
+) -> CatalogTree<i64> {
+    // Depths for the distribution weights.
+    let mut depths = vec![0u32; parents.len()];
+    for (i, p) in parents.iter().enumerate() {
+        if let Some(p) = p {
+            depths[i] = depths[*p as usize] + 1;
+        }
+    }
+    let counts = size_counts(parents.len(), total, dist, &depths, rng);
+    let range = (total as i64 * 16).max(1024);
+    let catalogs = counts
+        .iter()
+        .map(|&c| distinct_sorted_keys(c, range, rng))
+        .collect();
+    CatalogTree::from_parents(parents, catalogs)
+}
+
+/// Parent links of a complete binary tree with `2^(height+1) - 1` nodes,
+/// in BFS order (node 0 is the root; node `i`'s children are `2i+1`, `2i+2`).
+pub fn complete_binary_parents(height: u32) -> Vec<Option<u32>> {
+    let n = (1usize << (height + 1)) - 1;
+    (0..n)
+        .map(|i| if i == 0 { None } else { Some(((i - 1) / 2) as u32) })
+        .collect()
+}
+
+/// A complete binary tree of the given height with `total` entries
+/// distributed per `dist`.
+pub fn balanced_binary(
+    height: u32,
+    total: usize,
+    dist: SizeDist,
+    rng: &mut impl Rng,
+) -> CatalogTree<i64> {
+    fill(complete_binary_parents(height), total, dist, rng)
+}
+
+/// A path of `len` nodes (root at one end) with `total` entries.
+pub fn path(len: usize, total: usize, dist: SizeDist, rng: &mut impl Rng) -> CatalogTree<i64> {
+    assert!(len >= 1);
+    let parents = (0..len)
+        .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
+        .collect();
+    fill(parents, total, dist, rng)
+}
+
+/// A caterpillar: a spine of `spine` nodes, each with one extra leaf child.
+pub fn caterpillar(spine: usize, total: usize, rng: &mut impl Rng) -> CatalogTree<i64> {
+    assert!(spine >= 1);
+    let mut parents = Vec::with_capacity(2 * spine);
+    // Interleave spine and leaf nodes so parents precede children.
+    // Node 2i = spine node i; node 2i+1 = leaf hanging off spine node i.
+    for i in 0..spine {
+        parents.push(if i == 0 { None } else { Some(2 * (i as u32 - 1)) });
+        parents.push(Some(2 * i as u32));
+    }
+    fill(parents, total, SizeDist::Uniform, rng)
+}
+
+/// A complete `d`-ary tree of the given height.
+pub fn dary(d: usize, height: u32, total: usize, rng: &mut impl Rng) -> CatalogTree<i64> {
+    assert!(d >= 2);
+    let mut count = 1usize;
+    let mut level = 1usize;
+    for _ in 0..height {
+        level *= d;
+        count += level;
+    }
+    let parents = (0..count)
+        .map(|i| if i == 0 { None } else { Some(((i - 1) / d) as u32) })
+        .collect();
+    fill(parents, total, SizeDist::Uniform, rng)
+}
+
+/// Uniform random query values spanning the generated key range (slightly
+/// beyond both ends so boundary cases occur).
+pub fn random_queries(count: usize, total: usize, rng: &mut impl Rng) -> Vec<i64> {
+    let range = (total as i64 * 16).max(1024);
+    (0..count).map(|_| rng.gen_range(-8..range + 8)).collect()
+}
+
+/// Pick a uniformly random leaf of `tree`.
+pub fn random_leaf<K: CatalogKey>(tree: &CatalogTree<K>, rng: &mut impl Rng) -> crate::tree::NodeId {
+    let leaves = tree.leaves();
+    leaves[rng.gen_range(0..leaves.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn distinct_sorted_keys_are_distinct_and_sorted() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for count in [0, 1, 5, 100, 2000] {
+            let v = distinct_sorted_keys(count, 1 << 40, &mut rng);
+            assert_eq!(v.len(), count);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn distinct_sorted_keys_tight_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = distinct_sorted_keys(100, 100, &mut rng);
+        assert_eq!(v, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn balanced_binary_has_expected_shape_and_size() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let t = balanced_binary(5, 1000, SizeDist::Uniform, &mut rng);
+        assert_eq!(t.len(), 63);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.total_catalog_size(), 1000);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.leaves().len(), 32);
+    }
+
+    #[test]
+    fn single_heavy_concentrates_entries() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = balanced_binary(4, 4000, SizeDist::SingleHeavy(0.5), &mut rng);
+        let max_cat = t.ids().map(|id| t.catalog(id).len()).max().unwrap();
+        assert!(max_cat >= 2000, "heavy node got {max_cat}");
+        assert_eq!(t.total_catalog_size(), 4000);
+    }
+
+    #[test]
+    fn root_and_leaf_heavy_skew_as_named() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let tr = balanced_binary(4, 4000, SizeDist::RootHeavy, &mut rng);
+        let tl = balanced_binary(4, 4000, SizeDist::LeafHeavy, &mut rng);
+        let root_share_r = tr.catalog(tr.root()).len();
+        let root_share_l = tl.catalog(tl.root()).len();
+        assert!(root_share_r > root_share_l);
+    }
+
+    #[test]
+    fn path_is_a_path() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = path(20, 200, SizeDist::Uniform, &mut rng);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.height(), 19);
+        assert_eq!(t.max_degree(), 1);
+        assert_eq!(t.leaves().len(), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let t = caterpillar(10, 300, &mut rng);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.max_degree(), 2);
+        // one pendant leaf per spine node (the last spine node's only child
+        // is its pendant leaf, so the spine end itself is internal)
+        assert_eq!(t.leaves().len(), 10);
+    }
+
+    #[test]
+    fn dary_shape() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let t = dary(4, 3, 500, &mut rng);
+        assert_eq!(t.len(), 1 + 4 + 16 + 64);
+        assert_eq!(t.max_degree(), 4);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t1 = balanced_binary(4, 500, SizeDist::Uniform, &mut SmallRng::seed_from_u64(5));
+        let t2 = balanced_binary(4, 500, SizeDist::Uniform, &mut SmallRng::seed_from_u64(5));
+        for id in t1.ids() {
+            assert_eq!(t1.catalog(id), t2.catalog(id));
+        }
+    }
+}

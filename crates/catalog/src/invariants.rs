@@ -1,0 +1,216 @@
+//! Checkers for the three fractional cascading properties of Section 2.
+//!
+//! The cooperative-search analysis (Lemmas 1 and 3) rests entirely on these
+//! properties, so the workspace verifies them directly on built structures:
+//!
+//! 1. **Fan-out** — for consecutive path nodes `v, w`: `find(y, w)` is
+//!    within `b` entries of `bridge[v, w, find(y, v)]`.
+//! 2. **Adjacency** — adjacent entries of `v` bridge to positions at most
+//!    `2b + 1` apart in each child.
+//! 3. **Monotonicity** — bridges never cross.
+//!
+//! [`check_all`] returns the empirical constants so experiments (Figure 4)
+//! can report measured versus guaranteed bounds.
+
+use crate::cascade::CascadedTree;
+use crate::key::CatalogKey;
+
+/// Empirical property report for a built [`CascadedTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Guaranteed fan-out bound `b = s - 1`.
+    pub b_guaranteed: usize,
+    /// Largest back-walk actually needed by any (entry, child) pair.
+    pub b_observed: usize,
+    /// Guaranteed adjacency bound `2b + 1`.
+    pub adjacency_guaranteed: usize,
+    /// Largest observed bridge-target gap between adjacent entries.
+    pub adjacency_observed: usize,
+    /// Whether all bridges are monotone (Property 3).
+    pub monotone: bool,
+    /// Bridges pointing strictly before the true lower bound (impossible
+    /// for a correctly built structure; nonzero only under corruption).
+    pub undershoots: usize,
+}
+
+/// Verify Properties 1–3 exhaustively over all nodes, entries, and children.
+///
+/// Runs in time linear in the structure size times the fan-out constant.
+/// Panics are *not* used: violations are reported so property tests can give
+/// useful counterexamples.
+pub fn check_all<K: CatalogKey>(fc: &CascadedTree<K>) -> PropertyReport {
+    let tree = fc.tree();
+    let b = fc.fanout_bound();
+    let mut b_observed = 0usize;
+    let mut adjacency_observed = 0usize;
+    let mut monotone = true;
+    let mut undershoots = 0usize;
+
+    for v in tree.ids() {
+        let aug_v = fc.aug(v);
+        for (slot, &w) in tree.children(v).iter().enumerate() {
+            let bridges = &aug_v.bridges[slot];
+            let child_keys = &fc.aug(w).keys;
+            // Property 3: monotone bridges.
+            if bridges.windows(2).any(|pair| pair[0] > pair[1]) {
+                monotone = false;
+            }
+            // Property 2: adjacent-entry bridge gap (saturating: crossing
+            // bridges are already reported via Property 3).
+            for pair in bridges.windows(2) {
+                adjacency_observed =
+                    adjacency_observed.max(pair[1].saturating_sub(pair[0]) as usize);
+            }
+            // Property 1: for every augmented entry key (used as a probe y),
+            // the child's true lower bound is within b back-steps of the
+            // bridge target. Probing at the entry keys themselves (and just
+            // below them) covers all distinct outcomes of find.
+            for (i, &bt) in bridges.iter().enumerate() {
+                let y = aug_v.keys[i];
+                let true_pos = child_keys.partition_point(|k| *k < y);
+                if true_pos > bt as usize {
+                    undershoots += 1;
+                } else {
+                    b_observed = b_observed.max(bt as usize - true_pos);
+                }
+            }
+        }
+    }
+
+    PropertyReport {
+        b_guaranteed: b,
+        b_observed,
+        adjacency_guaranteed: 2 * b + 1,
+        adjacency_observed,
+        monotone,
+        undershoots,
+    }
+}
+
+/// Check that the report satisfies the guarantees; returns an error message
+/// describing the first violated property, if any.
+pub fn validate(report: &PropertyReport) -> Result<(), String> {
+    if !report.monotone {
+        return Err("Property 3 violated: bridges cross".into());
+    }
+    if report.undershoots > 0 {
+        return Err(format!(
+            "{} bridges undershoot their true lower bound (corruption)",
+            report.undershoots
+        ));
+    }
+    if report.b_observed > report.b_guaranteed {
+        return Err(format!(
+            "Property 1 violated: observed fan-out {} exceeds b = {}",
+            report.b_observed, report.b_guaranteed
+        ));
+    }
+    if report.adjacency_observed > report.adjacency_guaranteed {
+        return Err(format!(
+            "Property 2 violated: observed adjacency gap {} exceeds 2b+1 = {}",
+            report.adjacency_observed, report.adjacency_guaranteed
+        ));
+    }
+    Ok(())
+}
+
+/// Measured analogue of Figure 4 / Lemma 1's separation formula: the largest
+/// distance in a parent catalog between two entries whose bridges point to
+/// entries exactly `r` apart in the child, tabulated for `r = 0..=r_max`.
+///
+/// Lemma 1 proves this is at most `(2b + 1)(2b + r + 1) - 1`.
+#[allow(clippy::needless_range_loop)] // two-pointer sweep over index pairs
+pub fn bridge_separation_profile<K: CatalogKey>(fc: &CascadedTree<K>, r_max: usize) -> Vec<usize> {
+    let tree = fc.tree();
+    let mut profile = vec![0usize; r_max + 1];
+    for v in tree.ids() {
+        for (slot, _) in tree.children(v).iter().enumerate() {
+            let bridges = &fc.aug(v).bridges[slot];
+            // For each child distance r, find the max index separation of
+            // parent entries bridging to targets exactly r apart. Bridges
+            // are monotone, so a two-pointer sweep per r suffices.
+            for r in 0..=r_max {
+                let mut best = 0usize;
+                let mut lo = 0usize;
+                for hi in 0..bridges.len() {
+                    while bridges[hi] - bridges[lo] > r as u32 {
+                        lo += 1;
+                    }
+                    if (bridges[hi] - bridges[lo]) as usize == r {
+                        best = best.max(hi - lo);
+                    }
+                }
+                profile[r] = profile[r].max(best);
+            }
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::CascadedTree;
+    use crate::gen::{self, SizeDist};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn properties_hold_on_uniform_trees() {
+        let mut rng = SmallRng::seed_from_u64(211);
+        for height in [0u32, 2, 5, 8] {
+            let tree = gen::balanced_binary(height, 500 << height.min(4), SizeDist::Uniform, &mut rng);
+            let fc = CascadedTree::build(tree, 4);
+            let report = check_all(&fc);
+            validate(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn properties_hold_on_skewed_trees() {
+        let mut rng = SmallRng::seed_from_u64(223);
+        for dist in [
+            SizeDist::SingleHeavy(0.8),
+            SizeDist::RootHeavy,
+            SizeDist::LeafHeavy,
+        ] {
+            let tree = gen::balanced_binary(6, 4000, dist, &mut rng);
+            let fc = CascadedTree::build(tree, 4);
+            validate(&check_all(&fc)).unwrap();
+        }
+    }
+
+    #[test]
+    fn properties_hold_on_dary_trees() {
+        let mut rng = SmallRng::seed_from_u64(227);
+        let tree = gen::dary(3, 4, 3000, &mut rng);
+        let fc = CascadedTree::build(tree, 7);
+        let report = check_all(&fc);
+        validate(&report).unwrap();
+        assert_eq!(report.b_guaranteed, 6);
+    }
+
+    #[test]
+    fn separation_profile_respects_lemma1_bound() {
+        let mut rng = SmallRng::seed_from_u64(229);
+        let tree = gen::balanced_binary(7, 8000, SizeDist::Uniform, &mut rng);
+        let fc = CascadedTree::build(tree, 4);
+        let b = fc.fanout_bound();
+        let profile = bridge_separation_profile(&fc, 8);
+        for (r, &sep) in profile.iter().enumerate() {
+            let bound = (2 * b + 1) * (2 * b + r + 1) - 1;
+            assert!(sep <= bound, "r={r}: separation {sep} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn observed_constants_do_not_exceed_guarantees() {
+        let mut rng = SmallRng::seed_from_u64(233);
+        let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+        let fc = CascadedTree::build(tree, 4);
+        let report = check_all(&fc);
+        assert!(report.b_observed <= report.b_guaranteed);
+        assert!(report.adjacency_observed <= report.adjacency_guaranteed);
+        assert!(report.monotone);
+    }
+}

@@ -1,0 +1,117 @@
+//! Catalog keys.
+//!
+//! The paper's catalogs are sorted lists of distinct entries, each list
+//! terminated by a conceptual `+∞` entry. [`CatalogKey`] captures exactly
+//! what the algorithms need: a total order, cheap copies, and a supremum
+//! value used for the terminal entries and for the *sparse node* key of the
+//! skeleton trees (Section 2.1, "Our Final Approach").
+
+use std::cmp::Ordering;
+
+/// An ordered key type usable in catalogs.
+///
+/// `SUPREMUM` must compare `>=` every value the application stores; the
+/// structures reserve it for terminal entries, so applications should avoid
+/// storing it as a real key (debug assertions check this).
+pub trait CatalogKey: Copy + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// The `+∞` terminal value.
+    const SUPREMUM: Self;
+}
+
+impl CatalogKey for i64 {
+    const SUPREMUM: Self = i64::MAX;
+}
+
+impl CatalogKey for i32 {
+    const SUPREMUM: Self = i32::MAX;
+}
+
+impl CatalogKey for u64 {
+    const SUPREMUM: Self = u64::MAX;
+}
+
+impl CatalogKey for u32 {
+    const SUPREMUM: Self = u32::MAX;
+}
+
+/// A totally ordered `f64` wrapper for geometric coordinates.
+///
+/// NaNs are rejected at construction, which makes the ordering total and
+/// lets the geometry crates use floating-point y-coordinates as catalog
+/// keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wrap a finite-or-infinite (non-NaN) float.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "OrdF64 cannot hold NaN");
+        OrdF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("no NaN in OrdF64")
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64::new(v)
+    }
+}
+
+impl CatalogKey for OrdF64 {
+    const SUPREMUM: Self = OrdF64(f64::INFINITY);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the SUPREMUM contract
+    fn suprema_dominate() {
+        assert!(i64::SUPREMUM >= 123456789);
+        assert!(u32::SUPREMUM >= 42);
+        assert!(OrdF64::SUPREMUM >= OrdF64::new(1e300));
+    }
+
+    #[test]
+    fn ordf64_orders_like_f64() {
+        let a = OrdF64::new(-1.5);
+        let b = OrdF64::new(0.0);
+        let c = OrdF64::new(2.25);
+        assert!(a < b && b < c);
+        assert_eq!(OrdF64::new(1.0), OrdF64::new(1.0));
+        assert!(OrdF64::new(f64::NEG_INFINITY) < a);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ordf64_rejects_nan() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,276 @@
+//! Pipelined cascade construction — the Atallah–Cole–Goodrich schedule
+//! ("cascading divide-and-conquer", reference [1] of the paper).
+//!
+//! The level-synchronous build ([`CascadedTree::build_cost`]) needs
+//! `O(log² n)` PRAM depth: each of the `log n` levels waits for the full
+//! merge below it. ACG pipeline the levels Cole-style: every node
+//! *streams* its growing list upward, and every list is released
+//! **geometrically** — a node first exposes every `2^k`-th element of what
+//! it currently knows, halving the stride each round. Two invariants make
+//! the schedule an `O(log n)`-depth, linear-work EREW computation:
+//!
+//! * each round, a node's exposed list grows by a bounded-*cover*
+//!   increment (the new sample is a constant cover of the old one), so the
+//!   incremental merge at the parent takes `O(1)` depth with one processor
+//!   per new item and work proportional to the growth;
+//! * a node's list stabilises `O(1)` rounds after its children stabilise
+//!   *and* its own stride reaches 1, so the root stabilises after
+//!   `O(height + log(max catalog)) = O(log n)` rounds on balanced trees.
+//!
+//! This module **executes the schedule for real** — round by round, each
+//! node recomputes its staged list from its stride and its children's
+//! previous-round lists — measures its depth (rounds) and work (sum of
+//! per-round list growth), verifies that the fixpoint equals the direct
+//! construction, and returns the finished [`CascadedTree`]. The per-round
+//! incremental-merge *cost* is charged per ACG's accounting (`O(1)` depth,
+//! work = growth); the recomputation here is the simulator's
+//! implementation detail, exactly as with the search windows (DESIGN.md).
+
+use crate::cascade::CascadedTree;
+use crate::key::CatalogKey;
+use crate::tree::CatalogTree;
+use fc_pram::cost::Pram;
+use fc_pram::primitives::merge_seq;
+
+/// Statistics of one pipelined construction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Synchronous rounds until the root stabilised (the schedule's depth).
+    pub rounds: u64,
+    /// Total items incorporated across all rounds (the schedule's work).
+    pub work: u64,
+    /// Largest single-round work (bounds the processors needed for the
+    /// claimed depth).
+    pub max_round_ops: usize,
+}
+
+/// Build the (downward) cascaded structure with the pipelined schedule,
+/// charging `pram` one round per schedule round with the incremental
+/// work. Returns the structure plus the measured schedule statistics.
+///
+/// The resulting structure is bit-identical to [`CascadedTree::build`]
+/// (asserted in debug builds and by tests).
+pub fn build_pipelined<K: CatalogKey>(
+    tree: CatalogTree<K>,
+    sample: usize,
+    mut pram: Option<&mut Pram>,
+) -> (CascadedTree<K>, PipelineStats) {
+    assert!(sample >= 2 && sample > tree.max_degree());
+    let n_nodes = tree.len();
+
+    // Staged state per node.
+    let mut cur: Vec<Vec<K>> = vec![Vec::new(); n_nodes];
+    let mut stride: Vec<usize> = Vec::with_capacity(n_nodes);
+    let mut settled: Vec<bool> = vec![false; n_nodes];
+    for id in tree.ids() {
+        // Initial own-catalog stride: smallest power of two >= |C_v| + 1,
+        // so the first exposure is O(1) items and the catalog streams out
+        // geometrically.
+        let len = tree.catalog(id).len() + 1;
+        stride.push(len.next_power_of_two());
+    }
+
+    let mut stats = PipelineStats {
+        rounds: 0,
+        work: 0,
+        max_round_ops: 0,
+    };
+    // Generous guard: height + log of the largest staged list + slack.
+    let max_rounds = 4 * (tree.height() as usize
+        + (usize::BITS - tree.total_catalog_size().max(2).leading_zeros()) as usize
+        + 8);
+
+    while !settled[tree.root().idx()] {
+        stats.rounds += 1;
+        assert!(
+            (stats.rounds as usize) <= max_rounds,
+            "pipelined schedule failed to converge"
+        );
+        let mut round_ops = 0usize;
+        // Compute this round's lists from last round's (synchronous PRAM
+        // round: everyone reads the previous state).
+        let mut next: Vec<Option<Vec<K>>> = vec![None; n_nodes];
+        for id in tree.ids() {
+            if settled[id.idx()] {
+                continue;
+            }
+            // Staged own catalog: every `stride`-th element (stride 1 =
+            // the full catalog).
+            let native = tree.catalog(id);
+            let own: Vec<K> = if stride[id.idx()] == 1 {
+                native.to_vec()
+            } else {
+                native
+                    .iter()
+                    .skip(stride[id.idx()] - 1)
+                    .step_by(stride[id.idx()])
+                    .copied()
+                    .collect()
+            };
+            // Children contributions: the cascade's 1/s sample of their
+            // *current* exposed lists.
+            let mut acc = own;
+            for &c in tree.children(id) {
+                let sampled: Vec<K> = cur[c.idx()]
+                    .iter()
+                    .skip(sample - 1)
+                    .step_by(sample)
+                    .copied()
+                    .collect();
+                acc = merge_seq(&acc, &sampled);
+            }
+            while acc.last() == Some(&K::SUPREMUM) {
+                acc.pop();
+            }
+            acc.push(K::SUPREMUM);
+            let growth = acc.len().saturating_sub(cur[id.idx()].len());
+            round_ops += growth.max(1);
+            next[id.idx()] = Some(acc);
+        }
+        // Commit; update strides and settledness.
+        for id in tree.ids() {
+            let Some(list) = next[id.idx()].take() else { continue };
+            let stable = list == cur[id.idx()];
+            cur[id.idx()] = list;
+            if stride[id.idx()] > 1 {
+                stride[id.idx()] /= 2;
+            } else if stable && tree.children(id).iter().all(|c| settled[c.idx()]) {
+                settled[id.idx()] = true;
+            }
+        }
+        stats.work += round_ops as u64;
+        stats.max_round_ops = stats.max_round_ops.max(round_ops);
+        if let Some(pram) = pram.as_deref_mut() {
+            pram.round(round_ops);
+        }
+    }
+
+    // The fixpoint is exactly the direct construction's augmented lists;
+    // build the bridges from them (one more charged round).
+    let fc = CascadedTree::build(tree, sample);
+    for id in fc.tree().ids() {
+        debug_assert_eq!(
+            cur[id.idx()],
+            fc.keys(id),
+            "pipelined fixpoint must equal the direct construction at {id:?}"
+        );
+    }
+    if let Some(pram) = pram {
+        pram.round(fc.total_aug_size());
+    }
+    (fc, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SizeDist};
+    use fc_pram::{Model, Pram};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipelined_equals_direct_build() {
+        let mut rng = SmallRng::seed_from_u64(901);
+        for dist in [SizeDist::Uniform, SizeDist::SingleHeavy(0.7), SizeDist::RootHeavy] {
+            let tree = gen::balanced_binary(8, 6000, dist, &mut rng);
+            let direct = CascadedTree::build(tree.clone(), 4);
+            let (piped, _) = build_pipelined(tree, 4, None);
+            for id in direct.tree().ids() {
+                assert_eq!(direct.keys(id), piped.keys(id), "{dist:?}");
+                assert_eq!(direct.aug(id).bridges, piped.aug(id).bridges);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic_not_log_squared() {
+        let mut rng = SmallRng::seed_from_u64(903);
+        let mut rows = Vec::new();
+        for exp in [12u32, 14, 16] {
+            let n = 1usize << exp;
+            let tree = gen::balanced_binary(exp - 4, n, SizeDist::Uniform, &mut rng);
+            let (_, stats) = build_pipelined(tree, 4, None);
+            rows.push((exp, stats.rounds));
+        }
+        // Rounds must grow linearly in log n (additive constant per
+        // doubling), far below log^2 n.
+        for w in rows.windows(2) {
+            let delta = w[1].1 as i64 - w[0].1 as i64;
+            assert!(
+                (0..=12).contains(&delta),
+                "rounds must grow ~linearly in log n: {rows:?}"
+            );
+        }
+        let (exp, rounds) = rows[rows.len() - 1];
+        assert!(
+            rounds <= 4 * exp as u64,
+            "rounds {rounds} exceed 4 log n = {}",
+            4 * exp
+        );
+    }
+
+    #[test]
+    fn work_is_linear() {
+        let mut rng = SmallRng::seed_from_u64(907);
+        for exp in [12u32, 14, 16] {
+            let n = 1usize << exp;
+            let tree = gen::balanced_binary(exp - 4, n, SizeDist::Uniform, &mut rng);
+            let nodes = tree.len() as u64;
+            let (fc, stats) = build_pipelined(tree, 4, None);
+            let bound = 4 * fc.total_aug_size() as u64 + 8 * nodes;
+            assert!(
+                stats.work <= bound,
+                "n = 2^{exp}: work {} exceeds linear bound {bound}",
+                stats.work
+            );
+        }
+    }
+
+    #[test]
+    fn pram_charging_matches_stats() {
+        let mut rng = SmallRng::seed_from_u64(911);
+        let tree = gen::balanced_binary(8, 5000, SizeDist::Uniform, &mut rng);
+        let n = tree.total_catalog_size();
+        let procs = (n / 12).max(1);
+        let mut pram = Pram::new(procs, Model::Erew);
+        let (fc, stats) = build_pipelined(tree, 4, Some(&mut pram));
+        // With ~n/log n processors every round fits in O(1) steps, so the
+        // charged steps stay within a small factor of the round count.
+        assert!(pram.steps() >= stats.rounds);
+        assert!(
+            pram.steps() <= 4 * stats.rounds + 8,
+            "steps {} vs rounds {}",
+            pram.steps(),
+            stats.rounds
+        );
+        assert_eq!(pram.work(), stats.work + fc.total_aug_size() as u64);
+    }
+
+    #[test]
+    fn single_node_and_tiny_trees() {
+        let tree = CatalogTree::from_parents(vec![None], vec![vec![5i64, 9]]);
+        let (fc, stats) = build_pipelined(tree, 4, None);
+        assert_eq!(fc.keys(crate::tree::NodeId(0)), &[5, 9, i64::SUPREMUM]);
+        assert!(stats.rounds >= 1);
+
+        let mut rng = SmallRng::seed_from_u64(913);
+        let tree = gen::balanced_binary(1, 10, SizeDist::Uniform, &mut rng);
+        let direct = CascadedTree::build(tree.clone(), 4);
+        let (piped, _) = build_pipelined(tree, 4, None);
+        for id in direct.tree().ids() {
+            assert_eq!(direct.keys(id), piped.keys(id));
+        }
+    }
+
+    #[test]
+    fn giant_single_catalog_streams_geometrically() {
+        // One leaf holds almost everything: the schedule's depth must be
+        // height + O(log catalog), not height * log.
+        let mut rng = SmallRng::seed_from_u64(917);
+        let tree = gen::balanced_binary(6, 40_000, SizeDist::SingleHeavy(0.95), &mut rng);
+        let (_, stats) = build_pipelined(tree, 4, None);
+        // log2(40000) ~ 15.3, height 6: comfortably under 4*(6+16).
+        assert!(stats.rounds <= 4 * (6 + 16), "rounds {}", stats.rounds);
+    }
+}

@@ -1,0 +1,338 @@
+//! Arena-allocated rooted ordered trees with per-node catalogs.
+//!
+//! The paper's object of study is "a rooted tree `T` with `O(n)` nodes
+//! storing catalogs of total size `n`" (Section 1). [`CatalogTree`] is that
+//! object: nodes live in a flat arena indexed by [`NodeId`], each node keeps
+//! an ordered child list and a sorted catalog. Individual catalogs may be
+//! empty or hold `Θ(n)` entries — the variable-size case is exactly what
+//! makes the paper's preprocessing nontrivial (end of Section 2, "First
+//! Approach").
+
+use crate::key::CatalogKey;
+
+/// Index of a node in a [`CatalogTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as a usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One tree node: parent link, ordered children, sorted catalog.
+#[derive(Debug, Clone)]
+pub struct Node<K> {
+    /// Parent, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Ordered child list (left-to-right).
+    pub children: Vec<NodeId>,
+    /// Sorted catalog of native entries (strictly increasing).
+    pub catalog: Vec<K>,
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+}
+
+/// A rooted ordered tree with catalogs.
+#[derive(Debug, Clone)]
+pub struct CatalogTree<K> {
+    nodes: Vec<Node<K>>,
+    root: NodeId,
+}
+
+impl<K: CatalogKey> CatalogTree<K> {
+    /// Build a tree from parallel arrays: `parents[i]` is the parent of node
+    /// `i` (`None` exactly for the root) and `catalogs[i]` its sorted
+    /// catalog. Children are ordered by node index.
+    ///
+    /// # Panics
+    /// Panics if there is not exactly one root, if a parent index is out of
+    /// range or not older than its child (parents must precede children,
+    /// i.e. the arrays must be in topological order), or if any catalog is
+    /// not strictly increasing.
+    pub fn from_parents(parents: Vec<Option<u32>>, catalogs: Vec<Vec<K>>) -> Self {
+        assert_eq!(parents.len(), catalogs.len());
+        assert!(!parents.is_empty(), "tree must have at least one node");
+        let mut nodes: Vec<Node<K>> = Vec::with_capacity(parents.len());
+        let mut root = None;
+        for (i, (par, catalog)) in parents.into_iter().zip(catalogs).enumerate() {
+            assert!(
+                catalog.windows(2).all(|w| w[0] < w[1]),
+                "catalog of node {i} must be strictly increasing"
+            );
+            debug_assert!(
+                catalog.last().is_none_or(|&k| k < K::SUPREMUM),
+                "catalog of node {i} must not contain the SUPREMUM sentinel"
+            );
+            let depth = match par {
+                None => {
+                    assert!(root.is_none(), "more than one root");
+                    root = Some(NodeId(i as u32));
+                    0
+                }
+                Some(p) => {
+                    assert!((p as usize) < i, "parent {p} must precede child {i}");
+                    nodes[p as usize].children.push(NodeId(i as u32));
+                    nodes[p as usize].depth + 1
+                }
+            };
+            nodes.push(Node {
+                parent: par.map(NodeId),
+                children: Vec::new(),
+                catalog,
+                depth,
+            });
+        }
+        CatalogTree {
+            nodes,
+            root: root.expect("tree must have a root"),
+        }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never true: construction requires one).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<K> {
+        &self.nodes[id.idx()]
+    }
+
+    /// The sorted catalog of `id`.
+    #[inline]
+    pub fn catalog(&self, id: NodeId) -> &[K] {
+        &self.nodes[id.idx()].catalog
+    }
+
+    /// Ordered children of `id`.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.idx()].children
+    }
+
+    /// Parent of `id`, `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// Depth of `id` (root = 0).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id.idx()].depth
+    }
+
+    /// Whether `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.idx()].children.is_empty()
+    }
+
+    /// Iterator over all node ids in arena (topological) order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All leaves, in arena order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.ids().filter(|&id| self.is_leaf(id)).collect()
+    }
+
+    /// Total number of catalog entries over all nodes (the paper's `n`).
+    pub fn total_catalog_size(&self) -> usize {
+        self.nodes.iter().map(|nd| nd.catalog.len()).sum()
+    }
+
+    /// Maximum node degree (number of children).
+    pub fn max_degree(&self) -> usize {
+        self.nodes.iter().map(|nd| nd.children.len()).max().unwrap_or(0)
+    }
+
+    /// Height of the tree (longest root-to-leaf edge count).
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|nd| nd.depth).max().unwrap_or(0)
+    }
+
+    /// The path from the root to `leaf`, inclusive, as node ids.
+    ///
+    /// # Panics
+    /// Panics (debug) if `leaf` is not in the arena.
+    pub fn path_from_root(&self, leaf: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.depth(leaf) as usize + 1);
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            path.push(id);
+            cur = self.parent(id);
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.root);
+        path
+    }
+
+    /// Which child slot of `parent` leads to `child`.
+    ///
+    /// # Panics
+    /// Panics if `child` is not a child of `parent`.
+    pub fn child_slot(&self, parent: NodeId, child: NodeId) -> usize {
+        self.children(parent)
+            .iter()
+            .position(|&c| c == child)
+            .expect("child_slot: not a child of parent")
+    }
+
+    /// Nodes grouped by depth: `levels()[d]` lists all nodes at depth `d`.
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); self.height() as usize + 1];
+        for id in self.ids() {
+            levels[self.depth(id) as usize].push(id);
+        }
+        levels
+    }
+
+    /// Mutable access to a node's catalog (used by generators/tests).
+    pub fn catalog_mut(&mut self, id: NodeId) -> &mut Vec<K> {
+        &mut self.nodes[id.idx()].catalog
+    }
+
+    /// Recompute every node's depth with the Euler tour technique
+    /// (`fc-pram::listrank`): `O(log n)` EREW rounds — the parallel tree
+    /// preprocessing step the paper's `O(log n)`-time bound presumes.
+    /// Returns the depths (equal to the stored [`Node::depth`] values,
+    /// asserted in tests) and charges the cost to `pram`.
+    pub fn depths_parallel(&self, pram: &mut fc_pram::cost::Pram) -> Vec<u32> {
+        let parent: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| nd.parent.map_or(i, |p| p.idx()))
+            .collect();
+        let children: Vec<Vec<usize>> = self
+            .nodes
+            .iter()
+            .map(|nd| nd.children.iter().map(|c| c.idx()).collect())
+            .collect();
+        fc_pram::listrank::euler_tour_depths(&parent, &children, pram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed tree:
+    /// ```text
+    ///        0 [10,20]
+    ///       / \
+    ///  [5] 1   2 [15,25,35]
+    ///     / \
+    ///    3   4 []
+    ///  [1,2]
+    /// ```
+    fn sample() -> CatalogTree<i64> {
+        CatalogTree::from_parents(
+            vec![None, Some(0), Some(0), Some(1), Some(1)],
+            vec![
+                vec![10, 20],
+                vec![5],
+                vec![15, 25, 35],
+                vec![1, 2],
+                vec![],
+            ],
+        )
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.depth(NodeId(4)), 2);
+        assert!(t.is_leaf(NodeId(2)));
+        assert!(!t.is_leaf(NodeId(1)));
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.total_catalog_size(), 8);
+        assert_eq!(t.leaves(), vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn path_from_root_walks_up() {
+        let t = sample();
+        assert_eq!(
+            t.path_from_root(NodeId(3)),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+        assert_eq!(t.path_from_root(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn child_slots() {
+        let t = sample();
+        assert_eq!(t.child_slot(NodeId(0), NodeId(1)), 0);
+        assert_eq!(t.child_slot(NodeId(0), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn levels_group_by_depth() {
+        let t = sample();
+        let lv = t.levels();
+        assert_eq!(lv.len(), 3);
+        assert_eq!(lv[0], vec![NodeId(0)]);
+        assert_eq!(lv[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(lv[2], vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn empty_catalogs_are_allowed() {
+        let t = sample();
+        assert!(t.catalog(NodeId(4)).is_empty());
+    }
+
+    #[test]
+    fn parallel_depths_match_stored_depths() {
+        let t = sample();
+        let mut pram = fc_pram::Pram::new(16, fc_pram::Model::Erew);
+        let depths = t.depths_parallel(&mut pram);
+        for id in t.ids() {
+            assert_eq!(depths[id.idx()], t.depth(id));
+        }
+        assert!(pram.rounds() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_catalog_rejected() {
+        let _ = CatalogTree::from_parents(vec![None], vec![vec![3i64, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one root")]
+    fn two_roots_rejected() {
+        let _ = CatalogTree::from_parents(vec![None, None], vec![vec![], Vec::<i64>::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn parent_after_child_rejected() {
+        let _ = CatalogTree::from_parents(vec![Some(1), None], vec![vec![], Vec::<i64>::new()]);
+    }
+}

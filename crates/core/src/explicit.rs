@@ -1,0 +1,354 @@
+//! Explicit cooperative search (Section 2.2).
+//!
+//! Given a root-to-leaf path known in advance, `p` processors locate `y` in
+//! every catalog along the path in `O((log n)/log p)` CREW steps:
+//!
+//! 1. a cooperative `p`-ary binary search locates `y` in the root's
+//!    augmented catalog;
+//! 2. each *hop* advances `h_i = Θ(log p)` levels in `O(1)` steps — Step 2
+//!    moves right to the nearest sampled entry (choosing the skeleton tree
+//!    `U_j`), Step 3 assigns one processor to each candidate position in
+//!    the window `[k - q - r, k + q]` around every path node's skeleton
+//!    key (Lemma 3 guarantees the window contains `find(y, v)`);
+//! 3. the truncated tail (at most `(log n)/log p` levels) is searched
+//!    sequentially through the bridges (Step 5).
+//!
+//! The implementation computes each window's answer by binary search but
+//! **charges the PRAM cost of the window scan** the paper prescribes, and
+//! verifies that the true answer indeed falls inside the window — a
+//! per-query validation of Lemma 3. A violation (possible only when the
+//! structure was built with an understated fan-out constant `b`) is counted
+//! in [`SearchStats::fallbacks`] and repaired with a full binary search, so
+//! results are always exact.
+
+use crate::skeleton::NO_CHILD;
+use crate::structure::CoopStructure;
+use fc_catalog::cascade::Find;
+use fc_catalog::search::search_path_fc;
+use fc_catalog::{CatalogKey, NodeId};
+use fc_pram::cost::Pram;
+use fc_pram::primitives::coop_lower_bound;
+
+/// Counters describing how a cooperative search executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Constant-time hops performed (Steps 2–4 iterations).
+    pub hops: usize,
+    /// Window-coverage violations repaired by binary search (0 whenever the
+    /// structure uses the guaranteed fan-out bound — Lemma 3).
+    pub fallbacks: usize,
+    /// Total candidate positions examined across all hop windows.
+    pub window_ops: u64,
+    /// Path nodes searched sequentially in the truncated tail (Step 5).
+    pub tail_nodes: usize,
+    /// Hop height of the substructure used (`None` = fully sequential).
+    pub used_h: Option<u32>,
+}
+
+/// Result of an explicit cooperative search.
+#[derive(Debug, Clone)]
+pub struct ExplicitSearchResult {
+    /// `finds[i]` is `find(y, path[i])`, exactly as the sequential search
+    /// would report.
+    pub finds: Vec<Find>,
+    /// `augs[i]` is the located position in `path[i]`'s *augmented*
+    /// catalog — one bridge step away from any child's answer, which is
+    /// how the retrieval structures (Theorem 6) reach the canonical nodes
+    /// hanging off the search path in `O(1)`.
+    pub augs: Vec<usize>,
+    /// Execution counters.
+    pub stats: SearchStats,
+}
+
+/// Run an explicit cooperative search for `y` along `path` (a downward path
+/// starting at the root) with the processor count carried by `pram`.
+///
+/// # Panics
+/// Panics if `path` is empty, does not start at the root, or is not a
+/// connected downward path.
+pub fn coop_search_explicit<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+) -> ExplicitSearchResult {
+    assert!(!path.is_empty(), "path must be nonempty");
+    assert_eq!(path[0], st.tree().root(), "path must start at the root");
+
+    let p = pram.processors();
+    let Some(sub) = st.select(p) else {
+        // No hop height pays off at this p: sequential fractional cascading
+        // (the p = 1 baseline) is the right algorithm.
+        let fc = st.cascade();
+        let out = search_path_fc(fc, path, y, Some(pram));
+        // Recover the augmented positions with a free second walk (the
+        // sequential search already paid for it).
+        let mut augs = Vec::with_capacity(path.len());
+        let mut aug = fc.find_aug(path[0], y);
+        augs.push(aug);
+        for w in path.windows(2) {
+            let slot = st.tree().child_slot(w[0], w[1]);
+            aug = fc.descend(w[0], slot, aug, y).0;
+            augs.push(aug);
+        }
+        return ExplicitSearchResult {
+            finds: out.results,
+            augs,
+            stats: SearchStats {
+                tail_nodes: path.len().saturating_sub(1),
+                used_h: None,
+                ..SearchStats::default()
+            },
+        };
+    };
+
+    let fc = st.cascade();
+    let tree = st.tree();
+    let mut stats = SearchStats {
+        used_h: Some(sub.sp.h),
+        ..SearchStats::default()
+    };
+
+    // Step 1: cooperative p-ary search in the root's augmented catalog.
+    let mut aug = coop_lower_bound(fc.keys(path[0]), &y, pram);
+    let mut finds = Vec::with_capacity(path.len());
+    let mut augs = Vec::with_capacity(path.len());
+    finds.push(fc.native_result(path[0], aug));
+    augs.push(aug);
+    let mut pos = 0usize;
+
+    // Steps 2-4: hop unit by unit while the current node roots a unit.
+    while pos + 1 < path.len() {
+        let v = path[pos];
+        let Some(unit) = sub.unit_at(v) else { break };
+
+        // Step 2: move right to the nearest sampled entry, selecting U_j.
+        // The paper assigns s_i processors to find it; arithmetic gives the
+        // same answer, charged identically.
+        let t = fc.keys(v).len();
+        let j = (aug / sub.sp.s).min(unit.m as usize - 1);
+        pram.round(sub.sp.s.min(t));
+
+        // Step 3: one window per path node inside the unit, all scanned in
+        // a single synchronous round.
+        let mut z = 0usize;
+        let mut ops = 0usize;
+        let start_pos = pos;
+        while pos + 1 < path.len() {
+            let w = path[pos + 1];
+            let slot = tree.child_slot(path[pos], w);
+            let cpos = unit.children_pos[z][slot];
+            if cpos == NO_CHILD {
+                break;
+            }
+            let l = unit.level_of[cpos as usize] as u32;
+            let k = unit.key(j, cpos as usize) as usize;
+            let (q, r) = st.params().window(&sub.sp, l);
+            let len = fc.keys(w).len();
+            let lo = k.saturating_sub(q + r);
+            let hi = (k + q).min(len - 1);
+            ops += hi - lo + 1;
+            let g = fc.find_aug(w, y);
+            if g < lo || g > hi {
+                // Lemma 3 violation (only possible with an understated b):
+                // repair with a full binary search.
+                stats.fallbacks += 1;
+                pram.seq((usize::BITS - len.leading_zeros()) as usize);
+            }
+            finds.push(fc.native_result(w, g));
+            augs.push(g);
+            aug = g;
+            z = cpos as usize;
+            pos += 1;
+        }
+        stats.window_ops += ops as u64;
+        pram.round(ops);
+        pram.seq(1); // hop bookkeeping
+        stats.hops += 1;
+        if pos == start_pos {
+            break; // unit had no room below (clipped) — go sequential
+        }
+    }
+
+    // Step 5: sequential tail through the bridges.
+    while pos + 1 < path.len() {
+        let v = path[pos];
+        let w = path[pos + 1];
+        let slot = tree.child_slot(v, w);
+        let (next, walked) = fc.descend(v, slot, aug, y);
+        pram.seq(1 + walked);
+        aug = next;
+        finds.push(fc.native_result(w, aug));
+        augs.push(aug);
+        pos += 1;
+        stats.tail_nodes += 1;
+    }
+
+    ExplicitSearchResult { finds, augs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamMode;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_catalog::search::search_path_naive;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(height: u32, total: usize, mode: ParamMode, seed: u64) -> CoopStructure<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+        CoopStructure::preprocess(tree, mode)
+    }
+
+    fn check_against_naive(st: &CoopStructure<i64>, p: usize, queries: usize, seed: u64) -> SearchStats {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = st.tree();
+        let total = tree.total_catalog_size();
+        let mut last = SearchStats::default();
+        for _ in 0..queries {
+            let leaf = gen::random_leaf(tree, &mut rng);
+            let path = tree.path_from_root(leaf);
+            let y = rng.gen_range(-10..(total as i64 * 16) + 10);
+            let naive = search_path_naive(tree, &path, y, None);
+            let mut pram = Pram::new(p, Model::Crew);
+            let coop = coop_search_explicit(st, &path, y, &mut pram);
+            assert_eq!(coop.finds, naive.results, "p={p} y={y}");
+            last = coop.stats;
+        }
+        last
+    }
+
+    #[test]
+    fn matches_naive_across_processor_counts_auto() {
+        let st = build(9, 20_000, ParamMode::Auto, 301);
+        for p in [1usize, 2, 8, 64, 512, 4096, 1 << 15, 1 << 20] {
+            check_against_naive(&st, p, 25, 400 + p as u64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_processor_counts_theory() {
+        let st = build(9, 20_000, ParamMode::Theory, 303);
+        for p in [1usize, 3, 16, 256, 1 << 12, 1 << 20] {
+            check_against_naive(&st, p, 25, 500 + p as u64);
+        }
+    }
+
+    #[test]
+    fn lemma3_no_fallbacks_with_guaranteed_b() {
+        for mode in [ParamMode::Theory, ParamMode::Auto] {
+            let st = build(10, 50_000, mode, 307);
+            let mut rng = SmallRng::seed_from_u64(311);
+            let tree = st.tree();
+            for p in [64usize, 4096, 1 << 16] {
+                for _ in 0..50 {
+                    let leaf = gen::random_leaf(tree, &mut rng);
+                    let path = tree.path_from_root(leaf);
+                    let y = rng.gen_range(0..(50_000i64 * 16));
+                    let mut pram = Pram::new(p, Model::Crew);
+                    let out = coop_search_explicit(&st, &path, y, &mut pram);
+                    assert_eq!(out.stats.fallbacks, 0, "mode {mode:?} p {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_replace_tail_as_p_grows() {
+        let st = build(12, 1 << 16, ParamMode::Auto, 313);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(317);
+        let leaf = gen::random_leaf(tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        let y = 12345;
+        let mut prev_tail = usize::MAX;
+        for p in [1usize << 10, 1 << 14, 1 << 18] {
+            let mut pram = Pram::new(p, Model::Crew);
+            let out = coop_search_explicit(&st, &path, y, &mut pram);
+            if let Some(h) = out.stats.used_h {
+                assert!(h >= 1);
+                assert!(out.stats.hops >= 1);
+            }
+            assert!(out.stats.tail_nodes <= prev_tail);
+            prev_tail = prev_tail.min(out.stats.tail_nodes);
+        }
+    }
+
+    #[test]
+    fn steps_decrease_with_more_processors() {
+        let st = build(12, 1 << 16, ParamMode::Auto, 331);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(337);
+        let mut total_steps = Vec::new();
+        for p in [1usize, 1 << 16, 1 << 30] {
+            let mut steps = 0u64;
+            let mut rng2 = SmallRng::seed_from_u64(rng.gen());
+            for _ in 0..30 {
+                let leaf = gen::random_leaf(tree, &mut rng2);
+                let path = tree.path_from_root(leaf);
+                let y = rng2.gen_range(0..(1i64 << 24));
+                let mut pram = Pram::new(p, Model::Crew);
+                coop_search_explicit(&st, &path, y, &mut pram);
+                steps += pram.steps();
+            }
+            total_steps.push(steps);
+        }
+        assert!(
+            total_steps[2] < total_steps[0],
+            "p = 2^30 should beat p = 1: {total_steps:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_catalogs_are_searched_correctly() {
+        let mut rng = SmallRng::seed_from_u64(341);
+        let tree = gen::balanced_binary(9, 30_000, SizeDist::SingleHeavy(0.7), &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        check_against_naive(&st, 1 << 14, 40, 347);
+    }
+
+    #[test]
+    fn partial_paths_are_supported() {
+        let st = build(8, 5000, ParamMode::Auto, 349);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(353);
+        let leaf = gen::random_leaf(tree, &mut rng);
+        let full = tree.path_from_root(leaf);
+        for cut in 1..=full.len() {
+            let path = &full[..cut];
+            let y = 777;
+            let naive = search_path_naive(tree, path, y, None);
+            let mut pram = Pram::new(1 << 12, Model::Crew);
+            let coop = coop_search_explicit(&st, path, y, &mut pram);
+            assert_eq!(coop.finds, naive.results, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn boundary_queries() {
+        let st = build(8, 5000, ParamMode::Auto, 359);
+        let tree = st.tree();
+        let leaf = tree.leaves()[0];
+        let path = tree.path_from_root(leaf);
+        for y in [i64::MIN, -1, 0, i64::MAX - 1] {
+            let naive = search_path_naive(tree, &path, y, None);
+            let mut pram = Pram::new(1 << 12, Model::Crew);
+            let coop = coop_search_explicit(&st, &path, y, &mut pram);
+            assert_eq!(coop.finds, naive.results, "y {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start at the root")]
+    fn path_must_start_at_root() {
+        let st = build(6, 1000, ParamMode::Auto, 361);
+        let tree = st.tree();
+        let leaf = tree.leaves()[0];
+        let path = tree.path_from_root(leaf);
+        let mut pram = Pram::new(64, Model::Crew);
+        let _ = coop_search_explicit(&st, &path[1..], 5, &mut pram);
+    }
+}

@@ -1,0 +1,519 @@
+//! General trees: long explicit paths (Theorem 2) and degree-`d` trees
+//! (Theorem 3), Section 2.4.
+//!
+//! **Theorem 2.** For a bounded-degree tree and an explicit search path of
+//! length `k`, partition the path into subpaths of length `log n`, give
+//! each subpath `p^ε` processors, and run groups of `p^(1-ε)` subpaths
+//! concurrently; a subpath needs no information from its predecessor
+//! because its head entry is found by direct cooperative binary search.
+//! Total time `O((log n)/log p + k/(p^(1-ε) log p))`.
+//!
+//! **Theorem 3.** Degree-`d` nodes are expanded into `log d` binary levels
+//! ([`binarize`]); search time gains a `log d` factor.
+
+use crate::explicit::SearchStats;
+use crate::skeleton::NO_CHILD;
+use crate::structure::CoopStructure;
+use fc_catalog::cascade::Find;
+use fc_catalog::{CatalogKey, CatalogTree, NodeId};
+use fc_pram::cost::Pram;
+use fc_pram::primitives::coop_lower_bound;
+
+/// Result of a long-path cooperative search.
+#[derive(Debug, Clone)]
+pub struct LongPathResult {
+    /// `finds[i] = find(y, path[i])`.
+    pub finds: Vec<Find>,
+    /// Subpath length used (`L ~ log n`).
+    pub subpath_len: usize,
+    /// Concurrent subpaths per group (`~ p^(1-ε)`).
+    pub group_size: usize,
+    /// Processors per subpath (`~ p^ε`).
+    pub p_per_subpath: usize,
+    /// Number of sequential group phases.
+    pub groups: usize,
+}
+
+/// Theorem 2 search: locate `y` along an arbitrary downward `path` (which
+/// need not start at the root) of a bounded-degree tree, with `p` processors
+/// split as `p^(1-ε)` concurrent subpaths × `p^ε` processors each.
+///
+/// `pram` carries the total processor count `p`; `eps` is the paper's `ε`
+/// (any constant in `(0, 1]`).
+pub fn coop_search_long_path<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    eps: f64,
+    pram: &mut Pram,
+) -> LongPathResult {
+    assert!(!path.is_empty());
+    assert!(eps > 0.0 && eps <= 1.0, "epsilon must be in (0, 1]");
+    let p = pram.processors();
+    let n = st.tree().total_catalog_size().max(2);
+    let subpath_len = ((usize::BITS - n.leading_zeros()) as usize).max(1);
+    let p_per_subpath = ((p as f64).powf(eps).floor() as usize).max(1);
+    let group_size = (p / p_per_subpath).max(1);
+
+    // Cut the path into subpaths of length subpath_len.
+    let subpaths: Vec<&[NodeId]> = path.chunks(subpath_len).collect();
+    let groups = subpaths.len().div_ceil(group_size);
+
+    let mut finds = Vec::with_capacity(path.len());
+    for group in subpaths.chunks(group_size) {
+        // All subpaths of a group run concurrently: fork one counter per
+        // subpath at p^eps processors, join with max.
+        let mut branch_prams = Vec::with_capacity(group.len());
+        for sub in group {
+            let mut bp = pram.with_processors(p_per_subpath);
+            let sub_finds = search_subpath(st, sub, y, &mut bp);
+            finds.extend(sub_finds);
+            branch_prams.push(bp);
+        }
+        pram.join_max(branch_prams);
+    }
+
+    LongPathResult {
+        finds,
+        subpath_len,
+        group_size,
+        p_per_subpath,
+        groups,
+    }
+}
+
+/// Search one subpath: cooperative binary search at its head, then hop
+/// through units (descending sequentially to the next unit-root boundary
+/// first), sequential below the truncation.
+fn search_subpath<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+) -> Vec<Find> {
+    let fc = st.cascade();
+    let tree = st.tree();
+    let mut finds = Vec::with_capacity(path.len());
+
+    // Head: direct cooperative binary search in the head's augmented
+    // catalog (no information needed from the previous subpath).
+    let mut aug = coop_lower_bound(fc.keys(path[0]), &y, pram);
+    finds.push(fc.native_result(path[0], aug));
+    let mut pos = 0usize;
+
+    let sub = st.select(pram.processors());
+
+    // Align to the next unit-root boundary sequentially (at most h-1
+    // levels), then hop while units are available.
+    if let Some(sub) = sub {
+        loop {
+            // Sequential alignment steps.
+            while pos + 1 < path.len() && sub.unit_at(path[pos]).is_none() {
+                let (next, walked) =
+                    fc.descend(path[pos], tree.child_slot(path[pos], path[pos + 1]), aug, y);
+                pram.seq(1 + walked);
+                aug = next;
+                pos += 1;
+                finds.push(fc.native_result(path[pos], aug));
+                if tree.depth(path[pos]).is_multiple_of(sub.sp.h) {
+                    break;
+                }
+            }
+            let Some(unit) = sub.unit_at(path[pos]) else { break };
+            if pos + 1 >= path.len() {
+                break;
+            }
+            // One hop (Step 2 + Step 3, as in the explicit search).
+            let t = fc.keys(path[pos]).len();
+            let j = (aug / sub.sp.s).min(unit.m as usize - 1);
+            pram.round(sub.sp.s.min(t));
+            let mut z = 0usize;
+            let mut ops = 0usize;
+            let start = pos;
+            while pos + 1 < path.len() {
+                let w = path[pos + 1];
+                let slot = tree.child_slot(path[pos], w);
+                let cpos = unit.children_pos[z][slot];
+                if cpos == NO_CHILD {
+                    break;
+                }
+                let l = unit.level_of[cpos as usize] as u32;
+                let k = unit.key(j, cpos as usize) as usize;
+                let (q, r) = st.params().window(&sub.sp, l);
+                let len = fc.keys(w).len();
+                let lo = k.saturating_sub(q + r);
+                let hi = (k + q).min(len - 1);
+                ops += hi - lo + 1;
+                let g = fc.find_aug(w, y);
+                if g < lo || g > hi {
+                    pram.seq((usize::BITS - len.leading_zeros()) as usize);
+                }
+                finds.push(fc.native_result(w, g));
+                aug = g;
+                z = cpos as usize;
+                pos += 1;
+            }
+            pram.round(ops);
+            pram.seq(1);
+            if pos == start {
+                break;
+            }
+        }
+    }
+
+    // Sequential remainder.
+    while pos + 1 < path.len() {
+        let (next, walked) =
+            fc.descend(path[pos], tree.child_slot(path[pos], path[pos + 1]), aug, y);
+        pram.seq(1 + walked);
+        aug = next;
+        pos += 1;
+        finds.push(fc.native_result(path[pos], aug));
+    }
+    finds
+}
+
+/// Result of a subtree search (open problem 3 baseline).
+#[derive(Debug, Clone)]
+pub struct SubtreeSearchResult {
+    /// Nodes of the searched subtree in BFS order from its root.
+    pub nodes: Vec<NodeId>,
+    /// `finds[i] = find(y, nodes[i])`.
+    pub finds: Vec<Find>,
+}
+
+/// Generalized search paths — the paper's **open problem 3**: locate `y`
+/// in the catalogs of *every* node of the subtree rooted at `root`.
+///
+/// This is the natural baseline the open problem asks to beat: descend
+/// from the root through the bridges (one `O(1)` hop per edge), splitting
+/// the processors between the two children at every branching, so sibling
+/// subtrees are searched concurrently. With `m` subtree nodes this gives
+/// `O(log n + m/p + depth)` steps — work-optimal, but the depth term is
+/// the whole subtree height rather than `(log m)/log p`; closing that gap
+/// cooperatively is exactly what the paper leaves open.
+pub fn coop_search_subtree<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    root: NodeId,
+    y: K,
+    pram: &mut Pram,
+) -> SubtreeSearchResult {
+    let fc = st.cascade();
+    let tree = st.tree();
+
+    // Entry: locate y at the subtree root (cooperative binary search from
+    // scratch — the subtree root may be anywhere).
+    let root_aug = coop_lower_bound(fc.keys(root), &y, pram);
+
+    // BFS with processor splitting: each frontier level is one concurrent
+    // round; a node's children share its processors.
+    let mut nodes = vec![root];
+    let mut finds = vec![fc.native_result(root, root_aug)];
+    let mut frontier: Vec<(NodeId, usize)> = vec![(root, root_aug)];
+    while !frontier.is_empty() {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        let mut level_ops = 0usize;
+        for &(v, aug) in &frontier {
+            for (slot, &c) in tree.children(v).iter().enumerate() {
+                let (ca, walked) = fc.descend(v, slot, aug, y);
+                level_ops += 1 + walked;
+                nodes.push(c);
+                finds.push(fc.native_result(c, ca));
+                next.push((c, ca));
+            }
+        }
+        pram.round(level_ops);
+        frontier = next;
+    }
+    SubtreeSearchResult { nodes, finds }
+}
+
+/// Map of a binarized tree back to its original.
+#[derive(Debug, Clone)]
+pub struct Binarized<K> {
+    /// The binary tree: original nodes keep their catalogs; inserted gadget
+    /// nodes have empty catalogs.
+    pub tree: CatalogTree<K>,
+    /// `old_to_new[i]` = arena index of original node `i` in the new tree.
+    pub old_to_new: Vec<u32>,
+    /// `new_to_old[j]` = original node index, or `u32::MAX` for gadget
+    /// nodes.
+    pub new_to_old: Vec<u32>,
+}
+
+/// Sentinel in [`Binarized::new_to_old`] for inserted gadget nodes.
+pub const GADGET: u32 = u32::MAX;
+
+/// Replace every degree-`d` node by a balanced binary splitter of dummy
+/// nodes (`ceil(log2 d)` extra levels), as Theorem 3 prescribes. Preserves
+/// child order; gadget nodes carry empty catalogs.
+pub fn binarize<K: CatalogKey>(tree: &CatalogTree<K>) -> Binarized<K> {
+    let mut parents: Vec<Option<u32>> = Vec::new();
+    let mut catalogs: Vec<Vec<K>> = Vec::new();
+    let mut old_to_new = vec![0u32; tree.len()];
+    let mut new_to_old: Vec<u32> = Vec::new();
+
+    // Emit the root, then process a queue of (old node, new index).
+    parents.push(None);
+    catalogs.push(tree.catalog(tree.root()).to_vec());
+    new_to_old.push(tree.root().0);
+    old_to_new[tree.root().idx()] = 0;
+
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((tree.root(), 0u32));
+    while let Some((old, new_idx)) = queue.pop_front() {
+        let children = tree.children(old);
+        // Work list of (parent_new, child_range) to split binary.
+        let mut work = vec![(new_idx, 0usize, children.len())];
+        while let Some((pn, lo, hi)) = work.pop() {
+            let cnt = hi - lo;
+            if cnt == 0 {
+                continue;
+            }
+            if cnt <= 2 {
+                for &c in &children[lo..hi] {
+                    let idx = parents.len() as u32;
+                    parents.push(Some(pn));
+                    catalogs.push(tree.catalog(c).to_vec());
+                    new_to_old.push(c.0);
+                    old_to_new[c.idx()] = idx;
+                    queue.push_back((c, idx));
+                }
+            } else {
+                // Two gadget nodes splitting the range in half.
+                let mid = lo + cnt / 2;
+                for (a, b) in [(lo, mid), (mid, hi)] {
+                    if b - a == 1 {
+                        let c = children[a];
+                        let idx = parents.len() as u32;
+                        parents.push(Some(pn));
+                        catalogs.push(tree.catalog(c).to_vec());
+                        new_to_old.push(c.0);
+                        old_to_new[c.idx()] = idx;
+                        queue.push_back((c, idx));
+                    } else {
+                        let idx = parents.len() as u32;
+                        parents.push(Some(pn));
+                        catalogs.push(Vec::new());
+                        new_to_old.push(GADGET);
+                        work.push((idx, a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    Binarized {
+        tree: CatalogTree::from_parents(parents, catalogs),
+        old_to_new,
+        new_to_old,
+    }
+}
+
+/// Convenience: run an explicit cooperative search for `y` toward original
+/// leaf `old_leaf` of the pre-binarization tree, returning finds projected
+/// back onto the original path nodes.
+pub fn coop_search_binarized<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    bin: &Binarized<K>,
+    old_leaf_new_idx: u32,
+    y: K,
+    pram: &mut Pram,
+) -> (Vec<Find>, SearchStats) {
+    let path = st.tree().path_from_root(NodeId(old_leaf_new_idx));
+    let out = crate::explicit::coop_search_explicit(st, &path, y, pram);
+    let finds = path
+        .iter()
+        .zip(&out.finds)
+        .filter(|(id, _)| bin.new_to_old[id.idx()] != GADGET)
+        .map(|(_, f)| *f)
+        .collect();
+    (finds, out.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamMode;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_catalog::search::search_path_naive;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn long_path_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(501);
+        let tree = gen::path(300, 9000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let tree = st.tree();
+        let leaf = tree.leaves()[0];
+        let path = tree.path_from_root(leaf);
+        for p in [1usize, 64, 4096, 1 << 16] {
+            for _ in 0..5 {
+                let y = rng.gen_range(-10..9000 * 16 + 10);
+                let naive = search_path_naive(tree, &path, y, None);
+                let mut pram = Pram::new(p, Model::Crew);
+                let out = coop_search_long_path(&st, &path, y, 0.5, &mut pram);
+                assert_eq!(out.finds, naive.results, "p {p} y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_path_groups_cut_steps() {
+        let mut rng = SmallRng::seed_from_u64(503);
+        let tree = gen::path(1024, 1 << 14, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let tree_ref = st.tree();
+        let leaf = tree_ref.leaves()[0];
+        let path = tree_ref.path_from_root(leaf);
+        let y = 777;
+        let mut steps = Vec::new();
+        for p in [1usize, 256, 1 << 16] {
+            let mut pram = Pram::new(p, Model::Crew);
+            let out = coop_search_long_path(&st, &path, y, 0.5, &mut pram);
+            assert_eq!(out.finds.len(), path.len());
+            steps.push(pram.steps());
+        }
+        assert!(steps[2] < steps[0], "steps {steps:?}");
+        assert!(steps[1] < steps[0], "steps {steps:?}");
+    }
+
+    #[test]
+    fn long_path_epsilon_tradeoff_reported() {
+        let mut rng = SmallRng::seed_from_u64(505);
+        let tree = gen::path(256, 4000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let tree_ref = st.tree();
+        let path = tree_ref.path_from_root(tree_ref.leaves()[0]);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let out = coop_search_long_path(&st, &path, 5, 0.25, &mut pram);
+        // p^0.25 of 4096 = 8 processors per subpath.
+        assert_eq!(out.p_per_subpath, 8);
+        assert_eq!(out.group_size, 4096 / 8);
+        assert_eq!(
+            out.groups,
+            path.chunks(out.subpath_len).count().div_ceil(out.group_size)
+        );
+    }
+
+    #[test]
+    fn subtree_search_matches_naive_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(521);
+        let tree = gen::balanced_binary(8, 10_000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let tree = st.tree();
+        for _ in 0..5 {
+            // A random internal node as subtree root.
+            let root = NodeId(rng.gen_range(0..tree.len() as u32));
+            let y = rng.gen_range(-10..10_000 * 16 + 10);
+            let mut pram = Pram::new(1 << 14, Model::Crew);
+            let out = coop_search_subtree(&st, root, y, &mut pram);
+            assert_eq!(out.nodes.len(), out.finds.len());
+            for (node, find) in out.nodes.iter().zip(&out.finds) {
+                let naive = search_path_naive(tree, &[*node], y, None);
+                assert_eq!(*find, naive.results[0], "node {node:?}");
+            }
+            // Every descendant of root appears exactly once.
+            let expect: usize = tree
+                .ids()
+                .filter(|&id| {
+                    let mut cur = Some(id);
+                    while let Some(v) = cur {
+                        if v == root {
+                            return true;
+                        }
+                        cur = tree.parent(v);
+                    }
+                    false
+                })
+                .count();
+            assert_eq!(out.nodes.len(), expect);
+        }
+    }
+
+    #[test]
+    fn subtree_search_splits_processors() {
+        let mut rng = SmallRng::seed_from_u64(523);
+        let tree = gen::balanced_binary(11, 1 << 15, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let root = st.tree().root();
+        let y = 777;
+        let mut p1 = Pram::new(1, Model::Crew);
+        coop_search_subtree(&st, root, y, &mut p1);
+        let mut pbig = Pram::new(1 << 16, Model::Crew);
+        coop_search_subtree(&st, root, y, &mut pbig);
+        // The m/p term vanishes; only the depth term remains.
+        assert!(
+            pbig.steps() * 8 < p1.steps(),
+            "big-p {} vs p=1 {}",
+            pbig.steps(),
+            p1.steps()
+        );
+    }
+
+    #[test]
+    fn binarize_preserves_catalogs_and_order() {
+        let mut rng = SmallRng::seed_from_u64(507);
+        let tree = gen::dary(5, 3, 4000, &mut rng);
+        let bin = binarize(&tree);
+        assert!(bin.tree.max_degree() <= 2);
+        // Every original node appears with its catalog.
+        for id in tree.ids() {
+            let new = NodeId(bin.old_to_new[id.idx()]);
+            assert_eq!(bin.tree.catalog(new), tree.catalog(id));
+            assert_eq!(bin.new_to_old[new.idx()], id.0);
+        }
+        // Totals match (gadgets are empty).
+        assert_eq!(bin.tree.total_catalog_size(), tree.total_catalog_size());
+        // Left-to-right leaf order is preserved.
+        let old_leaves: Vec<u32> = tree.leaves().iter().map(|l| l.0).collect();
+        let new_leaves: Vec<u32> = bin
+            .tree
+            .leaves()
+            .iter()
+            .map(|l| bin.new_to_old[l.idx()])
+            .collect();
+        let mut new_leaves_nongadget: Vec<u32> =
+            new_leaves.into_iter().filter(|&x| x != GADGET).collect();
+        let mut old_sorted = old_leaves.clone();
+        old_sorted.sort_unstable();
+        new_leaves_nongadget.sort_unstable();
+        assert_eq!(old_sorted, new_leaves_nongadget);
+    }
+
+    #[test]
+    fn binarize_depth_penalty_is_log_d() {
+        let mut rng = SmallRng::seed_from_u64(509);
+        for d in [3usize, 4, 8, 16] {
+            let tree = gen::dary(d, 2, 1000, &mut rng);
+            let bin = binarize(&tree);
+            let lg_d = (usize::BITS - (d - 1).leading_zeros()) as u32;
+            assert!(
+                bin.tree.height() <= tree.height() * (lg_d + 1),
+                "d {d}: new height {} old {} lg_d {lg_d}",
+                bin.tree.height(),
+                tree.height()
+            );
+        }
+    }
+
+    #[test]
+    fn binarized_search_matches_original_naive() {
+        let mut rng = SmallRng::seed_from_u64(511);
+        let tree = gen::dary(6, 3, 8000, &mut rng);
+        let bin = binarize(&tree);
+        let st = CoopStructure::preprocess(bin.tree.clone(), ParamMode::Auto);
+        for _ in 0..10 {
+            let old_leaf = gen::random_leaf(&tree, &mut rng);
+            let old_path = tree.path_from_root(old_leaf);
+            let y = rng.gen_range(-10..8000 * 16 + 10);
+            let naive = search_path_naive(&tree, &old_path, y, None);
+            let mut pram = Pram::new(1 << 14, Model::Crew);
+            let (finds, _) =
+                coop_search_binarized(&st, &bin, bin.old_to_new[old_leaf.idx()], y, &mut pram);
+            assert_eq!(finds, naive.results);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Implicit cooperative search (Section 2.3).
+//!
+//! In the basic implicit search the path is not given: at each node `v` the
+//! branch taken is `branch(q, find(y, v))`, a function of the query and the
+//! located catalog entry. The paper's **consistency assumption** requires
+//! that at nodes off the search path the branch function points *toward*
+//! the path (right if the path lies right of the node, left otherwise), and
+//! that the tree leaf on the path returns left.
+//!
+//! Under that assumption the branch values of a unit's nodes, read in
+//! **inorder**, form the monotone pattern `R…R L…L`, so all `p` processors
+//! can identify the path through a height-`Θ(log p)` unit in `O(1)` CREW
+//! steps: evaluate `find` at *every* unit node via the skeleton windows,
+//! evaluate `branch` everywhere, and locate the unique R→L transition.
+//! The processor count per hop grows to `2^(h_i) · s_i² = O(p)` (the
+//! `2^(h_i)` factor pays for the off-path nodes), exactly the bound at the
+//! end of Section 2.3.
+
+use crate::skeleton::{Unit, NO_CHILD};
+use crate::structure::CoopStructure;
+use fc_catalog::cascade::Find;
+use fc_catalog::{CatalogKey, CatalogTree, NodeId};
+use fc_pram::cost::Pram;
+use fc_pram::primitives::coop_lower_bound;
+
+pub use crate::explicit::SearchStats;
+
+/// A branching decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branch {
+    /// Continue into the left child (child slot 0).
+    Left,
+    /// Continue into the right child (child slot 1).
+    Right,
+}
+
+impl Branch {
+    /// The child slot this branch selects.
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            Branch::Left => 0,
+            Branch::Right => 1,
+        }
+    }
+}
+
+/// The secondary-comparison oracle `branch(q, find(y, v))`.
+///
+/// Implementations capture the query `q`; the search provides the node and
+/// the located entry. The basic implicit search requires the consistency
+/// assumption of Section 2; oracles that violate it (like raw point
+/// location, Section 3) need the specialised hop in `fc-geom`.
+pub trait BranchOracle<K: CatalogKey> {
+    /// Decide the branch at `node` given `find(y, node)`.
+    fn branch(&self, node: NodeId, find: Find) -> Branch;
+}
+
+/// A branch oracle built from a known target leaf — the canonical
+/// consistency-assumption oracle used for testing and benchmarks: at
+/// ancestors of the target it branches toward the target; at any other node
+/// it points toward the target's side; at the target leaf it returns left.
+#[derive(Debug, Clone)]
+pub struct ConsistentLeafOracle {
+    /// Per node: smallest and largest leaf rank underneath.
+    leaf_range: Vec<(u32, u32)>,
+    /// The target leaf's rank.
+    target_rank: u32,
+}
+
+impl ConsistentLeafOracle {
+    /// Build the oracle for `target` (must be a leaf of `tree`).
+    pub fn new<K: CatalogKey>(tree: &CatalogTree<K>, target: NodeId) -> Self {
+        assert!(tree.is_leaf(target), "target must be a leaf");
+        let mut leaf_range = vec![(u32::MAX, 0u32); tree.len()];
+        let mut rank = 0u32;
+        let mut target_rank = 0;
+        // Assign leaf ranks in left-to-right order, then propagate ranges
+        // upward (children have larger arena indices, so a reverse sweep
+        // sees children first).
+        for id in tree.ids() {
+            if tree.is_leaf(id) {
+                leaf_range[id.idx()] = (rank, rank);
+                if id == target {
+                    target_rank = rank;
+                }
+                rank += 1;
+            }
+        }
+        for idx in (0..tree.len()).rev() {
+            let id = NodeId(idx as u32);
+            for &c in tree.children(id) {
+                let (clo, chi) = leaf_range[c.idx()];
+                let e = &mut leaf_range[idx];
+                e.0 = e.0.min(clo);
+                e.1 = e.1.max(chi);
+            }
+        }
+        ConsistentLeafOracle {
+            leaf_range,
+            target_rank,
+        }
+    }
+}
+
+impl ConsistentLeafOracle {
+    /// Exact branch for ancestors, needing the tree to inspect children.
+    fn branch_exact<K: CatalogKey>(&self, tree: &CatalogTree<K>, node: NodeId) -> Branch {
+        let (lo, hi) = self.leaf_range[node.idx()];
+        if hi < self.target_rank {
+            return Branch::Right;
+        }
+        if lo > self.target_rank {
+            return Branch::Left;
+        }
+        if lo == hi {
+            return Branch::Left;
+        }
+        let children = tree.children(node);
+        let (llo, lhi) = self.leaf_range[children[0].idx()];
+        debug_assert!(llo <= lhi);
+        if self.target_rank <= lhi {
+            Branch::Left
+        } else {
+            Branch::Right
+        }
+    }
+}
+
+/// A wrapper that lets [`ConsistentLeafOracle`] answer exactly by carrying
+/// a tree reference (the `BranchOracle` trait is object-safe and
+/// tree-agnostic; this adapter is what the searches actually consume).
+pub struct LeafOracleAdapter<'a, K: CatalogKey> {
+    tree: &'a CatalogTree<K>,
+    oracle: &'a ConsistentLeafOracle,
+}
+
+impl<'a, K: CatalogKey> LeafOracleAdapter<'a, K> {
+    /// Pair an oracle with its tree.
+    pub fn new(tree: &'a CatalogTree<K>, oracle: &'a ConsistentLeafOracle) -> Self {
+        LeafOracleAdapter { tree, oracle }
+    }
+}
+
+impl<'a, K: CatalogKey> BranchOracle<K> for LeafOracleAdapter<'a, K> {
+    fn branch(&self, node: NodeId, _find: Find) -> Branch {
+        self.oracle.branch_exact(self.tree, node)
+    }
+}
+
+/// Result of an implicit search: the discovered path and the located
+/// entries along it.
+#[derive(Debug, Clone)]
+pub struct ImplicitSearchResult {
+    /// The search path, root to leaf.
+    pub path: Vec<NodeId>,
+    /// `finds[i] = find(y, path[i])`.
+    pub finds: Vec<Find>,
+    /// Execution counters.
+    pub stats: SearchStats,
+}
+
+/// Sequential implicit search through the cascaded structure: the `p = 1`
+/// baseline (`O(log n)` including the branch evaluations).
+pub fn implicit_search_seq<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    oracle: &impl BranchOracle<K>,
+    y: K,
+    mut pram: Option<&mut Pram>,
+) -> ImplicitSearchResult {
+    let fc = st.cascade();
+    let tree = st.tree();
+    let mut node = tree.root();
+    let mut aug = fc.find_aug(node, y);
+    if let Some(pram) = pram.as_deref_mut() {
+        let len = fc.keys(node).len();
+        pram.seq((usize::BITS - len.leading_zeros()) as usize);
+    }
+    let mut path = vec![node];
+    let mut finds = vec![fc.native_result(node, aug)];
+    while !tree.is_leaf(node) {
+        let b = oracle.branch(node, *finds.last().unwrap());
+        let slot = b.slot().min(tree.children(node).len() - 1);
+        let (next, walked) = fc.descend(node, slot, aug, y);
+        if let Some(pram) = pram.as_deref_mut() {
+            pram.seq(2 + walked); // branch eval + move + walk
+        }
+        node = tree.children(node)[slot];
+        aug = next;
+        path.push(node);
+        finds.push(fc.native_result(node, aug));
+    }
+    ImplicitSearchResult {
+        path,
+        finds,
+        stats: SearchStats::default(),
+    }
+}
+
+/// Cooperative implicit search (Section 2.3): hops through units, locating
+/// `y` at **all** unit nodes via the skeleton windows and identifying the
+/// path from the R→L transition of the branch values in unit inorder.
+pub fn coop_search_implicit<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    oracle: &impl BranchOracle<K>,
+    y: K,
+    pram: &mut Pram,
+) -> ImplicitSearchResult {
+    let p = pram.processors();
+    let Some(sub) = st.select(p) else {
+        return implicit_search_seq(st, oracle, y, Some(pram));
+    };
+    let fc = st.cascade();
+    let tree = st.tree();
+    let mut stats = SearchStats {
+        used_h: Some(sub.sp.h),
+        ..SearchStats::default()
+    };
+
+    let root = tree.root();
+    let mut aug = coop_lower_bound(fc.keys(root), &y, pram);
+    let mut node = root;
+    let mut path = vec![root];
+    let mut finds = vec![fc.native_result(root, aug)];
+
+    // Hops.
+    while !tree.is_leaf(node) {
+        let Some(unit) = sub.unit_at(node) else { break };
+        if unit.nodes.len() == 1 {
+            break; // clipped to a single node: nothing to hop over
+        }
+        stats.hops += 1;
+
+        // Step 2: skeleton tree selection.
+        let t = fc.keys(node).len();
+        let j = (aug / sub.sp.s).min(unit.m as usize - 1);
+        pram.round(sub.sp.s.min(t));
+
+        // Locate y at every unit node via its window (one round).
+        let zn = unit.nodes.len();
+        #[allow(clippy::needless_range_loop)] // one virtual processor per unit node
+        let mut g = vec![0usize; zn];
+        g[0] = aug;
+        let mut ops = 0usize;
+        for z in 1..zn {
+            let w = unit.nodes[z];
+            let l = unit.level_of[z] as u32;
+            let k = unit.key(j, z) as usize;
+            let (q, r) = st.params().window(&sub.sp, l);
+            let len = fc.keys(w).len();
+            let lo = k.saturating_sub(q + r);
+            let hi = (k + q).min(len - 1);
+            ops += hi - lo + 1;
+            let gz = fc.find_aug(w, y);
+            if gz < lo || gz > hi {
+                stats.fallbacks += 1;
+                pram.seq((usize::BITS - len.leading_zeros()) as usize);
+            }
+            g[z] = gz;
+        }
+        stats.window_ops += ops as u64;
+        pram.round(ops);
+
+        // Evaluate branch everywhere (one round) and find the R→L
+        // transition in inorder (one CREW round: each processor checks one
+        // adjacent pair).
+        let branches: Vec<Branch> = (0..zn)
+            .map(|z| oracle.branch(unit.nodes[z], fc.native_result(unit.nodes[z], g[z])))
+            .collect();
+        pram.round(zn);
+        pram.round(zn);
+        debug_assert!(
+            inorder_is_monotone(unit, &branches),
+            "consistency assumption violated inside a unit"
+        );
+
+        // Follow the branches from the unit root to its bottom (the PRAM
+        // identifies the same node in O(1) from the transition; we verify
+        // agreement in debug builds).
+        let mut z = 0usize;
+        loop {
+            let b = branches[z];
+            let cpos = unit.children_pos[z][b.slot()];
+            if cpos == NO_CHILD {
+                break;
+            }
+            z = cpos as usize;
+            node = unit.nodes[z];
+            aug = g[z];
+            path.push(node);
+            finds.push(fc.native_result(node, aug));
+        }
+        debug_assert_eq!(
+            Some(z),
+            transition_bottom(unit, &branches),
+            "branch walk and R→L transition disagree"
+        );
+        pram.seq(1);
+        if z == 0 {
+            break;
+        }
+    }
+
+    // Sequential tail.
+    while !tree.is_leaf(node) {
+        let b = oracle.branch(node, *finds.last().unwrap());
+        let slot = b.slot().min(tree.children(node).len() - 1);
+        let (next, walked) = fc.descend(node, slot, aug, y);
+        pram.seq(2 + walked);
+        node = tree.children(node)[slot];
+        aug = next;
+        path.push(node);
+        finds.push(fc.native_result(node, aug));
+        stats.tail_nodes += 1;
+    }
+
+    ImplicitSearchResult { path, finds, stats }
+}
+
+/// Check the consistency pattern: branch values in unit inorder must be
+/// `R…R L…L`.
+fn inorder_is_monotone(unit: &Unit, branches: &[Branch]) -> bool {
+    let mut seen_left = false;
+    for &z in &unit.inorder {
+        match branches[z as usize] {
+            Branch::Left => seen_left = true,
+            Branch::Right => {
+                if seen_left {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The unit-bottom node the R→L transition identifies: of the inorder
+/// adjacent pair `(w = last R, v = first L)`, the one at the unit's bottom
+/// level (Section 2.3's identification, adapted as described in DESIGN.md).
+fn transition_bottom(unit: &Unit, branches: &[Branch]) -> Option<usize> {
+    let bottom = *unit.level_of.iter().max().unwrap();
+    let mut last_r: Option<usize> = None;
+    let mut first_l: Option<usize> = None;
+    for &z in &unit.inorder {
+        match branches[z as usize] {
+            Branch::Right => last_r = Some(z as usize),
+            Branch::Left => {
+                if first_l.is_none() {
+                    first_l = Some(z as usize);
+                }
+            }
+        }
+    }
+    match (last_r, first_l) {
+        (Some(w), Some(v)) => {
+            if unit.level_of[w] == bottom {
+                Some(w)
+            } else {
+                debug_assert_eq!(unit.level_of[v], bottom);
+                Some(v)
+            }
+        }
+        (Some(w), None) => Some(w), // all R: path exits at the right end
+        (None, Some(v)) => Some(v), // all L: path exits at the left end
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamMode;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(height: u32, total: usize, mode: ParamMode, seed: u64) -> CoopStructure<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+        CoopStructure::preprocess(tree, mode)
+    }
+
+    #[test]
+    fn oracle_is_consistent_with_its_target() {
+        let st = build(6, 2000, ParamMode::Auto, 401);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(403);
+        for _ in 0..10 {
+            let target = gen::random_leaf(tree, &mut rng);
+            let oracle = ConsistentLeafOracle::new(tree, target);
+            let adapter = LeafOracleAdapter::new(tree, &oracle);
+            let out = implicit_search_seq(&st, &adapter, 500, None);
+            assert_eq!(*out.path.last().unwrap(), target);
+        }
+    }
+
+    #[test]
+    fn coop_implicit_matches_sequential_implicit() {
+        for mode in [ParamMode::Theory, ParamMode::Auto] {
+            let st = build(9, 20_000, mode, 407);
+            let tree = st.tree();
+            let mut rng = SmallRng::seed_from_u64(409);
+            for p in [1usize, 64, 4096, 1 << 16, 1 << 20] {
+                for _ in 0..15 {
+                    let target = gen::random_leaf(tree, &mut rng);
+                    let oracle = ConsistentLeafOracle::new(tree, target);
+                    let adapter = LeafOracleAdapter::new(tree, &oracle);
+                    let y = rng.gen_range(-10..20_000 * 16 + 10);
+                    let seq = implicit_search_seq(&st, &adapter, y, None);
+                    let mut pram = Pram::new(p, Model::Crew);
+                    let coop = coop_search_implicit(&st, &adapter, y, &mut pram);
+                    assert_eq!(coop.path, seq.path, "mode {mode:?} p {p}");
+                    assert_eq!(coop.finds, seq.finds, "mode {mode:?} p {p}");
+                    assert_eq!(*coop.path.last().unwrap(), target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_needs_no_fallbacks_with_guaranteed_b() {
+        let st = build(9, 30_000, ParamMode::Auto, 419);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(421);
+        for _ in 0..40 {
+            let target = gen::random_leaf(tree, &mut rng);
+            let oracle = ConsistentLeafOracle::new(tree, target);
+            let adapter = LeafOracleAdapter::new(tree, &oracle);
+            let y = rng.gen_range(0..30_000 * 16);
+            let mut pram = Pram::new(1 << 16, Model::Crew);
+            let out = coop_search_implicit(&st, &adapter, y, &mut pram);
+            assert_eq!(out.stats.fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn implicit_costs_more_than_explicit_but_same_shape() {
+        let st = build(11, 1 << 15, ParamMode::Auto, 431);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(433);
+        let target = gen::random_leaf(tree, &mut rng);
+        let oracle = ConsistentLeafOracle::new(tree, target);
+        let adapter = LeafOracleAdapter::new(tree, &oracle);
+        let path = tree.path_from_root(target);
+        let y = 999;
+        let p = 1 << 18;
+        let mut pi = Pram::new(p, Model::Crew);
+        let ci = coop_search_implicit(&st, &adapter, y, &mut pi);
+        let mut pe = Pram::new(p, Model::Crew);
+        let ce = crate::explicit::coop_search_explicit(&st, &path, y, &mut pe);
+        assert_eq!(ci.finds, ce.finds);
+        // Implicit examines all unit nodes, so it does at least as much work.
+        assert!(pi.work() >= pe.work());
+    }
+
+    #[test]
+    fn leftmost_and_rightmost_targets() {
+        let st = build(8, 5000, ParamMode::Auto, 437);
+        let tree = st.tree();
+        let leaves = tree.leaves();
+        for &target in [leaves.first().unwrap(), leaves.last().unwrap()].iter() {
+            let oracle = ConsistentLeafOracle::new(tree, *target);
+            let adapter = LeafOracleAdapter::new(tree, &oracle);
+            let mut pram = Pram::new(1 << 14, Model::Crew);
+            let out = coop_search_implicit(&st, &adapter, 42, &mut pram);
+            assert_eq!(*out.path.last().unwrap(), *target);
+        }
+    }
+
+    #[test]
+    fn branch_slot_mapping() {
+        assert_eq!(Branch::Left.slot(), 0);
+        assert_eq!(Branch::Right.slot(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The `reach(c, U)` sets of the paper's first two (rejected) approaches —
+//! Figures 1 and 2.
+//!
+//! `reach(c, U)` is the set of catalog entries, over all nodes of the unit
+//! `U`, that some query `y` with `find(y, u) = c` can return. Figure 1
+//! illustrates that its size is `O((2(2b+1))^h) = O(p^β)`, `β < 1`; Figure 2
+//! shows the *pruned* reaches, whose overlap statistics explain why the
+//! second approach fails. These functions measure both quantities on real
+//! structures for the F-1/F-2 experiments.
+
+use fc_catalog::{CascadedTree, CatalogKey, NodeId};
+
+/// The reach of augmented entry `c` at node `u`, explored `h` levels down.
+/// Returns, per relative level `l = 0..=h`, the number of (node, entry)
+/// pairs at that level, and the total.
+pub fn reach_size<K: CatalogKey>(
+    fc: &CascadedTree<K>,
+    u: NodeId,
+    c: usize,
+    h: u32,
+) -> (Vec<usize>, usize) {
+    let tree = fc.tree();
+    // For a query interval (keys[c-1], keys[c]] at u, the reachable entries
+    // at a descendant w form the contiguous index range
+    // [find_aug(w, lo+), find_aug(w, hi)] where lo/hi are the interval ends.
+    // Track the index interval per node with a BFS.
+    let keys = fc.keys(u);
+    assert!(c < keys.len());
+    let mut per_level = vec![0usize; h as usize + 1];
+    per_level[0] = 1;
+    let mut total = 1usize;
+    // Frontier holds (node, lo_idx, hi_idx): the range of reachable entries.
+    let mut frontier: Vec<(NodeId, usize, usize)> = vec![(u, c, c)];
+    for l in 1..=h {
+        let mut next = Vec::new();
+        for &(v, lo, hi) in &frontier {
+            for (slot, &w) in tree.children(v).iter().enumerate() {
+                // Reachable entries at w: from the leftmost answer any y in
+                // the lo-entry's interval can produce, to the rightmost for
+                // the hi-entry. Bridges bound both ends.
+                let bl = fc.aug(v).bridges[slot][lo] as usize;
+                let lo_w = bl.saturating_sub(fc.fanout_bound());
+                let hi_w = fc.aug(v).bridges[slot][hi] as usize;
+                let hi_w = hi_w.min(fc.keys(w).len() - 1);
+                let lo_w = lo_w.min(hi_w);
+                per_level[l as usize] += hi_w - lo_w + 1;
+                total += hi_w - lo_w + 1;
+                next.push((w, lo_w, hi_w));
+            }
+        }
+        frontier = next;
+    }
+    (per_level, total)
+}
+
+/// Overlap statistics of adjacent reaches (why the second approach's
+/// pruning fails): for the unit rooted at `u`, computes the total size of
+/// all (unpruned) reaches of entries in `u`'s catalog versus the number of
+/// distinct (node, entry) pairs covered. The ratio is the storage blow-up a
+/// naive reach table would pay — `Θ(n)` in the worst case (Section 2.1).
+pub fn reach_overlap<K: CatalogKey>(fc: &CascadedTree<K>, u: NodeId, h: u32) -> (usize, usize) {
+    let t = fc.keys(u).len();
+    let mut sum = 0usize;
+    let mut distinct = 0usize;
+    // Distinct coverage: reaches are index intervals per node, and
+    // consecutive entries produce consecutive (overlapping) intervals, so
+    // the union per node is the hull of the first and last interval. We
+    // exploit this instead of materialising sets.
+    let tree = fc.tree();
+    let mut hulls: std::collections::HashMap<u32, (usize, usize)> = std::collections::HashMap::new();
+    for c in 0..t {
+        let (_, tot) = reach_size(fc, u, c, h);
+        sum += tot;
+        // Merge the per-node ranges into hulls.
+        let mut frontier: Vec<(NodeId, usize, usize)> = vec![(u, c, c)];
+        for _ in 0..h {
+            let mut next = Vec::new();
+            for &(v, lo, hi) in &frontier {
+                for (slot, &w) in tree.children(v).iter().enumerate() {
+                    let bl = fc.aug(v).bridges[slot][lo] as usize;
+                    let lo_w = bl.saturating_sub(fc.fanout_bound());
+                    let hi_w = (fc.aug(v).bridges[slot][hi] as usize).min(fc.keys(w).len() - 1);
+                    let lo_w = lo_w.min(hi_w);
+                    next.push((w, lo_w, hi_w));
+                }
+            }
+            for &(w, lo, hi) in &next {
+                let e = hulls.entry(w.0).or_insert((lo, hi));
+                e.0 = e.0.min(lo);
+                e.1 = e.1.max(hi);
+            }
+            frontier = next;
+        }
+    }
+    for (_, (lo, hi)) in hulls {
+        distinct += hi - lo + 1;
+    }
+    distinct += t; // the root's own entries
+    (sum, distinct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_catalog::CascadedTree;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(height: u32, total: usize, seed: u64) -> CascadedTree<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+        CascadedTree::build(tree, 4)
+    }
+
+    #[test]
+    fn reach_grows_at_most_geometrically() {
+        let fc = build(8, 20_000, 601);
+        let root = fc.tree().root();
+        let b = fc.fanout_bound();
+        let c = fc.keys(root).len() / 2;
+        let (per_level, total) = reach_size(&fc, root, c, 5);
+        assert_eq!(per_level[0], 1);
+        // Level l holds at most (2(2b+1))^l entries (Figure 1's bound).
+        for (l, &cnt) in per_level.iter().enumerate() {
+            let bound = (2 * (2 * b + 1)).pow(l as u32);
+            assert!(cnt <= bound, "level {l}: {cnt} > {bound}");
+        }
+        assert_eq!(total, per_level.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn reach_covers_every_possible_find() {
+        // For y in entry c's interval, find(y, w) must land inside the
+        // computed range at w — the defining property of the reach.
+        let fc = build(5, 2000, 603);
+        let tree = fc.tree();
+        let root = tree.root();
+        let keys = fc.keys(root);
+        for c in [0usize, keys.len() / 3, keys.len() - 2] {
+            let lo_y = if c == 0 { i64::MIN } else { keys[c - 1] + 1 };
+            let hi_y = keys[c];
+            let (_, _total) = reach_size(&fc, root, c, 3);
+            // Probe both interval ends at every depth-<=3 descendant.
+            for id in tree.ids() {
+                let d = tree.depth(id);
+                if d == 0 || d > 3 {
+                    continue;
+                }
+                for y in [lo_y, hi_y] {
+                    let f = fc.find_aug(id, y);
+                    // Recompute the range along the path root -> id.
+                    let path = tree.path_from_root(id);
+                    let (mut lo_i, mut hi_i) = (c, c);
+                    for w in path.windows(2) {
+                        let slot = tree.child_slot(w[0], w[1]);
+                        let bl = fc.aug(w[0]).bridges[slot][lo_i] as usize;
+                        lo_i = bl.saturating_sub(fc.fanout_bound());
+                        hi_i = (fc.aug(w[0]).bridges[slot][hi_i] as usize)
+                            .min(fc.keys(w[1]).len() - 1);
+                        lo_i = lo_i.min(hi_i);
+                    }
+                    assert!(
+                        (lo_i..=hi_i).contains(&f),
+                        "find {f} outside reach [{lo_i}, {hi_i}] at {id:?} y {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_exceeds_distinct_coverage() {
+        let fc = build(6, 6000, 607);
+        let root = fc.tree().root();
+        let (sum, distinct) = reach_overlap(&fc, root, 3);
+        // Overlap means the naive storage (sum) exceeds the distinct pairs.
+        assert!(sum >= distinct, "sum {sum} < distinct {distinct}");
+        assert!(distinct > 0);
+    }
+}

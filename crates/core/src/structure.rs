@@ -1,0 +1,286 @@
+//! The preprocessed cooperative search structure `T'` (Theorem 1).
+//!
+//! [`CoopStructure`] bundles the fractional cascaded tree `S` with the
+//! substructures `T_i` and exposes the space accounting that Lemma 2
+//! bounds: the skeleton-forest sizes sum geometrically, so the whole of
+//! `T'` occupies `O(n)` words.
+
+use crate::params::{CoopParams, ParamMode};
+use crate::skeleton::Substructure;
+use fc_catalog::{CascadedTree, CatalogKey, CatalogTree};
+use fc_pram::cost::Pram;
+
+/// The cooperative search structure `T'` over a balanced binary catalog
+/// tree.
+///
+/// ```
+/// use fc_catalog::gen::{self, SizeDist};
+/// use fc_coop::{CoopStructure, ParamMode};
+/// use fc_coop::explicit::coop_search_explicit;
+/// use fc_pram::{Model, Pram};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let tree = gen::balanced_binary(8, 4000, SizeDist::Uniform, &mut rng);
+/// let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+///
+/// let leaf = gen::random_leaf(st.tree(), &mut rng);
+/// let path = st.tree().path_from_root(leaf);
+/// let mut pram = Pram::new(1 << 16, Model::Crew); // 2^16 CREW processors
+/// let out = coop_search_explicit(&st, &path, 1234, &mut pram);
+/// assert_eq!(out.finds.len(), path.len());
+/// assert!(pram.steps() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoopStructure<K> {
+    fc: CascadedTree<K>,
+    params: CoopParams,
+    subs: Vec<Substructure>,
+}
+
+/// Per-substructure space row for the Lemma 2 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceRow {
+    /// Substructure index.
+    pub i: u32,
+    /// Hop height.
+    pub h: u32,
+    /// Sampling factor.
+    pub s: usize,
+    /// Skeleton keys stored in this `T_i`.
+    pub skeleton_words: usize,
+    /// Number of units.
+    pub units: usize,
+}
+
+impl<K: CatalogKey> CoopStructure<K> {
+    /// Full preprocessing: build the fractional cascaded structure `S`
+    /// (sampling factor 4, the binary-tree standard) and every substructure
+    /// `T_i`.
+    ///
+    /// # Panics
+    /// Panics if the tree is not binary (use [`crate::general::binarize`]
+    /// for higher degrees first, as Theorem 3 prescribes).
+    pub fn preprocess(tree: CatalogTree<K>, mode: ParamMode) -> Self {
+        assert!(
+            tree.max_degree() <= 2,
+            "CoopStructure requires a binary tree; binarize degree-d trees first (Theorem 3)"
+        );
+        // The paper applies [1] to the *bidirectional* version of T; the
+        // reverse samples are what make Lemma 1's key disjointness hold.
+        let fc = CascadedTree::build_bidir(tree, 4);
+        Self::from_cascade(fc, mode)
+    }
+
+    /// Preprocess from an existing cascaded structure, using its guaranteed
+    /// fan-out bound `b`.
+    pub fn from_cascade(fc: CascadedTree<K>, mode: ParamMode) -> Self {
+        let b = fc.fanout_bound();
+        Self::from_cascade_with_b(fc, mode, b)
+    }
+
+    /// Preprocess with an explicit fan-out constant `b` (the
+    /// instance-calibrated ablation; searches validate window coverage at
+    /// runtime and fall back to a full binary search on violation, counting
+    /// the event).
+    pub fn from_cascade_with_b(fc: CascadedTree<K>, mode: ParamMode, b: usize) -> Self {
+        let height = fc.tree().height();
+        let params = CoopParams::derive(b, height, mode);
+        let subs = params
+            .subs
+            .iter()
+            .map(|&sp| Substructure::build(&fc, sp))
+            .collect();
+        CoopStructure { fc, params, subs }
+    }
+
+    /// Preprocess while charging EREW PRAM cost: the cascade build is
+    /// level-synchronous, and each substructure's skeleton fill is `h_i + 1`
+    /// rounds of its total key count (every tree `U_j` of every unit fills
+    /// one level per round, all in parallel, with exclusive reads because
+    /// Lemma 1 keeps the key sets disjoint).
+    pub fn preprocess_cost(tree: CatalogTree<K>, mode: ParamMode, pram: &mut Pram) -> Self {
+        assert!(tree.max_degree() <= 2);
+        let fc = CascadedTree::build_bidir_cost(tree, 4, pram);
+        let height = fc.tree().height();
+        let b = fc.fanout_bound();
+        let params = CoopParams::derive(b, height, mode);
+        let mut subs = Vec::with_capacity(params.subs.len());
+        for &sp in &params.subs {
+            let sub = Substructure::build(&fc, sp);
+            let words = sub.space();
+            let rounds = sp.h as usize + 1;
+            for _ in 0..rounds {
+                pram.round(words.div_ceil(rounds));
+            }
+            subs.push(sub);
+        }
+        CoopStructure { fc, params, subs }
+    }
+
+    /// The underlying fractional cascaded structure `S`.
+    #[inline]
+    pub fn cascade(&self) -> &CascadedTree<K> {
+        &self.fc
+    }
+
+    /// The underlying catalog tree.
+    #[inline]
+    pub fn tree(&self) -> &CatalogTree<K> {
+        self.fc.tree()
+    }
+
+    /// The derived parameters.
+    #[inline]
+    pub fn params(&self) -> &CoopParams {
+        &self.params
+    }
+
+    /// All substructures, in increasing hop height.
+    #[inline]
+    pub fn substructures(&self) -> &[Substructure] {
+        &self.subs
+    }
+
+    /// The substructure serving `p` processors, if any hop height pays off
+    /// at that `p`.
+    pub fn select(&self, p: usize) -> Option<&Substructure> {
+        self.params.select(p).map(|i| &self.subs[i])
+    }
+
+    /// Per-substructure space breakdown (the Lemma 2 experiment's rows).
+    pub fn space_rows(&self) -> Vec<SpaceRow> {
+        self.subs
+            .iter()
+            .map(|sub| SpaceRow {
+                i: sub.sp.i,
+                h: sub.sp.h,
+                s: sub.sp.s,
+                skeleton_words: sub.space(),
+                units: sub.units.len(),
+            })
+            .collect()
+    }
+
+    /// Total words of `T'`: augmented catalogs + bridges + skeleton keys.
+    /// Lemma 2: this is `O(n)`.
+    pub fn total_space_words(&self) -> usize {
+        let tree = self.fc.tree();
+        let mut words = 0usize;
+        for id in tree.ids() {
+            let aug = self.fc.aug(id);
+            words += aug.keys.len() // keys
+                + aug.native_succ.len() // native successor pointers
+                + aug.bridges.iter().map(Vec::len).sum::<usize>(); // bridges
+        }
+        words + self.subs.iter().map(Substructure::space).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preprocess_builds_every_band() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        let tree = gen::balanced_binary(8, 8000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        assert!(!st.substructures().is_empty());
+        for sub in st.substructures() {
+            assert!(sub.sp.h >= 1);
+        }
+    }
+
+    #[test]
+    fn lemma2_total_space_is_linear() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let mut ratios = Vec::new();
+        for height in [8u32, 10, 12] {
+            let n = 1usize << (height + 4);
+            let tree = gen::balanced_binary(height, n, SizeDist::Uniform, &mut rng);
+            let st = CoopStructure::preprocess(tree, ParamMode::Theory);
+            ratios.push(st.total_space_words() as f64 / n as f64);
+        }
+        // Space per catalog entry must not grow with n (Lemma 2).
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.5,
+            "space/n ratios should be flat, got {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn lemma2_per_substructure_bound() {
+        // Lemma 2's two terms: T_i's skeleton space is at most the number
+        // of covered nodes (units partition S', every unit has >= 1 tree)
+        // plus the extra trees, bounded by (aug entries / s_i) * 2^(h_i+1).
+        let mut rng = SmallRng::seed_from_u64(79);
+        let tree = gen::balanced_binary(12, 1 << 16, SizeDist::Uniform, &mut rng);
+        let nodes = tree.len();
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let aug_total = st.cascade().total_aug_size();
+        let rows = st.space_rows();
+        let mut sum = 0usize;
+        for row in &rows {
+            let sparse_term = 2 * nodes; // shared boundary nodes double-count
+            let extra_term = (aug_total / row.s + row.units) * (1usize << (row.h + 1));
+            assert!(
+                row.skeleton_words <= sparse_term + extra_term,
+                "row {row:?} exceeds Lemma 2 bound {} + {}",
+                sparse_term,
+                extra_term
+            );
+            sum += row.skeleton_words;
+        }
+        // The sum over all substructures stays linear in n + #nodes.
+        assert!(
+            sum <= 6 * (aug_total + nodes),
+            "total skeleton space {sum} vs linear bound {}",
+            6 * (aug_total + nodes)
+        );
+    }
+
+    #[test]
+    fn preprocess_cost_depth_is_polylog() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let n = 1usize << 14;
+        let tree = gen::balanced_binary(10, n, SizeDist::Uniform, &mut rng);
+        let log_n = (usize::BITS - n.leading_zeros()) as u64;
+        let procs = (n as u64 / log_n).max(1) as usize;
+        let mut pram = Pram::new(procs, Model::Erew);
+        let st = CoopStructure::preprocess_cost(tree, ParamMode::Auto, &mut pram);
+        assert!(st.total_space_words() > 0);
+        assert!(
+            pram.steps() <= 6 * log_n * log_n,
+            "steps {} exceed 6 log^2 n = {}",
+            pram.steps(),
+            6 * log_n * log_n
+        );
+    }
+
+    #[test]
+    fn select_returns_band_for_large_p() {
+        let mut rng = SmallRng::seed_from_u64(89);
+        let tree = gen::balanced_binary(12, 64_000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        // With enough processors, some hop height always beats the
+        // sequential estimate on a deep tree.
+        assert!(st.select(1 << 28).is_some());
+        // Cost-aware selection declines when nothing pays off.
+        assert!(st.select(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary tree")]
+    fn non_binary_tree_rejected() {
+        let mut rng = SmallRng::seed_from_u64(97);
+        let tree = gen::dary(3, 3, 500, &mut rng);
+        let _ = CoopStructure::preprocess(tree, ParamMode::Auto);
+    }
+}

@@ -1,0 +1,475 @@
+//! Cooperative point location (Section 3.1, Figure 6, Theorem 4).
+//!
+//! The raw branch function of the separator tree violates the consistency
+//! assumption (Figure 5: a node left of the search path can return *left*),
+//! so the basic implicit search of Section 2.3 does not apply. The paper's
+//! fix is a per-hop **recomputed branch function**: the search maintains
+//! indices `(L, R)` with the invariant "the query lies between separators
+//! `σ_L` and `σ_R`, and everything processed so far is consistent with
+//! that". Each hop over a unit `U` runs six steps:
+//!
+//! 1. locate `y` in every unit node's catalog (skeleton windows);
+//! 2. discriminate `q` geometrically at every *active* node;
+//! 3. find the unique pair of active nodes `(σ_i, σ_j)` with `q` between
+//!    their edges and no active edge between them (realised as the R→L
+//!    transition of the geometric branches, which the monotone separator
+//!    order makes unique — equivalent to the paper's
+//!    `min(e_j) − max(e_i) <= 2^h` same-region test, see DESIGN.md);
+//! 4. set `L := i`, `R := j`;
+//! 5. give every *inactive* node `σ_k` the branch `right` if
+//!    `k <= max(e_L(q))`, else `left` (correct because every inactive
+//!    separator between the new `L` and `R` must share one of their edges);
+//! 6. read the search path off the unique inorder R→L transition.
+
+use crate::septree::{Activity, NodeKind, SeparatorTree};
+use fc_catalog::key::OrdF64;
+use fc_coop::implicit::Branch;
+use fc_coop::skeleton::NO_CHILD;
+use fc_pram::cost::Pram;
+use fc_pram::primitives::coop_lower_bound;
+
+/// Statistics from one cooperative point location.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoopLocateStats {
+    /// Hops performed.
+    pub hops: usize,
+    /// Nodes found active across all hops.
+    pub active_nodes: usize,
+    /// Window-coverage fallbacks (0 with the guaranteed fan-out bound).
+    pub fallbacks: usize,
+    /// Tree levels handled by the sequential tail.
+    pub tail_nodes: usize,
+    /// Final `(L, R)` window (1-indexed separators; 0 and f are the
+    /// fictitious boundaries).
+    pub window: (u32, u32),
+}
+
+/// Alias kept for the public API: the cooperative locator is the
+/// preprocessed [`SeparatorTree`]; this type carries its query statistics.
+pub type CoopLocator = CoopLocateStats;
+
+/// Locate `(x, y)` cooperatively with the processor count carried by
+/// `pram`. Returns the 1-indexed region and the hop statistics.
+pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize, CoopLocateStats) {
+    let p = pram.processors();
+    let Some(sub) = t.st.select(p) else {
+        let (r, s) = crate::septree::locate_sequential(t, x, y, Some(pram));
+        return (
+            r,
+            CoopLocateStats {
+                tail_nodes: s.active_nodes + s.inactive_nodes,
+                ..CoopLocateStats::default()
+            },
+        );
+    };
+
+    let y = t.clamp_y(y);
+    let key = OrdF64::new(y);
+    let fc = t.st.cascade();
+    let tree = t.st.tree();
+    let f = t.sub.f as u32;
+    let mut stats = CoopLocateStats {
+        window: (0, f),
+        ..CoopLocateStats::default()
+    };
+
+    // Fictitious boundary state: σ_L with max(e_L); σ_0 is at -∞ and
+    // max(e_0) = 0, so every branch starts out `left`.
+    let mut max_el = 0u32;
+
+    let mut node = tree.root();
+    let mut aug = coop_lower_bound(fc.keys(node), &key, pram);
+
+    // Hops.
+    while let NodeKind::Separator(_) = t.kind[node.idx()] {
+        let Some(unit) = t.st.select(p).and_then(|s| s.unit_at(node)) else {
+            break;
+        };
+        debug_assert_eq!(sub.sp.h, t.st.select(p).unwrap().sp.h);
+        if unit.nodes.len() == 1 {
+            break;
+        }
+        stats.hops += 1;
+
+        // Skeleton tree selection (Step 2 of the explicit search).
+        let tcat = fc.keys(node).len();
+        let j = (aug / sub.sp.s).min(unit.m as usize - 1);
+        pram.round(sub.sp.s.min(tcat));
+
+        // Hop step 1: find(y, ·) at every unit node via its window.
+        let zn = unit.nodes.len();
+        #[allow(clippy::needless_range_loop)] // one virtual processor per unit node
+        let mut g = vec![0usize; zn];
+        g[0] = aug;
+        let mut ops = 0usize;
+        for z in 1..zn {
+            let w = unit.nodes[z];
+            let l = unit.level_of[z] as u32;
+            let k = unit.key(j, z) as usize;
+            let (q_w, r_w) = t.st.params().window(&sub.sp, l);
+            let len = fc.keys(w).len();
+            let lo = k.saturating_sub(q_w + r_w);
+            let hi = (k + q_w).min(len - 1);
+            ops += hi - lo + 1;
+            let gz = fc.find_aug(w, key);
+            if gz < lo || gz > hi {
+                stats.fallbacks += 1;
+                pram.seq((usize::BITS - len.leading_zeros()) as usize);
+            }
+            g[z] = gz;
+        }
+        pram.round(ops);
+
+        // Hop step 2: geometric discrimination at active nodes.
+        let mut activity: Vec<Option<(u32, crate::septree::EdgeInfo, Branch)>> = vec![None; zn];
+        for z in 0..zn {
+            let w = unit.nodes[z];
+            if let NodeKind::Separator(c) = t.kind[w.idx()] {
+                let native = fc.native_result(w, g[z]).native_idx as usize;
+                if let Activity::Active(e) = t.classify(w, native, y) {
+                    activity[z] = Some((c, e, t.discriminate(c, x, y)));
+                }
+            }
+        }
+        stats.active_nodes += activity.iter().flatten().count();
+        pram.round(zn);
+
+        // Hop steps 3-4: the unique active pair around q (the paper
+        // allocates processors to all pairs of U ∪ {σ_L, σ_R}).
+        pram.round(zn * zn);
+        let mut best_right: Option<(u32, u32)> = None; // (c, run_hi) of last right-branching active
+        let mut first_left: Option<u32> = None;
+        for entry in activity.iter().flatten() {
+            let (c, e, b) = *entry;
+            match b {
+                Branch::Right => {
+                    if best_right.is_none_or(|(bc, _)| c > bc) {
+                        best_right = Some((c, e.run_hi));
+                    }
+                }
+                Branch::Left => {
+                    if first_left.is_none_or(|fc_| c < fc_) {
+                        first_left = Some(c);
+                    }
+                }
+            }
+        }
+        if let Some((c, hi)) = best_right {
+            stats.window.0 = c;
+            max_el = hi;
+        }
+        if let Some(c) = first_left {
+            stats.window.1 = c;
+        }
+        debug_assert!(stats.window.0 <= stats.window.1);
+
+        // Hop step 5: consistent branches everywhere.
+        let branches: Vec<Branch> = (0..zn)
+            .map(|z| {
+                if let Some((_, _, b)) = activity[z] {
+                    return b;
+                }
+                match t.kind[unit.nodes[z].idx()] {
+                    NodeKind::Separator(c) => {
+                        if c <= max_el {
+                            Branch::Right
+                        } else {
+                            Branch::Left
+                        }
+                    }
+                    NodeKind::Region(r) => {
+                        if r <= max_el {
+                            Branch::Right
+                        } else {
+                            Branch::Left
+                        }
+                    }
+                }
+            })
+            .collect();
+        pram.round(zn);
+        debug_assert!(
+            {
+                let mut seen_left = false;
+                let mut ok = true;
+                for &z in &unit.inorder {
+                    match branches[z as usize] {
+                        Branch::Left => seen_left = true,
+                        Branch::Right => ok &= !seen_left,
+                    }
+                }
+                ok
+            },
+            "recomputed branch function must satisfy the consistency assumption"
+        );
+
+        // Hop step 6: follow the branches to the unit bottom (the PRAM
+        // reads this off the inorder transition in O(1)).
+        pram.round(zn);
+        let mut z = 0usize;
+        loop {
+            let b = branches[z];
+            let cpos = unit.children_pos[z][b.slot()];
+            if cpos == NO_CHILD {
+                break;
+            }
+            z = cpos as usize;
+            node = unit.nodes[z];
+            aug = g[z];
+        }
+        pram.seq(1);
+        if z == 0 {
+            break;
+        }
+    }
+
+    // Sequential tail using the per-strip gap branches.
+    loop {
+        match t.kind[node.idx()] {
+            NodeKind::Region(r) => return (r as usize, stats),
+            NodeKind::Separator(c) => {
+                stats.tail_nodes += 1;
+                let native = fc.native_result(node, aug).native_idx as usize;
+                let branch = match t.classify(node, native, y) {
+                    Activity::Active(_) => t.discriminate(c, x, y),
+                    Activity::Inactive => t.strip_branch[node.idx()][t.sub.strip_of(y)],
+                };
+                let slot = branch.slot();
+                let (next, walked) = fc.descend(node, slot, aug, key);
+                pram.seq(2 + walked);
+                node = tree.children(node)[slot];
+                aug = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subdivision::{MonotoneSubdivision, SubdivisionParams};
+    use fc_coop::ParamMode;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(seed: u64, params: SubdivisionParams) -> SeparatorTree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sub = MonotoneSubdivision::generate(params, &mut rng);
+        SeparatorTree::build(sub, ParamMode::Auto)
+    }
+
+    fn check(t: &SeparatorTree, p: usize, queries: usize, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..queries {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let want = t.sub.locate_brute(x, y);
+            let mut pram = Pram::new(p, Model::Crew);
+            let (got, stats) = locate_coop(t, x, y, &mut pram);
+            assert_eq!(got, want, "p {p} q ({x}, {y}) stats {stats:?}");
+        }
+    }
+
+    #[test]
+    fn coop_matches_brute_force_across_p() {
+        let t = build(
+            101,
+            SubdivisionParams {
+                regions: 128,
+                strips: 24,
+                stick: 0.4,
+                detach: 0.4,
+            },
+        );
+        for p in [1usize, 8, 256, 1 << 14, 1 << 22] {
+            check(&t, p, 150, 200 + p as u64);
+        }
+    }
+
+    #[test]
+    fn coop_matches_on_heavy_sharing() {
+        let t = build(
+            103,
+            SubdivisionParams {
+                regions: 256,
+                strips: 16,
+                stick: 0.8,
+                detach: 0.1,
+            },
+        );
+        for p in [1usize, 1 << 12, 1 << 20] {
+            check(&t, p, 120, 300 + p as u64);
+        }
+    }
+
+    #[test]
+    fn coop_matches_with_no_sharing() {
+        let t = build(
+            107,
+            SubdivisionParams {
+                regions: 64,
+                strips: 12,
+                stick: 0.0,
+                detach: 1.0,
+            },
+        );
+        for p in [1usize, 1 << 16] {
+            check(&t, p, 120, 400 + p as u64);
+        }
+    }
+
+    #[test]
+    fn no_fallbacks_with_guaranteed_b() {
+        let t = build(
+            109,
+            SubdivisionParams {
+                regions: 512,
+                strips: 32,
+                stick: 0.4,
+                detach: 0.4,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(110);
+        for _ in 0..80 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let mut pram = Pram::new(1 << 18, Model::Crew);
+            let (_, stats) = locate_coop(&t, x, y, &mut pram);
+            assert_eq!(stats.fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn window_narrows_around_the_answer() {
+        let t = build(
+            113,
+            SubdivisionParams {
+                regions: 256,
+                strips: 24,
+                stick: 0.3,
+                detach: 0.5,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(114);
+        for _ in 0..50 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let mut pram = Pram::new(1 << 20, Model::Crew);
+            let (region, stats) = locate_coop(&t, x, y, &mut pram);
+            let (l, r) = stats.window;
+            assert!(
+                (l as usize) < region || l == 0,
+                "L = {l} must be left of region {region}"
+            );
+            assert!(
+                (r as usize) >= region || r == t.sub.f as u32,
+                "R = {r} must be right of region {region}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_p_reduces_steps_vs_sequential() {
+        let t = build(
+            127,
+            SubdivisionParams {
+                regions: 4096,
+                strips: 48,
+                stick: 0.35,
+                detach: 0.45,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(128);
+        let mut seq_steps = 0u64;
+        let mut coop_steps = 0u64;
+        for _ in 0..40 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let mut p1 = Pram::new(1, Model::Crew);
+            crate::septree::locate_sequential(&t, x, y, Some(&mut p1));
+            seq_steps += p1.steps();
+            let mut pp = Pram::new(1 << 30, Model::Crew);
+            locate_coop(&t, x, y, &mut pp);
+            coop_steps += pp.steps();
+        }
+        assert!(
+            coop_steps < seq_steps,
+            "coop {coop_steps} vs sequential {seq_steps}"
+        );
+    }
+
+    #[test]
+    fn boundary_and_vertex_queries_coop() {
+        let t = build(131, SubdivisionParams::default());
+        for j in 0..t.sub.ys.len() {
+            for i in 0..t.sub.separators() {
+                let (x, y) = (t.sub.xs[i][j], t.sub.ys[j]);
+                let want = t.sub.locate_brute(x, y);
+                let mut pram = Pram::new(1 << 14, Model::Crew);
+                let (got, _) = locate_coop(&t, x, y, &mut pram);
+                assert_eq!(got, want, "vertex ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn per_gap_rule_is_ambiguous_on_some_instances() {
+        // REPRODUCTION FINDING (see DESIGN.md / EXPERIMENTS.md): the paper
+        // stores one branch per *gap* and claims it depends only on the
+        // gap. On generated monotone subdivisions a separator can hug its
+        // left neighbour in one strip and its right neighbour in the next
+        // with no proper edge in between — one gap, owners on both sides,
+        // so a single stored direction would mispredict for part of the
+        // gap. We therefore store the branch per strip (same O(n) space);
+        // this test documents that the ambiguity genuinely occurs while
+        // the locator stays correct (brute-force agreement is asserted in
+        // the other tests on the same generator).
+        let mut total_ambiguous = 0usize;
+        for seed in [137u64, 139, 149] {
+            let t = build(
+                seed,
+                SubdivisionParams {
+                    regions: 64,
+                    strips: 20,
+                    stick: 0.6,
+                    detach: 0.3,
+                },
+            );
+            let tree = t.st.tree();
+            let mut disagreements = 0usize;
+            for nid in tree.ids() {
+                if t.sep_of(nid).is_none() {
+                    continue;
+                }
+                // Gaps = maximal runs of non-proper strips.
+                let proper: std::collections::HashSet<u32> =
+                    t.edges[nid.idx()].iter().map(|e| e.strip).collect();
+                let sb = &t.strip_branch[nid.idx()];
+                let mut gap: Vec<Branch> = Vec::new();
+                for j in 0..t.sub.strips() as u32 {
+                    if proper.contains(&j) {
+                        if gap.windows(2).any(|w| w[0] != w[1]) {
+                            disagreements += 1;
+                        }
+                        gap.clear();
+                    } else {
+                        gap.push(sb[j as usize]);
+                    }
+                }
+                if gap.windows(2).any(|w| w[0] != w[1]) {
+                    disagreements += 1;
+                }
+            }
+            // Correctness despite ambiguity: sequential matches brute force
+            // on this very instance.
+            let mut rng = SmallRng::seed_from_u64(seed + 7);
+            for _ in 0..100 {
+                let (x, y) = t.sub.random_query(&mut rng);
+                let (got, _) = crate::septree::locate_sequential(&t, x, y, None);
+                assert_eq!(got, t.sub.locate_brute(x, y));
+            }
+            total_ambiguous += disagreements;
+        }
+        assert!(
+            total_ambiguous > 0,
+            "expected the generator to exhibit the mixed-owner gap edge case"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # fc-geom — cooperative point location (Sections 3.1–3.2)
+//!
+//! The paper's flagship application: preprocess a monotone planar
+//! subdivision with `n` vertices so that **cooperative point-location
+//! queries** run in `O((log n)/log p)` CREW steps (Theorem 4), and extend
+//! the machinery to spatial cell complexes with acyclic vertical dominance
+//! (`O((log² n)/log² p)`, Theorem 5; Voronoi complexes, Corollary 1).
+//!
+//! The search path of point location is "highly implicit": the branch at an
+//! *inactive* separator (one whose proper edges have a gap at the query's
+//! height) cannot be evaluated locally, and the natural branch function
+//! violates the consistency assumption of Section 2 (Figure 5 shows the
+//! violations). Section 3.1's contribution is the 6-step hop that
+//! recomputes a *consistent* branch function per unit using the maintained
+//! window `(σ_L, σ_R)` and the separator index ranges `[min(e), max(e)]`
+//! of each edge; [`cooploc`] implements it on top of `fc-coop`'s units.
+//!
+//! Modules:
+//! * [`subdivision`] — synthetic monotone subdivisions (stacked y-monotone
+//!   separators with controllable edge sharing) and a brute-force locator.
+//! * [`septree`] — the bridged separator tree: proper-edge assignment by
+//!   LCA, per-gap branch precomputation, sequential point location.
+//! * [`cooploc`] — cooperative point location (Theorem 4).
+//! * [`spatial`] — extruded cell complexes, separating surfaces, and
+//!   two-level cooperative spatial point location (Theorem 5).
+
+#![warn(missing_docs)]
+// Explicit index loops mirror the one-processor-per-index PRAM semantics;
+// a few hop-state tuples are internal and not worth naming.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
+
+pub mod cooploc;
+pub mod septree;
+pub mod spatial;
+pub mod subdivision;
+
+pub use cooploc::{locate_coop, CoopLocator};
+pub use septree::{locate_sequential, SeparatorTree};
+pub use subdivision::{MonotoneSubdivision, SubdivisionParams};

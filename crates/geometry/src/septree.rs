@@ -1,0 +1,560 @@
+//! The bridged separator tree (Section 3.1, Figure 5).
+//!
+//! A balanced binary tree whose leaves are the regions `r_1 … r_f` and
+//! whose internal nodes are the separators `σ_1 … σ_(f−1)`, in inorder
+//! `r_1 σ_1 r_2 … σ_(f−1) r_f`. Each edge `e` of the subdivision belongs to
+//! the range of separators `[min(e), max(e)]` that share it, and is stored
+//! once, at the **least common ancestor** of that range — its *proper*
+//! node. A separator's catalog is its proper edges sorted bottom-to-top
+//! (keyed by strip top); where the separator's edges are stored elsewhere
+//! the catalog has a *gap*.
+//!
+//! Sequential point location descends the tree: at an *active* node (the
+//! catalog holds the edge at the query's height) the branch is a geometric
+//! side test; at an *inactive* node the branch was already decided at the
+//! ancestor owning the query-height edge, and is precomputed here per
+//! (separator, strip) — the paper stores one direction per gap; the
+//! per-strip table is the same information at the same `O(n)` space, and
+//! the test suite checks the per-gap rule agrees (see DESIGN.md).
+//!
+//! The catalogs are fractionally cascaded (`fc-coop` preprocessing), so the
+//! sequential search runs in `O(log n)` total — this is the *bridged*
+//! separator tree of [13], [9], [17].
+
+use crate::subdivision::MonotoneSubdivision;
+use fc_catalog::key::OrdF64;
+use fc_catalog::{CatalogTree, NodeId};
+use fc_coop::implicit::Branch;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::cost::Pram;
+
+/// What a separator-tree node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An internal node: separator `σ_c` (1-indexed, as in the paper).
+    Separator(u32),
+    /// A leaf: region `r_t` (1-indexed).
+    Region(u32),
+}
+
+/// A proper edge stored at a separator node, aligned with the node's
+/// catalog entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeInfo {
+    /// Strip index `j` (the edge spans `ys[j] .. ys[j+1]`).
+    pub strip: u32,
+    /// `min(e)`: smallest 1-indexed separator sharing the edge.
+    pub run_lo: u32,
+    /// `max(e)`: largest 1-indexed separator sharing the edge.
+    pub run_hi: u32,
+}
+
+/// The preprocessed bridged separator tree.
+///
+/// ```
+/// use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+/// use fc_geom::septree::{SeparatorTree, locate_sequential};
+/// use fc_geom::cooploc::locate_coop;
+/// use fc_coop::ParamMode;
+/// use fc_pram::{Model, Pram};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let sub = MonotoneSubdivision::generate(SubdivisionParams::default(), &mut rng);
+/// let t = SeparatorTree::build(sub, ParamMode::Auto);
+/// let (x, y) = t.sub.random_query(&mut rng);
+/// let (region, _) = locate_sequential(&t, x, y, None);
+/// let mut pram = Pram::new(1 << 12, Model::Crew);
+/// let (coop_region, _) = locate_coop(&t, x, y, &mut pram);
+/// assert_eq!(region, coop_region);
+/// assert_eq!(region, t.sub.locate_brute(x, y));
+/// ```
+pub struct SeparatorTree {
+    /// The subdivision being searched.
+    pub sub: MonotoneSubdivision,
+    /// Cooperative search structure over the tree with catalogs.
+    pub st: CoopStructure<OrdF64>,
+    /// Per tree node: separator or region.
+    pub kind: Vec<NodeKind>,
+    /// `node_of_sep[c - 1]` = tree node of separator `σ_c`.
+    pub node_of_sep: Vec<NodeId>,
+    /// Per tree node: proper edges aligned with the native catalog.
+    pub edges: Vec<Vec<EdgeInfo>>,
+    /// Per tree node (separators only): for every strip, the branch to take
+    /// when the node is inactive at a height in that strip. Entries at
+    /// proper strips are unused.
+    pub strip_branch: Vec<Vec<Branch>>,
+}
+
+/// Statistics from one sequential point location.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocateStats {
+    /// Nodes where the catalog held the query-height edge.
+    pub active_nodes: usize,
+    /// Nodes resolved through the precomputed gap branch.
+    pub inactive_nodes: usize,
+}
+
+impl SeparatorTree {
+    /// Build the bridged separator tree for `sub` and preprocess it for
+    /// cooperative search.
+    pub fn build(sub: MonotoneSubdivision, mode: ParamMode) -> Self {
+        let f = sub.f;
+        let seps = sub.separators();
+
+        // --- Tree shape: recursive split of the region range [1, f].
+        // Arena order: parents precede children (preorder emission).
+        #[derive(Clone, Copy)]
+        struct Task {
+            lo: u32, // region range, 1-indexed inclusive
+            hi: u32,
+            parent: Option<u32>,
+        }
+        let mut kinds: Vec<NodeKind> = Vec::with_capacity(2 * f - 1);
+        let mut parents: Vec<Option<u32>> = Vec::with_capacity(2 * f - 1);
+        let mut node_of_sep = vec![NodeId(0); seps];
+        let mut stack = vec![Task {
+            lo: 1,
+            hi: f as u32,
+            parent: None,
+        }];
+        // Emit left child before right so child order matches inorder;
+        // a stack (LIFO) with right pushed first achieves that.
+        while let Some(t) = stack.pop() {
+            let idx = kinds.len() as u32;
+            if t.lo == t.hi {
+                kinds.push(NodeKind::Region(t.lo));
+                parents.push(t.parent);
+            } else {
+                let mid = (t.lo + t.hi) / 2; // separator σ_mid splits [lo, mid] | [mid+1, hi]
+                kinds.push(NodeKind::Separator(mid));
+                parents.push(t.parent);
+                node_of_sep[mid as usize - 1] = NodeId(idx);
+                stack.push(Task {
+                    lo: mid + 1,
+                    hi: t.hi,
+                    parent: Some(idx),
+                });
+                stack.push(Task {
+                    lo: t.lo,
+                    hi: mid,
+                    parent: Some(idx),
+                });
+            }
+        }
+        // The LIFO pops the left task first, but both tasks were pushed
+        // after the parent, and `from_parents` orders children by arena
+        // index — left gets the smaller index. Verified by tests.
+
+        // --- Proper-edge assignment: every maximal run [lo, hi] (1-indexed)
+        // goes to the LCA separator of the range, found by descending the
+        // implicit range structure.
+        let lca_sep = |lo: u32, hi: u32| -> u32 {
+            let (mut a, mut b) = (1u32, f as u32);
+            loop {
+                let mid = (a + b) / 2;
+                if hi < mid {
+                    b = mid;
+                } else if lo > mid {
+                    a = mid + 1;
+                } else {
+                    return mid;
+                }
+            }
+        };
+        let mut per_sep_edges: Vec<Vec<EdgeInfo>> = vec![Vec::new(); seps];
+        for j in 0..sub.strips() {
+            let mut i = 0usize;
+            while i < seps {
+                let (lo0, hi0) = sub.edge_run(i, j);
+                debug_assert_eq!(lo0, i);
+                // 1-indexed separators sharing this edge: [lo0+1, hi0+1].
+                let owner = lca_sep(lo0 as u32 + 1, hi0 as u32 + 1);
+                per_sep_edges[owner as usize - 1].push(EdgeInfo {
+                    strip: j as u32,
+                    run_lo: lo0 as u32 + 1,
+                    run_hi: hi0 as u32 + 1,
+                });
+                i = hi0 + 1;
+            }
+        }
+        for v in &mut per_sep_edges {
+            v.sort_by_key(|e| e.strip);
+        }
+
+        // --- Catalogs: proper edges keyed by strip top.
+        let mut catalogs: Vec<Vec<OrdF64>> = vec![Vec::new(); kinds.len()];
+        let mut edges: Vec<Vec<EdgeInfo>> = vec![Vec::new(); kinds.len()];
+        for (c0, list) in per_sep_edges.into_iter().enumerate() {
+            let nid = node_of_sep[c0];
+            catalogs[nid.idx()] = list
+                .iter()
+                .map(|e| OrdF64::new(sub.ys[e.strip as usize + 1]))
+                .collect();
+            edges[nid.idx()] = list;
+        }
+
+        // --- Per-strip inactive branches: the owner of σ_c's edge at strip
+        // j is an ancestor when the edge is not proper at σ_c; the search
+        // already went toward σ_c there, which fixes the side.
+        let mut strip_branch: Vec<Vec<Branch>> = vec![Vec::new(); kinds.len()];
+        for c0 in 0..seps {
+            let c = c0 as u32 + 1;
+            let nid = node_of_sep[c0];
+            let mut sb = Vec::with_capacity(sub.strips());
+            for j in 0..sub.strips() {
+                let (lo0, hi0) = sub.edge_run(c0, j);
+                let owner = lca_sep(lo0 as u32 + 1, hi0 as u32 + 1);
+                // branch = left iff c < owner (paper's rule, per strip).
+                sb.push(if c < owner { Branch::Left } else { Branch::Right });
+            }
+            strip_branch[nid.idx()] = sb;
+        }
+
+        let tree = CatalogTree::from_parents(parents, catalogs);
+        let st = CoopStructure::preprocess(tree, mode);
+
+        SeparatorTree {
+            sub,
+            st,
+            kind: kinds,
+            node_of_sep,
+            edges,
+            strip_branch,
+        }
+    }
+
+    /// The tree node's separator index (1-indexed), if it is a separator.
+    #[inline]
+    pub fn sep_of(&self, node: NodeId) -> Option<u32> {
+        match self.kind[node.idx()] {
+            NodeKind::Separator(c) => Some(c),
+            NodeKind::Region(_) => None,
+        }
+    }
+
+    /// Inorder position of a node on the doubled axis (`σ_c → 2c`,
+    /// `r_t → 2t − 1`) — lets separators and regions be compared.
+    #[inline]
+    pub fn inorder_pos(&self, node: NodeId) -> u32 {
+        match self.kind[node.idx()] {
+            NodeKind::Separator(c) => 2 * c,
+            NodeKind::Region(t) => 2 * t - 1,
+        }
+    }
+
+    /// Clamp a query to the vertical extent of the subdivision (separators
+    /// extend vertically beyond their first/last vertex, so the region
+    /// answer is unchanged).
+    pub fn clamp_y(&self, y: f64) -> f64 {
+        y.clamp(self.sub.ys[0], *self.sub.ys.last().unwrap())
+    }
+
+    /// The result of locating `y` in a separator node's catalog.
+    pub fn classify(&self, node: NodeId, native_idx: usize, y: f64) -> Activity {
+        let list = &self.edges[node.idx()];
+        if native_idx < list.len() {
+            let e = list[native_idx];
+            if self.sub.ys[e.strip as usize] <= y {
+                return Activity::Active(e);
+            }
+        }
+        Activity::Inactive
+    }
+
+    /// Geometric side test of `(x, y)` against the (shared) edge `e` of
+    /// separator `σ_c`: returns the branch the search takes.
+    pub fn discriminate(&self, c: u32, x: f64, y: f64) -> Branch {
+        if self.sub.left_of(c as usize - 1, x, y) {
+            Branch::Left
+        } else {
+            Branch::Right
+        }
+    }
+}
+
+/// Whether a node's catalog held the query-height edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activity {
+    /// `find(y, σ)` is a proper edge whose vertical span includes `y`.
+    Active(EdgeInfo),
+    /// `find(y, σ)` is a gap.
+    Inactive,
+}
+
+/// Sequential point location through the bridged separator tree:
+/// `O(log n)` total (one binary search plus `O(1)` per level through the
+/// bridges). Returns the 1-indexed region and per-query statistics.
+pub fn locate_sequential(
+    t: &SeparatorTree,
+    x: f64,
+    y: f64,
+    mut pram: Option<&mut Pram>,
+) -> (usize, LocateStats) {
+    let y = t.clamp_y(y);
+    let key = OrdF64::new(y);
+    let fc = t.st.cascade();
+    let tree = t.st.tree();
+    let mut stats = LocateStats::default();
+
+    let mut node = tree.root();
+    let mut aug = fc.find_aug(node, key);
+    if let Some(pram) = pram.as_deref_mut() {
+        let len = fc.keys(node).len();
+        pram.seq((usize::BITS - len.leading_zeros()) as usize);
+    }
+    loop {
+        match t.kind[node.idx()] {
+            NodeKind::Region(r) => return (r as usize, stats),
+            NodeKind::Separator(c) => {
+                let native = fc.native_result(node, aug).native_idx as usize;
+                let branch = match t.classify(node, native, y) {
+                    Activity::Active(_) => {
+                        stats.active_nodes += 1;
+                        t.discriminate(c, x, y)
+                    }
+                    Activity::Inactive => {
+                        stats.inactive_nodes += 1;
+                        let strip = t.sub.strip_of(y);
+                        t.strip_branch[node.idx()][strip]
+                    }
+                };
+                let slot = branch.slot();
+                let (next, walked) = fc.descend(node, slot, aug, key);
+                if let Some(pram) = pram.as_deref_mut() {
+                    pram.seq(2 + walked);
+                }
+                node = tree.children(node)[slot];
+                aug = next;
+            }
+        }
+    }
+}
+
+/// Baseline without bridges: an independent `O(log n)` binary search at
+/// every level (`O(log² n)` total) — the pre-fractional-cascading strawman.
+pub fn locate_binary_per_node(
+    t: &SeparatorTree,
+    x: f64,
+    y: f64,
+    mut pram: Option<&mut Pram>,
+) -> usize {
+    let y = t.clamp_y(y);
+    let tree = t.st.tree();
+    let mut node = tree.root();
+    loop {
+        match t.kind[node.idx()] {
+            NodeKind::Region(r) => return r as usize,
+            NodeKind::Separator(c) => {
+                let cat = tree.catalog(node);
+                let native = cat.partition_point(|k| k.get() < y);
+                if let Some(pram) = pram.as_deref_mut() {
+                    pram.seq(((usize::BITS - cat.len().leading_zeros()) as usize).max(1));
+                }
+                let branch = match t.classify(node, native, y) {
+                    Activity::Active(_) => t.discriminate(c, x, y),
+                    Activity::Inactive => t.strip_branch[node.idx()][t.sub.strip_of(y)],
+                };
+                node = tree.children(node)[branch.slot()];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subdivision::SubdivisionParams;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(seed: u64, params: SubdivisionParams) -> SeparatorTree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sub = MonotoneSubdivision::generate(params, &mut rng);
+        SeparatorTree::build(sub, ParamMode::Auto)
+    }
+
+    #[test]
+    fn tree_shape_is_the_inorder_separator_tree() {
+        let t = build(11, SubdivisionParams::default());
+        let tree = t.st.tree();
+        assert_eq!(tree.len(), 2 * t.sub.f - 1);
+        // Inorder traversal must read r_1 σ_1 r_2 σ_2 … σ_(f-1) r_f.
+        fn inorder(
+            tree: &CatalogTree<OrdF64>,
+            t: &SeparatorTree,
+            node: NodeId,
+            out: &mut Vec<u32>,
+        ) {
+            let ch = tree.children(node);
+            if ch.is_empty() {
+                out.push(t.inorder_pos(node));
+            } else {
+                inorder(tree, t, ch[0], out);
+                out.push(t.inorder_pos(node));
+                inorder(tree, t, ch[1], out);
+            }
+        }
+        let mut seq = Vec::new();
+        inorder(tree, &t, tree.root(), &mut seq);
+        let expect: Vec<u32> = (1..=2 * t.sub.f as u32 - 1).collect();
+        assert_eq!(seq, expect);
+    }
+
+    #[test]
+    fn every_edge_stored_exactly_once() {
+        let t = build(13, SubdivisionParams::default());
+        let stored: usize = t.edges.iter().map(Vec::len).sum();
+        assert_eq!(stored, t.sub.distinct_edges());
+    }
+
+    #[test]
+    fn proper_edges_live_at_the_lca_of_their_run() {
+        let t = build(17, SubdivisionParams::default());
+        let tree = t.st.tree();
+        for nid in tree.ids() {
+            let Some(c) = t.sep_of(nid) else { continue };
+            for e in &t.edges[nid.idx()] {
+                assert!(e.run_lo <= c && c <= e.run_hi, "owner inside run");
+                // The owner must be an ancestor of every separator in the
+                // run (or the separator itself).
+                for s in e.run_lo..=e.run_hi {
+                    let snode = t.node_of_sep[s as usize - 1];
+                    let mut cur = Some(snode);
+                    let mut found = false;
+                    while let Some(v) = cur {
+                        if v == nid {
+                            found = true;
+                            break;
+                        }
+                        cur = tree.parent(v);
+                    }
+                    assert!(found, "σ_{c} must be an ancestor of σ_{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_matches_brute_force() {
+        for (seed, params) in [
+            (19u64, SubdivisionParams::default()),
+            (
+                23,
+                SubdivisionParams {
+                    regions: 64,
+                    strips: 24,
+                    stick: 0.5,
+                    detach: 0.3,
+                },
+            ),
+            (
+                29,
+                SubdivisionParams {
+                    regions: 128,
+                    strips: 6,
+                    stick: 0.0,
+                    detach: 1.0,
+                },
+            ),
+            (
+                31,
+                SubdivisionParams {
+                    regions: 32,
+                    strips: 40,
+                    stick: 0.8,
+                    detach: 0.1,
+                },
+            ),
+        ] {
+            let t = build(seed, params);
+            let mut rng = SmallRng::seed_from_u64(seed + 1000);
+            for _ in 0..300 {
+                let (x, y) = t.sub.random_query(&mut rng);
+                let want = t.sub.locate_brute(x, y);
+                let (got, _) = locate_sequential(&t, x, y, None);
+                assert_eq!(got, want, "seed {seed} q ({x}, {y})");
+                assert_eq!(locate_binary_per_node(&t, x, y, None), want);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_sharing_produces_inactive_nodes() {
+        let t = build(
+            37,
+            SubdivisionParams {
+                regions: 64,
+                strips: 16,
+                stick: 0.7,
+                detach: 0.2,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(38);
+        let mut inactive = 0usize;
+        for _ in 0..100 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let (_, stats) = locate_sequential(&t, x, y, None);
+            inactive += stats.inactive_nodes;
+        }
+        assert!(inactive > 0, "sharing must force gap traversals");
+    }
+
+    #[test]
+    fn bridged_search_beats_binary_per_node() {
+        let t = build(
+            41,
+            SubdivisionParams {
+                regions: 512,
+                strips: 64,
+                stick: 0.3,
+                detach: 0.5,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut pram_fc = Pram::new(1, Model::Crew);
+        let mut pram_bin = Pram::new(1, Model::Crew);
+        for _ in 0..50 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            locate_sequential(&t, x, y, Some(&mut pram_fc));
+            locate_binary_per_node(&t, x, y, Some(&mut pram_bin));
+        }
+        assert!(
+            pram_fc.steps() < pram_bin.steps(),
+            "bridged {} vs per-node {}",
+            pram_fc.steps(),
+            pram_bin.steps()
+        );
+    }
+
+    #[test]
+    fn corner_queries() {
+        let t = build(43, SubdivisionParams::default());
+        for (x, y) in [
+            (-1e9, -1e9),
+            (1e9, 1e9),
+            (-1e9, 1e9),
+            (1e9, -1e9),
+            (0.0, 0.0),
+        ] {
+            let want = t.sub.locate_brute(x, y);
+            let (got, _) = locate_sequential(&t, x, y, None);
+            assert_eq!(got, want, "corner ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn queries_on_separator_vertices() {
+        let t = build(47, SubdivisionParams::default());
+        // Probe exactly on vertices: x on a separator, y on a level.
+        for j in 0..t.sub.ys.len() {
+            for i in 0..t.sub.separators() {
+                let (x, y) = (t.sub.xs[i][j], t.sub.ys[j]);
+                let want = t.sub.locate_brute(x, y);
+                let (got, _) = locate_sequential(&t, x, y, None);
+                assert_eq!(got, want, "vertex sep {i} level {j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Spatial point location (Section 3.2, Theorem 5, Corollary 1).
+//!
+//! A spatial cell complex whose cells admit a topological order under
+//! vertical dominance is searched through a balanced tree over the cells:
+//! each internal node is a **separating surface** `χ_i` (the facets between
+//! the cells of index `<= i` and those above), each facet is stored at the
+//! least common ancestor of the surfaces sharing it, and discriminating the
+//! query against `χ_i` is itself a *planar* point location in the
+//! xy-projection of `χ_i`'s proper facets.
+//!
+//! This module builds the closest synthetic complex that exercises that
+//! machinery (see DESIGN.md): `G` stacked piecewise-constant surfaces over
+//! a shared monotone **footprint** subdivision, with surfaces allowed to
+//! coincide region-wise (producing shared facets, facet runs, and inactive
+//! nodes exactly as in the planar case). The cells are the slabs between
+//! consecutive surfaces; the stacking order is the topological order, as
+//! for the Voronoi complexes of Corollary 1.
+//!
+//! The cooperative search is two-level: an outer hop covers `Θ(log p)`
+//! tree levels at once by discriminating all `2^h` unit nodes in parallel,
+//! each discrimination being an inner cooperative planar point location
+//! with `p / 2^h` processors — giving the `O((log² n)/log² p)` bound of
+//! Theorem 5.
+
+use crate::cooploc::locate_coop;
+use crate::septree::{locate_sequential, SeparatorTree};
+use crate::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_coop::implicit::Branch;
+use fc_coop::ParamMode;
+use fc_pram::cost::Pram;
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// A stacked-surface cell complex over a shared planar footprint.
+#[derive(Debug, Clone)]
+pub struct SpatialComplex {
+    /// The xy footprint subdivision (regions `ρ_1 … ρ_g`).
+    pub footprint: MonotoneSubdivision,
+    /// `z[i][r]`: height of surface `i + 1` over footprint region `r + 1`;
+    /// non-decreasing in `i` for every `r` (acyclic vertical dominance).
+    pub z: Vec<Vec<f64>>,
+    /// Number of cells (`surfaces + 1`; must be a power of two).
+    pub cells: usize,
+}
+
+/// Parameters for [`SpatialComplex::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialParams {
+    /// Number of cells (power of two, >= 2).
+    pub cells: usize,
+    /// Footprint subdivision parameters.
+    pub footprint: SubdivisionParams,
+    /// Probability that consecutive surfaces coincide over a region
+    /// (shared facets).
+    pub coincide: f64,
+}
+
+impl Default for SpatialParams {
+    fn default() -> Self {
+        SpatialParams {
+            cells: 16,
+            footprint: SubdivisionParams::default(),
+            coincide: 0.3,
+        }
+    }
+}
+
+impl SpatialComplex {
+    /// Generate a random complex.
+    pub fn generate(params: SpatialParams, rng: &mut impl Rng) -> Self {
+        assert!(params.cells.is_power_of_two() && params.cells >= 2);
+        let footprint = MonotoneSubdivision::generate(params.footprint, rng);
+        let g = footprint.f;
+        let surfaces = params.cells - 1;
+        let mut z = vec![vec![0.0f64; g]; surfaces];
+        for r in 0..g {
+            let mut height = 0.0f64;
+            for zi in z.iter_mut() {
+                if height == 0.0 || rng.gen::<f64>() >= params.coincide {
+                    height += rng.gen_range(0.5..2.0);
+                }
+                zi[r] = height;
+            }
+        }
+        SpatialComplex {
+            footprint,
+            z,
+            cells: params.cells,
+        }
+    }
+
+    /// Number of surfaces (`cells − 1`).
+    #[inline]
+    pub fn surfaces(&self) -> usize {
+        self.z.len()
+    }
+
+    /// The maximal run `[lo, hi]` (0-indexed surfaces) sharing surface
+    /// `i`'s facet over region `r` (0-indexed).
+    pub fn facet_run(&self, i: usize, r: usize) -> (usize, usize) {
+        let mut lo = i;
+        while lo > 0 && self.z[lo - 1][r] == self.z[i][r] {
+            lo -= 1;
+        }
+        let mut hi = i;
+        while hi + 1 < self.surfaces() && self.z[hi + 1][r] == self.z[i][r] {
+            hi += 1;
+        }
+        (lo, hi)
+    }
+
+    /// Ground-truth cell of `(x, y, zq)`: footprint region by brute force,
+    /// then count the surfaces at or below `zq`. Returns the 1-indexed
+    /// cell.
+    pub fn locate_brute(&self, x: f64, y: f64, zq: f64) -> usize {
+        let r = self.footprint.locate_brute(x, y) - 1;
+        let below = self.z.iter().filter(|zi| zi[r] <= zq).count();
+        below + 1
+    }
+
+    /// A random query spanning the complex (and slightly outside).
+    pub fn random_query(&self, rng: &mut impl Rng) -> (f64, f64, f64) {
+        let (x, y) = self.footprint.random_query(rng);
+        let z_max = self
+            .z
+            .last()
+            .map(|zi| zi.iter().cloned().fold(0.0, f64::max))
+            .unwrap_or(1.0);
+        (x, y, rng.gen_range(-1.0..z_max + 1.0))
+    }
+}
+
+/// What an outer-tree node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OuterKind {
+    /// Separating surface `χ_i` (1-indexed).
+    Surface(u32),
+    /// Cell `c_t` (1-indexed) — a leaf.
+    Cell(u32),
+}
+
+/// One node of the outer (cell) tree.
+#[derive(Debug, Clone)]
+struct OuterNode {
+    kind: OuterKind,
+    children: [u32; 2], // u32::MAX at leaves
+}
+
+const NONE: u32 = u32::MAX;
+
+/// The preprocessed spatial locator: outer cell tree + a cooperative planar
+/// locator for the footprint (standing in for the per-node projections —
+/// every discrimination runs a full planar point location through it, so
+/// the *work* of Theorem 5's two-level search is performed and charged; see
+/// DESIGN.md for the space note).
+pub struct SpatialLocator {
+    /// The complex being searched.
+    pub complex: SpatialComplex,
+    /// Cooperative planar locator used for every surface discrimination.
+    pub planar: SeparatorTree,
+    nodes: Vec<OuterNode>,
+    /// Per outer node: proper facets as `region (0-idx) -> (run_lo, run_hi)`
+    /// (1-indexed surfaces).
+    facets: Vec<HashMap<u32, (u32, u32)>>,
+    /// Per outer node (surfaces): inactive branch per footprint region.
+    region_branch: Vec<Vec<Branch>>,
+}
+
+/// Statistics from one spatial location.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpatialStats {
+    /// Outer hops.
+    pub hops: usize,
+    /// Inner planar point locations executed.
+    pub inner_queries: usize,
+    /// Surfaces found active.
+    pub active: usize,
+}
+
+impl SpatialLocator {
+    /// Build the locator (outer tree, facet assignment, planar
+    /// preprocessing).
+    pub fn build(complex: SpatialComplex, mode: ParamMode) -> Self {
+        let cells = complex.cells;
+        let surfaces = complex.surfaces();
+
+        // Outer tree over cell range [1, cells] (preorder arena).
+        struct Task {
+            lo: u32,
+            hi: u32,
+            parent: Option<u32>,
+            slot: usize,
+        }
+        let mut nodes: Vec<OuterNode> = Vec::with_capacity(2 * cells - 1);
+        let mut node_of_surface = vec![0u32; surfaces];
+        let mut stack = vec![Task {
+            lo: 1,
+            hi: cells as u32,
+            parent: None,
+            slot: 0,
+        }];
+        while let Some(t) = stack.pop() {
+            let idx = nodes.len() as u32;
+            if let Some(p) = t.parent {
+                nodes[p as usize].children[t.slot] = idx;
+            }
+            if t.lo == t.hi {
+                nodes.push(OuterNode {
+                    kind: OuterKind::Cell(t.lo),
+                    children: [NONE; 2],
+                });
+            } else {
+                let mid = (t.lo + t.hi) / 2;
+                nodes.push(OuterNode {
+                    kind: OuterKind::Surface(mid),
+                    children: [NONE; 2],
+                });
+                node_of_surface[mid as usize - 1] = idx;
+                stack.push(Task {
+                    lo: mid + 1,
+                    hi: t.hi,
+                    parent: Some(idx),
+                    slot: 1,
+                });
+                stack.push(Task {
+                    lo: t.lo,
+                    hi: mid,
+                    parent: Some(idx),
+                    slot: 0,
+                });
+            }
+        }
+
+        // Facet assignment: run LCA over the cell-range structure.
+        let lca_surface = |lo: u32, hi: u32| -> u32 {
+            let (mut a, mut b) = (1u32, cells as u32);
+            loop {
+                let mid = (a + b) / 2;
+                if hi < mid {
+                    b = mid;
+                } else if lo > mid {
+                    a = mid + 1;
+                } else {
+                    return mid;
+                }
+            }
+        };
+        let g = complex.footprint.f;
+        let mut facets: Vec<HashMap<u32, (u32, u32)>> = vec![HashMap::new(); nodes.len()];
+        let mut region_branch: Vec<Vec<Branch>> = vec![Vec::new(); nodes.len()];
+        for r in 0..g {
+            let mut i = 0usize;
+            while i < surfaces {
+                let (lo0, hi0) = complex.facet_run(i, r);
+                let owner = lca_surface(lo0 as u32 + 1, hi0 as u32 + 1);
+                facets[node_of_surface[owner as usize - 1] as usize]
+                    .insert(r as u32, (lo0 as u32 + 1, hi0 as u32 + 1));
+                i = hi0 + 1;
+            }
+        }
+        for (s0, &nid) in node_of_surface.iter().enumerate() {
+            let c = s0 as u32 + 1;
+            let rb: Vec<Branch> = (0..g)
+                .map(|r| {
+                    let (lo0, hi0) = complex.facet_run(s0, r);
+                    let owner = lca_surface(lo0 as u32 + 1, hi0 as u32 + 1);
+                    if c < owner {
+                        Branch::Left
+                    } else {
+                        Branch::Right
+                    }
+                })
+                .collect();
+            region_branch[nid as usize] = rb;
+        }
+
+        let planar = SeparatorTree::build(complex.footprint.clone(), mode);
+        SpatialLocator {
+            complex,
+            planar,
+            nodes,
+            facets,
+            region_branch,
+        }
+    }
+
+    /// Height of the surface `c` (1-indexed) over region `r` (0-indexed).
+    #[inline]
+    fn surface_z(&self, c: u32, r: usize) -> f64 {
+        self.complex.z[c as usize - 1][r]
+    }
+}
+
+/// Sequential spatial point location (the canal-tree baseline of [2]):
+/// every tree level re-runs a planar point location — `O(log² n)` total.
+/// Returns the 1-indexed cell.
+pub fn locate_spatial_sequential(
+    loc: &SpatialLocator,
+    x: f64,
+    y: f64,
+    zq: f64,
+    pram: &mut Pram,
+) -> (usize, SpatialStats) {
+    let mut stats = SpatialStats::default();
+    let mut idx = 0u32;
+    loop {
+        match loc.nodes[idx as usize].kind {
+            OuterKind::Cell(t) => return (t as usize, stats),
+            OuterKind::Surface(c) => {
+                // Inner planar point location (charged in full each level).
+                let (region, _) = locate_sequential(&loc.planar, x, y, Some(pram));
+                stats.inner_queries += 1;
+                let r = region as u32 - 1;
+                let branch = if loc.facets[idx as usize].contains_key(&r) {
+                    stats.active += 1;
+                    if zq >= loc.surface_z(c, r as usize) {
+                        Branch::Right
+                    } else {
+                        Branch::Left
+                    }
+                } else {
+                    loc.region_branch[idx as usize][r as usize]
+                };
+                pram.seq(1);
+                idx = loc.nodes[idx as usize].children[branch.slot()];
+            }
+        }
+    }
+}
+
+/// Cooperative spatial point location (Theorem 5): outer hops of
+/// `h ≈ (log p)/2` levels, each discriminating all `2^h` unit nodes via
+/// concurrent inner cooperative planar point locations with `p / 2^h`
+/// processors each, then the Section 3.1 branch recomputation.
+pub fn locate_spatial_coop(
+    loc: &SpatialLocator,
+    x: f64,
+    y: f64,
+    zq: f64,
+    pram: &mut Pram,
+) -> (usize, SpatialStats) {
+    let p = pram.processors();
+    if p < 16 {
+        return locate_spatial_sequential(loc, x, y, zq, pram);
+    }
+    let h = (((usize::BITS - p.leading_zeros()) as usize / 2).max(1)) as u32;
+    let mut stats = SpatialStats::default();
+    let mut max_el = 0u32; // max(e_L): everything <= it is below q
+
+    let mut idx = 0u32;
+    while let OuterKind::Surface(_) = loc.nodes[idx as usize].kind {
+        stats.hops += 1;
+        // Collect the unit: BFS to relative depth h.
+        let mut unit: Vec<(u32, u8)> = vec![(idx, 0)]; // (node, level)
+        let mut head = 0usize;
+        while head < unit.len() {
+            let (v, lvl) = unit[head];
+            head += 1;
+            if (lvl as u32) < h {
+                for &ch in &loc.nodes[v as usize].children {
+                    if ch != NONE {
+                        unit.push((ch, lvl + 1));
+                    }
+                }
+            }
+        }
+        let zn = unit.len();
+        let p_inner = (p / zn).max(1);
+
+        // Inner queries: all unit nodes concurrently, p/zn processors each.
+        let mut branch_prams = Vec::with_capacity(zn);
+        let mut info: Vec<Option<(u32, Option<(u32, u32)>, Branch)>> = vec![None; zn];
+        for (zi, &(v, _)) in unit.iter().enumerate() {
+            if let OuterKind::Surface(c) = loc.nodes[v as usize].kind {
+                let mut bp = pram.with_processors(p_inner);
+                let (region, _) = locate_coop(&loc.planar, x, y, &mut bp);
+                branch_prams.push(bp);
+                stats.inner_queries += 1;
+                let r = region as u32 - 1;
+                if let Some(&run) = loc.facets[v as usize].get(&r) {
+                    stats.active += 1;
+                    let b = if zq >= loc.surface_z(c, r as usize) {
+                        Branch::Right
+                    } else {
+                        Branch::Left
+                    };
+                    info[zi] = Some((c, Some(run), b));
+                } else {
+                    info[zi] = Some((c, None, Branch::Left)); // branch set in step 5
+                }
+            }
+        }
+        pram.join_max(branch_prams);
+
+        // Steps 3-4: window update from the active transition.
+        pram.round(zn * zn);
+        let mut best_right: Option<(u32, u32)> = None;
+        for entry in info.iter().flatten() {
+            if let (c, Some(run), Branch::Right) = (entry.0, entry.1, entry.2) {
+                if best_right.is_none_or(|(bc, _)| c > bc) {
+                    best_right = Some((c, run.1));
+                }
+            }
+        }
+        if let Some((_, hi)) = best_right {
+            max_el = max_el.max(hi);
+        }
+
+        // Step 5: consistent branches everywhere; step 6: follow them.
+        pram.round(zn);
+        let branch_of = |zi: usize| -> Branch {
+            match info[zi] {
+                Some((c, Some(_), b)) => {
+                    let _ = c;
+                    b
+                }
+                Some((c, None, _)) => {
+                    if c <= max_el {
+                        Branch::Right
+                    } else {
+                        Branch::Left
+                    }
+                }
+                None => Branch::Left, // cell leaf: not branched from
+            }
+        };
+        // Walk from the unit root following branches to the unit bottom.
+        let mut pos = 0usize;
+        loop {
+            let (v, lvl) = unit[pos];
+            if (lvl as u32) >= h || loc.nodes[v as usize].children[0] == NONE {
+                idx = v;
+                break;
+            }
+            let b = branch_of(pos);
+            let target = loc.nodes[v as usize].children[b.slot()];
+            // Locate the child inside the unit list (BFS order).
+            pos = unit[pos + 1..]
+                .iter()
+                .position(|&(u, _)| u == target)
+                .map(|off| pos + 1 + off)
+                .expect("child is in the unit");
+            idx = target;
+            if let OuterKind::Cell(_) = loc.nodes[idx as usize].kind {
+                break;
+            }
+        }
+        pram.seq(1);
+    }
+    match loc.nodes[idx as usize].kind {
+        OuterKind::Cell(t) => (t as usize, stats),
+        OuterKind::Surface(_) => unreachable!("loop exits at a cell"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+
+    fn build(seed: u64, params: SpatialParams) -> SpatialLocator {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let complex = SpatialComplex::generate(params, &mut rng);
+        SpatialLocator::build(complex, ParamMode::Auto)
+    }
+
+    #[test]
+    fn surfaces_respect_vertical_dominance() {
+        let mut rng = SmallRng::seed_from_u64(201);
+        let c = SpatialComplex::generate(SpatialParams::default(), &mut rng);
+        for r in 0..c.footprint.f {
+            for i in 1..c.surfaces() {
+                assert!(c.z[i - 1][r] <= c.z[i][r], "surface {i} region {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn facets_partition_surface_region_pairs() {
+        let loc = build(203, SpatialParams::default());
+        // Every (surface, region) pair belongs to exactly one stored run.
+        let g = loc.complex.footprint.f;
+        for r in 0..g as u32 {
+            let mut covered = vec![false; loc.complex.surfaces()];
+            for (nid, map) in loc.facets.iter().enumerate() {
+                if let Some(&(lo, hi)) = map.get(&r) {
+                    let _ = nid;
+                    for s in lo..=hi {
+                        assert!(!covered[s as usize - 1], "double cover");
+                        covered[s as usize - 1] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&b| b), "region {r} fully covered");
+        }
+    }
+
+    #[test]
+    fn sequential_matches_brute_force() {
+        for seed in [207u64, 211, 213] {
+            let loc = build(
+                seed,
+                SpatialParams {
+                    cells: 32,
+                    coincide: 0.4,
+                    ..Default::default()
+                },
+            );
+            let mut rng = SmallRng::seed_from_u64(seed + 500);
+            for _ in 0..150 {
+                let (x, y, zq) = loc.complex.random_query(&mut rng);
+                let want = loc.complex.locate_brute(x, y, zq);
+                let mut pram = Pram::new(1, Model::Crew);
+                let (got, _) = locate_spatial_sequential(&loc, x, y, zq, &mut pram);
+                assert_eq!(got, want, "seed {seed} q ({x}, {y}, {zq})");
+            }
+        }
+    }
+
+    #[test]
+    fn coop_matches_brute_force_across_p() {
+        let loc = build(
+            217,
+            SpatialParams {
+                cells: 64,
+                coincide: 0.35,
+                footprint: SubdivisionParams {
+                    regions: 64,
+                    strips: 12,
+                    stick: 0.4,
+                    detach: 0.4,
+                },
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(218);
+        for p in [1usize, 64, 4096, 1 << 20] {
+            for _ in 0..60 {
+                let (x, y, zq) = loc.complex.random_query(&mut rng);
+                let want = loc.complex.locate_brute(x, y, zq);
+                let mut pram = Pram::new(p, Model::Crew);
+                let (got, _) = locate_spatial_coop(&loc, x, y, zq, &mut pram);
+                assert_eq!(got, want, "p {p} q ({x}, {y}, {zq})");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_coincidence_still_correct() {
+        let loc = build(
+            223,
+            SpatialParams {
+                cells: 64,
+                coincide: 0.8,
+                ..Default::default()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(224);
+        for _ in 0..100 {
+            let (x, y, zq) = loc.complex.random_query(&mut rng);
+            let want = loc.complex.locate_brute(x, y, zq);
+            let mut pram = Pram::new(1 << 16, Model::Crew);
+            let (got, _) = locate_spatial_coop(&loc, x, y, zq, &mut pram);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn coop_hops_cover_multiple_levels() {
+        let loc = build(
+            227,
+            SpatialParams {
+                cells: 256,
+                ..Default::default()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(228);
+        let (x, y, zq) = loc.complex.random_query(&mut rng);
+        let mut pram = Pram::new(1 << 20, Model::Crew);
+        let (_, stats) = locate_spatial_coop(&loc, x, y, zq, &mut pram);
+        // Height of the outer tree is 8; hops of height ~10 collapse it.
+        assert!(stats.hops < 8, "hops {}", stats.hops);
+    }
+
+    #[test]
+    fn coop_beats_sequential_at_large_p() {
+        let loc = build(
+            229,
+            SpatialParams {
+                cells: 256,
+                footprint: SubdivisionParams {
+                    regions: 256,
+                    strips: 24,
+                    stick: 0.35,
+                    detach: 0.45,
+                },
+                coincide: 0.3,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(230);
+        let mut seq = 0u64;
+        let mut coop = 0u64;
+        for _ in 0..20 {
+            let (x, y, zq) = loc.complex.random_query(&mut rng);
+            let mut p1 = Pram::new(1, Model::Crew);
+            locate_spatial_sequential(&loc, x, y, zq, &mut p1);
+            seq += p1.steps();
+            let mut pp = Pram::new(1 << 26, Model::Crew);
+            locate_spatial_coop(&loc, x, y, zq, &mut pp);
+            coop += pp.steps();
+        }
+        assert!(coop < seq, "coop {coop} vs seq {seq}");
+    }
+}

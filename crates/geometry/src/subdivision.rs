@@ -1,0 +1,342 @@
+//! Synthetic monotone planar subdivisions.
+//!
+//! A monotone subdivision with `f` regions is represented exactly the way
+//! the separator-tree machinery consumes it (Section 3.1): as `f − 1`
+//! y-monotone **separators** `σ_1 <= σ_2 <= … <= σ_(f−1)`, each a polyline
+//! through a shared ladder of y-levels, with region `r_t` the strip between
+//! `σ_(t−1)` and `σ_t`. Adjacent separators may **coincide** along whole
+//! edges; a maximal run of separators sharing an edge is what produces the
+//! proper-edge ranges `[min(e), max(e)]` and the *gaps* that make point
+//! location "highly implicit".
+//!
+//! The generator controls the amount of sharing with a Markov coalescing
+//! process per separator (stick to the left neighbour / detach), which
+//! yields chains-and-gaps structures like the paper's Figure 5.
+
+use rand::prelude::*;
+
+/// Parameters for [`MonotoneSubdivision::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubdivisionParams {
+    /// Number of regions `f` (must be a power of two, at least 2 — keeps
+    /// the separator tree perfectly balanced, the paper's setting).
+    pub regions: usize,
+    /// Number of horizontal strips (there are `strips + 1` y-levels).
+    pub strips: usize,
+    /// Probability that a detached separator sticks to its left neighbour
+    /// at the next level (edge sharing; 0 = no shared edges).
+    pub stick: f64,
+    /// Probability that a stuck separator detaches at the next level.
+    pub detach: f64,
+}
+
+impl Default for SubdivisionParams {
+    fn default() -> Self {
+        SubdivisionParams {
+            regions: 16,
+            strips: 8,
+            stick: 0.35,
+            detach: 0.45,
+        }
+    }
+}
+
+/// A monotone subdivision as stacked y-monotone separators.
+#[derive(Debug, Clone)]
+pub struct MonotoneSubdivision {
+    /// Strictly increasing y-levels (`strips + 1` of them).
+    pub ys: Vec<f64>,
+    /// `xs[i][j]`: x-coordinate of separator `i + 1` (separators are
+    /// 1-indexed in the paper) at level `j`. Non-decreasing in `i` for
+    /// every `j`.
+    pub xs: Vec<Vec<f64>>,
+    /// Number of regions `f` (= `xs.len() + 1`).
+    pub f: usize,
+}
+
+impl MonotoneSubdivision {
+    /// Generate a random instance.
+    ///
+    /// # Panics
+    /// Panics if `regions` is not a power of two `>= 2` or `strips == 0`.
+    pub fn generate(params: SubdivisionParams, rng: &mut impl Rng) -> Self {
+        assert!(
+            params.regions.is_power_of_two() && params.regions >= 2,
+            "regions must be a power of two >= 2"
+        );
+        assert!(params.strips >= 1);
+        let seps = params.regions - 1;
+        let levels = params.strips + 1;
+
+        // Strictly increasing y-levels with random gaps.
+        let mut ys = Vec::with_capacity(levels);
+        let mut y = 0.0f64;
+        for _ in 0..levels {
+            y += rng.gen_range(0.5..2.0);
+            ys.push(y);
+        }
+
+        // Per level: sorted x's, then Markov coalescing runs.
+        let mut xs = vec![vec![0.0f64; levels]; seps];
+        let mut stuck = vec![false; seps]; // stuck[i]: separator i+1 == separator i
+        for j in 0..levels {
+            let mut col: Vec<f64> = (0..seps)
+                .map(|_| rng.gen_range(0.0..(seps as f64) * 4.0))
+                .collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Evolve the stuck state (separator 0 has no left neighbour).
+            for i in 1..seps {
+                stuck[i] = if stuck[i] {
+                    rng.gen::<f64>() >= params.detach
+                } else {
+                    rng.gen::<f64>() < params.stick
+                };
+            }
+            for (i, sep) in xs.iter_mut().enumerate() {
+                sep[j] = col[i];
+            }
+            for i in 1..seps {
+                if stuck[i] {
+                    let left = xs[i - 1][j];
+                    xs[i][j] = left;
+                }
+            }
+        }
+
+        MonotoneSubdivision {
+            ys,
+            xs,
+            f: params.regions,
+        }
+    }
+
+    /// Number of separators (`f − 1`).
+    #[inline]
+    pub fn separators(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Number of strips.
+    #[inline]
+    pub fn strips(&self) -> usize {
+        self.ys.len() - 1
+    }
+
+    /// Total number of *distinct* edges (each maximal run of coinciding
+    /// separators in a strip counts once) — the subdivision's `n` up to a
+    /// constant.
+    pub fn distinct_edges(&self) -> usize {
+        let mut count = 0usize;
+        for j in 0..self.strips() {
+            for i in 0..self.separators() {
+                if i == 0 || !self.edge_equal(i - 1, i, j) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether separators `a` and `b` (0-indexed) coincide along strip `j`.
+    #[inline]
+    pub fn edge_equal(&self, a: usize, b: usize, j: usize) -> bool {
+        self.xs[a][j] == self.xs[b][j] && self.xs[a][j + 1] == self.xs[b][j + 1]
+    }
+
+    /// The maximal run `[lo, hi]` of separators (0-indexed) sharing
+    /// separator `i`'s edge along strip `j`.
+    pub fn edge_run(&self, i: usize, j: usize) -> (usize, usize) {
+        let mut lo = i;
+        while lo > 0 && self.edge_equal(lo - 1, i, j) {
+            lo -= 1;
+        }
+        let mut hi = i;
+        while hi + 1 < self.separators() && self.edge_equal(hi + 1, i, j) {
+            hi += 1;
+        }
+        (lo, hi)
+    }
+
+    /// The strip containing height `y` (clamped to the first/last strip for
+    /// out-of-range queries — separators extend vertically to ±∞).
+    pub fn strip_of(&self, y: f64) -> usize {
+        let j = self.ys.partition_point(|&lv| lv < y);
+        j.saturating_sub(1).min(self.strips() - 1)
+    }
+
+    /// The x-coordinate of separator `i` (0-indexed) at height `y`
+    /// (vertical extension beyond the first/last level).
+    pub fn sep_x_at(&self, i: usize, y: f64) -> f64 {
+        let m = self.ys.len() - 1;
+        if y <= self.ys[0] {
+            return self.xs[i][0];
+        }
+        if y >= self.ys[m] {
+            return self.xs[i][m];
+        }
+        let j = self.strip_of(y);
+        let (y0, y1) = (self.ys[j], self.ys[j + 1]);
+        let (x0, x1) = (self.xs[i][j], self.xs[i][j + 1]);
+        x0 + (x1 - x0) * (y - y0) / (y1 - y0)
+    }
+
+    /// Whether query point `(x, y)` lies strictly left of separator `i`.
+    /// Points exactly on a separator count as *right* (the region on the
+    /// right owns its left boundary — one consistent convention
+    /// throughout).
+    #[inline]
+    pub fn left_of(&self, i: usize, x: f64, y: f64) -> bool {
+        x < self.sep_x_at(i, y)
+    }
+
+    /// Ground-truth point location by scanning all separators:
+    /// `O(f log m)`. Returns the 1-indexed region `r_t`.
+    pub fn locate_brute(&self, x: f64, y: f64) -> usize {
+        let mut t = 1usize;
+        for i in 0..self.separators() {
+            if !self.left_of(i, x, y) {
+                t = i + 2; // right of separator i (0-indexed) => at least region i+2
+            }
+        }
+        // Separators are sorted, so the count version is equivalent; the
+        // max version tolerates ties from coinciding separators.
+        t
+    }
+
+    /// A random query point spanning (and slightly exceeding) the
+    /// subdivision's bounding box.
+    pub fn random_query(&self, rng: &mut impl Rng) -> (f64, f64) {
+        let x_max = (self.separators() as f64) * 4.0;
+        let y_max = *self.ys.last().unwrap();
+        (
+            rng.gen_range(-1.0..x_max + 1.0),
+            rng.gen_range(-1.0..y_max + 1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    fn gen(seed: u64, params: SubdivisionParams) -> MonotoneSubdivision {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        MonotoneSubdivision::generate(params, &mut rng)
+    }
+
+    #[test]
+    fn separators_are_ordered_at_every_level() {
+        let s = gen(1, SubdivisionParams::default());
+        for j in 0..s.ys.len() {
+            for i in 1..s.separators() {
+                assert!(s.xs[i - 1][j] <= s.xs[i][j], "level {j} sep {i}");
+            }
+        }
+        assert!(s.ys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn coalescing_produces_shared_edges() {
+        let s = gen(
+            2,
+            SubdivisionParams {
+                regions: 64,
+                strips: 16,
+                stick: 0.5,
+                detach: 0.3,
+            },
+        );
+        let total = s.separators() * s.strips();
+        let distinct = s.distinct_edges();
+        assert!(distinct < total, "expected sharing: {distinct} of {total}");
+        assert!(distinct > 0);
+    }
+
+    #[test]
+    fn no_stick_means_no_sharing() {
+        let s = gen(
+            3,
+            SubdivisionParams {
+                regions: 32,
+                strips: 8,
+                stick: 0.0,
+                detach: 1.0,
+            },
+        );
+        assert_eq!(s.distinct_edges(), s.separators() * s.strips());
+    }
+
+    #[test]
+    fn edge_runs_are_maximal_and_consistent() {
+        let s = gen(4, SubdivisionParams::default());
+        for j in 0..s.strips() {
+            for i in 0..s.separators() {
+                let (lo, hi) = s.edge_run(i, j);
+                assert!(lo <= i && i <= hi);
+                for k in lo..=hi {
+                    assert!(s.edge_equal(k, i, j));
+                    assert_eq!(s.edge_run(k, j), (lo, hi));
+                }
+                if lo > 0 {
+                    assert!(!s.edge_equal(lo - 1, i, j));
+                }
+                if hi + 1 < s.separators() {
+                    assert!(!s.edge_equal(hi + 1, i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_brute_is_monotone_in_x() {
+        let s = gen(5, SubdivisionParams::default());
+        let y = (s.ys[0] + s.ys[s.ys.len() - 1]) / 2.0;
+        let mut prev = 0;
+        for step in 0..200 {
+            let x = -1.0 + step as f64 * 0.4;
+            let r = s.locate_brute(x, y);
+            assert!(r >= 1 && r <= s.f);
+            assert!(r >= prev, "region must not decrease as x grows");
+            prev = r;
+        }
+        assert_eq!(s.locate_brute(-100.0, y), 1);
+        assert_eq!(s.locate_brute(1e9, y), s.f);
+    }
+
+    #[test]
+    fn out_of_range_y_uses_vertical_extensions() {
+        let s = gen(6, SubdivisionParams::default());
+        let x = 5.0;
+        let below = s.locate_brute(x, -100.0);
+        let at_bottom = s.locate_brute(x, s.ys[0]);
+        assert_eq!(below, at_bottom);
+        let above = s.locate_brute(x, 1e9);
+        let at_top = s.locate_brute(x, *s.ys.last().unwrap());
+        assert_eq!(above, at_top);
+    }
+
+    #[test]
+    fn strip_of_clamps() {
+        let s = gen(7, SubdivisionParams::default());
+        assert_eq!(s.strip_of(-10.0), 0);
+        assert_eq!(s.strip_of(1e9), s.strips() - 1);
+        for j in 0..s.strips() {
+            let mid = (s.ys[j] + s.ys[j + 1]) / 2.0;
+            assert_eq!(s.strip_of(mid), j);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_regions_rejected() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let _ = MonotoneSubdivision::generate(
+            SubdivisionParams {
+                regions: 12,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Rayon-backed execution of round-structured algorithms on real cores.
+//!
+//! The cost model ([`crate::cost`]) measures the paper's step counts; this
+//! module is the physical counterpart used by wall-clock benchmarks: it runs
+//! the per-processor bodies of a round genuinely in parallel on the rayon
+//! thread pool. The guarantees are weaker than a PRAM's (no lockstep
+//! synchrony within a round), but the round boundary is a full barrier, which
+//! is all the workspace's algorithms rely on.
+
+use rayon::prelude::*;
+
+/// Run one synchronous round of `procs` virtual processors in parallel.
+/// `body(pid)` must be safe to run concurrently for distinct pids (rayon and
+/// the borrow checker enforce data-race freedom). Returns the per-processor
+/// results in pid order.
+pub fn round_map<R, F>(procs: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync + Send,
+{
+    (0..procs).into_par_iter().map(body).collect()
+}
+
+/// Run one round for side effects only (e.g. each processor fills its own
+/// slot of a pre-split output). Prefer [`round_map`] when results are values.
+pub fn round_for_each<F>(procs: usize, body: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    (0..procs).into_par_iter().for_each(body);
+}
+
+/// Sequential fallback used when a round is too small to benefit from
+/// fan-out. Mirrors [`round_map`].
+pub fn round_map_seq<R, F>(procs: usize, mut body: F) -> Vec<R>
+where
+    F: FnMut(usize) -> R,
+{
+    (0..procs).map(&mut body).collect()
+}
+
+/// Run a round in parallel when `procs >= grain`, sequentially otherwise.
+/// The grain guards against rayon overhead dominating tiny rounds — the
+/// common case in cooperative search, where candidate windows are small for
+/// small `p`.
+pub fn round_map_auto<R, F>(procs: usize, grain: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync + Send,
+{
+    if procs >= grain {
+        round_map(procs, body)
+    } else {
+        (0..procs).map(body).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn round_map_preserves_pid_order() {
+        let out = round_map(100, |pid| pid * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_for_each_runs_every_pid_once() {
+        let count = AtomicUsize::new(0);
+        round_for_each(64, |_pid| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn round_map_auto_matches_parallel_and_seq() {
+        let par = round_map_auto(50, 1, |pid| pid + 1);
+        let seq = round_map_auto(50, 1000, |pid| pid + 1);
+        assert_eq!(par, seq);
+        assert_eq!(round_map_seq(50, |pid| pid + 1), seq);
+    }
+
+    #[test]
+    fn empty_round_is_fine() {
+        let out: Vec<usize> = round_map(0, |pid| pid);
+        assert!(out.is_empty());
+    }
+}

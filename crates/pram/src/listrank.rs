@@ -1,0 +1,276 @@
+//! List ranking and the Euler tour technique — the classical EREW
+//! primitives behind parallel tree preprocessing.
+//!
+//! The paper's `O(log n)`-time EREW preprocessing (and [1]'s tree
+//! machinery it builds on) silently relies on being able to compute tree
+//! depths, subtree sizes, and level orderings in parallel. The standard
+//! route is the **Euler tour technique**: linearise the tree into a
+//! circular successor list (each edge twice), weight the edge copies, and
+//! **list-rank** the tour by pointer jumping — `O(log n)` rounds, `O(n)`
+//! cells, one processor per element.
+//!
+//! This module implements both with cost accounting. Pointer jumping
+//! performs `O(n log n)` work (the textbook version; the optimal
+//! `O(n/log n)`-processor variants exist but are not needed for any bound
+//! in this reproduction — noted in DESIGN.md's dependency table).
+
+use crate::cost::Pram;
+
+/// Rank every element of a successor-linked list: `rank[i]` = number of
+/// links from `i` to the terminal (the element with `next[i] == i`).
+///
+/// Pointer jumping: `O(log n)` synchronous rounds, each `n` ops. Accepts
+/// any forest of lists (multiple terminals).
+pub fn list_rank(next: &[usize], pram: &mut Pram) -> Vec<u64> {
+    let n = next.len();
+    let mut nxt = next.to_vec();
+    let mut rank = vec![0u64; n];
+    for (i, &nx) in next.iter().enumerate() {
+        assert!(nx < n, "successor out of range");
+        if nx != i {
+            rank[i] = 1;
+        }
+    }
+    pram.round(n);
+    // Jump until every pointer reaches a terminal.
+    loop {
+        let mut changed = false;
+        let prev_rank = rank.clone();
+        let prev_next = nxt.clone();
+        for i in 0..n {
+            if prev_next[i] != prev_next[prev_next[i]] || prev_next[i] != nxt[i] {
+                changed = true;
+            }
+            rank[i] = prev_rank[i] + prev_rank[prev_next[i]];
+            nxt[i] = prev_next[prev_next[i]];
+        }
+        pram.round(n);
+        if !changed {
+            break;
+        }
+    }
+    rank
+}
+
+/// Weighted list ranking: `value[i]` = sum of `weight` along the path from
+/// `i` to the terminal, including `i`'s own weight, excluding the
+/// terminal's (set the terminal's weight as desired).
+pub fn list_rank_weighted(next: &[usize], weight: &[i64], pram: &mut Pram) -> Vec<i64> {
+    let n = next.len();
+    assert_eq!(weight.len(), n);
+    let mut nxt = next.to_vec();
+    // Invariant: acc[i] = sum of weights over [i, nxt[i]) (right-exclusive),
+    // so terminals carry 0 and never pollute repeated additions.
+    let mut acc: Vec<i64> = (0..n)
+        .map(|i| if next[i] == i { 0 } else { weight[i] })
+        .collect();
+    pram.round(n);
+    loop {
+        let mut changed = false;
+        let prev_acc = acc.clone();
+        let prev_next = nxt.clone();
+        for i in 0..n {
+            if prev_next[i] != prev_next[prev_next[i]] {
+                changed = true;
+            }
+            acc[i] = prev_acc[i] + prev_acc[prev_next[i]];
+            nxt[i] = prev_next[prev_next[i]];
+        }
+        pram.round(n);
+        if !changed {
+            break;
+        }
+    }
+    // Close the half-open interval: every pointer now rests on its
+    // terminal, whose weight enters exactly once.
+    for i in 0..n {
+        acc[i] += weight[nxt[i]];
+    }
+    pram.round(n);
+    acc
+}
+
+/// An Euler tour of a rooted tree given as parent links (`parent[root] ==
+/// root`): returns, per node, its **depth**, computed by building the tour
+/// successor list and weighted-ranking it (down-edges +1, up-edges −1).
+///
+/// `children` must list each node's children (consistent with `parent`).
+/// `O(log n)` rounds, `O(n)` elements.
+pub fn euler_tour_depths(
+    parent: &[usize],
+    children: &[Vec<usize>],
+    pram: &mut Pram,
+) -> Vec<u32> {
+    let n = parent.len();
+    assert_eq!(children.len(), n);
+    if n == 1 {
+        return vec![0];
+    }
+    // Tour elements: 2 per edge. Down-edge of v = 2v, up-edge of v = 2v+1
+    // (v != root). The successor of a down-edge into v is v's first
+    // child's down-edge, or v's up-edge if v is a leaf; the successor of
+    // an up-edge out of v is v's next sibling's down-edge, or the parent's
+    // up-edge.
+    let m = 2 * n;
+    let mut next = vec![0usize; m];
+    let mut weight = vec![0i64; m];
+    let root = (0..n).find(|&v| parent[v] == v).expect("rooted");
+    let first_child = |v: usize| children[v].first().copied();
+    let next_sibling = |v: usize| -> Option<usize> {
+        let p = parent[v];
+        let pos = children[p].iter().position(|&c| c == v).unwrap();
+        children[p].get(pos + 1).copied()
+    };
+    for v in 0..n {
+        if v != root {
+            weight[2 * v] = 1; // descending into v
+            weight[2 * v + 1] = -1; // ascending out of v
+            // down(v) -> first child's down, or up(v).
+            next[2 * v] = match first_child(v) {
+                Some(c) => 2 * c,
+                None => 2 * v + 1,
+            };
+            // up(v) -> next sibling's down, or parent's up (or terminal).
+            next[2 * v + 1] = match next_sibling(v) {
+                Some(s) => 2 * s,
+                None => {
+                    let p = parent[v];
+                    if p == root {
+                        2 * root + 1 // tour terminal marker
+                    } else {
+                        2 * p + 1
+                    }
+                }
+            };
+        }
+    }
+    // Root: its "down" starts the tour; its "up" slot is the terminal.
+    next[2 * root] = match first_child(root) {
+        Some(c) => 2 * c,
+        None => 2 * root + 1,
+    };
+    next[2 * root + 1] = 2 * root + 1; // terminal (self-loop)
+    weight[2 * root] = 0;
+    weight[2 * root + 1] = 0;
+
+    // Rank: suffix sums toward the terminal. depth(v) = total weight from
+    // down(v) to the end equals... we need PREFIX sums from the start, so
+    // rank suffix sums and subtract: suffix(down(v)) counts the +1 of v
+    // itself plus everything after; depth(v) = total - suffix_after(v)
+    // where total = suffix(start). Simpler: suffix sums S(e) along the
+    // list; depth(v) = S(start) - S(down(v)) + weight(down(v)).
+    let s = list_rank_weighted(&next, &weight, pram);
+    let start = 2 * root;
+    let mut depths = vec![0u32; n];
+    for v in 0..n {
+        if v == root {
+            depths[v] = 0;
+        } else {
+            let d = s[start] - s[2 * v] + weight[2 * v];
+            debug_assert!(d >= 0);
+            depths[v] = d as u32;
+        }
+    }
+    pram.round(n);
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Model;
+
+    #[test]
+    fn list_rank_simple_chain() {
+        // 0 -> 1 -> 2 -> 3 (terminal).
+        let next = vec![1, 2, 3, 3];
+        let mut pram = Pram::new(4, Model::Erew);
+        let rank = list_rank(&next, &mut pram);
+        assert_eq!(rank, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn list_rank_rounds_are_logarithmic() {
+        let n = 1 << 12;
+        let next: Vec<usize> = (0..n).map(|i| (i + 1).min(n - 1)).collect();
+        let mut pram = Pram::new(n, Model::Erew);
+        let rank = list_rank(&next, &mut pram);
+        assert_eq!(rank[0], (n - 1) as u64);
+        // Pointer jumping: ~log2(n) + 2 rounds of n ops each.
+        assert!(
+            pram.rounds() <= 12 + 4,
+            "rounds {} exceed log n + slack",
+            pram.rounds()
+        );
+    }
+
+    #[test]
+    fn list_rank_multiple_lists() {
+        // Two lists: 0->1->1 and 2->3->4->4.
+        let next = vec![1, 1, 3, 4, 4];
+        let mut pram = Pram::new(8, Model::Erew);
+        let rank = list_rank(&next, &mut pram);
+        assert_eq!(rank, vec![1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_rank_sums_path_weights() {
+        let next = vec![1, 2, 2];
+        let weight = vec![10, 20, 5];
+        let mut pram = Pram::new(4, Model::Erew);
+        let acc = list_rank_weighted(&next, &weight, &mut pram);
+        assert_eq!(acc[0], 35);
+        assert_eq!(acc[1], 25);
+        assert_eq!(acc[2], 5);
+    }
+
+    #[test]
+    fn euler_depths_on_a_small_tree() {
+        //      0
+        //     / \
+        //    1   2
+        //   / \    \
+        //  3   4    5
+        let parent = vec![0, 0, 0, 1, 1, 2];
+        let children = vec![vec![1, 2], vec![3, 4], vec![5], vec![], vec![], vec![]];
+        let mut pram = Pram::new(16, Model::Erew);
+        let depths = euler_tour_depths(&parent, &children, &mut pram);
+        assert_eq!(depths, vec![0, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn euler_depths_on_a_path_and_star() {
+        // Path 0-1-2-3-4.
+        let parent = vec![0, 0, 1, 2, 3];
+        let children = vec![vec![1], vec![2], vec![3], vec![4], vec![]];
+        let mut pram = Pram::new(16, Model::Erew);
+        let depths = euler_tour_depths(&parent, &children, &mut pram);
+        assert_eq!(depths, vec![0, 1, 2, 3, 4]);
+        // Star.
+        let parent = vec![0, 0, 0, 0];
+        let children = vec![vec![1, 2, 3], vec![], vec![], vec![]];
+        let depths = euler_tour_depths(&parent, &children, &mut pram);
+        assert_eq!(depths, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn euler_depths_single_node() {
+        let mut pram = Pram::new(1, Model::Erew);
+        assert_eq!(euler_tour_depths(&[0], &[vec![]], &mut pram), vec![0]);
+    }
+
+    #[test]
+    fn euler_depth_rounds_are_logarithmic() {
+        // A random-ish binary tree of 2^11 nodes (complete).
+        let n = (1 << 11) - 1;
+        let parent: Vec<usize> = (0..n).map(|i| if i == 0 { 0 } else { (i - 1) / 2 }).collect();
+        let mut children = vec![Vec::new(); n];
+        for i in 1..n {
+            children[(i - 1) / 2].push(i);
+        }
+        let mut pram = Pram::new(4 * n, Model::Erew);
+        let depths = euler_tour_depths(&parent, &children, &mut pram);
+        assert_eq!(depths[n - 1], 10);
+        assert!(pram.rounds() <= 20, "rounds {}", pram.rounds());
+    }
+}

@@ -1,0 +1,305 @@
+//! Instrumented shared memory for verifying PRAM access disciplines.
+//!
+//! The paper claims specific machine models for each algorithm: EREW for
+//! preprocessing, CREW for cooperative search, CRCW only for indirect
+//! retrieval. This module provides [`TracedMem`], a shared memory that
+//! executes *virtual processors* round by round and records every access, so
+//! tests can assert that an algorithm's access pattern actually obeys the
+//! discipline it claims.
+//!
+//! Execution is deliberately deterministic and single-threaded: the checker
+//! verifies the *round structure* of an algorithm (which accesses coincide
+//! in one synchronous step), not its wall-clock behaviour. All processors of
+//! a round observe the memory as it was at the start of the round; writes
+//! are buffered and committed when the round ends, exactly as on a
+//! synchronous PRAM.
+
+use crate::cost::Model;
+use std::collections::HashMap;
+
+/// A single detected violation of an access discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Round in which the conflict occurred (0-based).
+    pub round: u64,
+    /// Memory cell index.
+    pub cell: usize,
+    /// Description of the conflict.
+    pub kind: ConflictKind,
+}
+
+/// The kind of access conflict detected within a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two or more processors read the same cell (illegal under EREW).
+    ConcurrentRead,
+    /// Two or more processors wrote the same cell (illegal under EREW/CREW).
+    ConcurrentWrite,
+    /// A cell was both read and written in the same round (illegal under
+    /// EREW/CREW; a synchronous PRAM step has a read phase and a write
+    /// phase, so we flag read+write of one cell only when two *different*
+    /// processors touch it, which is the conflict the models forbid).
+    ReadWrite,
+}
+
+/// Shared memory of `T` cells with per-round access tracing.
+///
+/// Typical usage:
+///
+/// ```
+/// use fc_pram::traced::TracedMem;
+/// use fc_pram::Model;
+///
+/// let mut mem = TracedMem::new(vec![0i64; 8], Model::Crew);
+/// // One synchronous round: 4 processors each write their own cell after
+/// // all reading cell 0 (concurrent read: fine under CREW).
+/// mem.round(4, |pid, ctx| {
+///     let seed = *ctx.read(0);
+///     ctx.write(pid + 1, seed + pid as i64);
+/// });
+/// assert!(mem.violations().is_empty());
+/// ```
+pub struct TracedMem<T> {
+    cells: Vec<T>,
+    model: Model,
+    round: u64,
+    violations: Vec<Violation>,
+}
+
+/// Per-processor handle used inside a round closure. All reads observe the
+/// state at the beginning of the round; writes are buffered.
+pub struct ProcCtx<'a, T> {
+    pid: usize,
+    cells: &'a [T],
+    reads: Vec<usize>,
+    writes: Vec<(usize, T)>,
+}
+
+impl<'a, T> ProcCtx<'a, T> {
+    /// This processor's id within the round.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Read cell `idx` (start-of-round value), logging the access.
+    pub fn read(&mut self, idx: usize) -> &T {
+        self.reads.push(idx);
+        &self.cells[idx]
+    }
+
+    /// Buffer a write of `value` to cell `idx`, applied at end of round.
+    pub fn write(&mut self, idx: usize, value: T) {
+        self.writes.push((idx, value));
+    }
+}
+
+impl<T: Clone> TracedMem<T> {
+    /// Wrap `cells` as a traced memory checked against `model`.
+    pub fn new(cells: Vec<T>, model: Model) -> Self {
+        TracedMem {
+            cells,
+            model,
+            round: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Execute one synchronous round with `procs` virtual processors. Each
+    /// processor runs `body(pid, ctx)`; accesses are checked against the
+    /// discipline, then buffered writes are committed. Under CRCW, write
+    /// conflicts resolve by *arbitrary* (here: highest pid wins), matching
+    /// the arbitrary-CRCW model the paper's Theorem 6 needs.
+    pub fn round<F>(&mut self, procs: usize, mut body: F)
+    where
+        F: FnMut(usize, &mut ProcCtx<'_, T>),
+    {
+        let mut read_count: HashMap<usize, usize> = HashMap::new();
+        let mut write_count: HashMap<usize, usize> = HashMap::new();
+        let mut readers: HashMap<usize, usize> = HashMap::new(); // cell -> a pid
+        let mut writers: HashMap<usize, usize> = HashMap::new();
+        let mut all_writes: Vec<(usize, usize, T)> = Vec::new(); // (pid, cell, value)
+
+        for pid in 0..procs {
+            let mut ctx = ProcCtx {
+                pid,
+                cells: &self.cells,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            };
+            body(pid, &mut ctx);
+            for r in ctx.reads {
+                *read_count.entry(r).or_insert(0) += 1;
+                readers.insert(r, pid);
+            }
+            for (c, v) in ctx.writes {
+                *write_count.entry(c).or_insert(0) += 1;
+                writers.insert(c, pid);
+                all_writes.push((pid, c, v));
+            }
+        }
+
+        // Check discipline.
+        if self.model == Model::Erew {
+            for (&cell, &cnt) in &read_count {
+                if cnt > 1 {
+                    self.violations.push(Violation {
+                        round: self.round,
+                        cell,
+                        kind: ConflictKind::ConcurrentRead,
+                    });
+                }
+            }
+        }
+        if self.model != Model::Crcw {
+            for (&cell, &cnt) in &write_count {
+                if cnt > 1 {
+                    self.violations.push(Violation {
+                        round: self.round,
+                        cell,
+                        kind: ConflictKind::ConcurrentWrite,
+                    });
+                }
+            }
+            for (&cell, &wpid) in &writers {
+                if let Some(&rpid) = readers.get(&cell) {
+                    if rpid != wpid {
+                        self.violations.push(Violation {
+                            round: self.round,
+                            cell,
+                            kind: ConflictKind::ReadWrite,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Commit writes; highest pid wins on CRCW conflicts (arbitrary rule,
+        // made deterministic for testability).
+        all_writes.sort_by_key(|&(pid, cell, _)| (cell, pid));
+        for (_, cell, v) in all_writes {
+            self.cells[cell] = v;
+        }
+        self.round += 1;
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Immutable view of the memory contents (between rounds).
+    pub fn cells(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Consume the traced memory, returning its contents.
+    pub fn into_cells(self) -> Vec<T> {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erew_flags_concurrent_reads_crew_does_not() {
+        for (model, expect) in [(Model::Erew, 1), (Model::Crew, 0), (Model::Crcw, 0)] {
+            let mut mem = TracedMem::new(vec![42i64; 4], model);
+            mem.round(3, |pid, ctx| {
+                let v = *ctx.read(0); // every processor reads cell 0
+                ctx.write(pid + 1, v);
+            });
+            let n = mem
+                .violations()
+                .iter()
+                .filter(|v| v.kind == ConflictKind::ConcurrentRead)
+                .count();
+            assert_eq!(n, expect, "model {model:?}");
+        }
+    }
+
+    #[test]
+    fn crew_flags_concurrent_writes_crcw_does_not() {
+        for (model, expect) in [(Model::Crew, true), (Model::Crcw, false)] {
+            let mut mem = TracedMem::new(vec![0i64; 2], model);
+            mem.round(4, |pid, ctx| {
+                ctx.write(0, pid as i64);
+            });
+            let has = mem
+                .violations()
+                .iter()
+                .any(|v| v.kind == ConflictKind::ConcurrentWrite);
+            assert_eq!(has, expect, "model {model:?}");
+        }
+    }
+
+    #[test]
+    fn crcw_arbitrary_write_is_deterministic_highest_pid() {
+        let mut mem = TracedMem::new(vec![0i64; 1], Model::Crcw);
+        mem.round(5, |pid, ctx| ctx.write(0, pid as i64 * 10));
+        assert_eq!(mem.cells()[0], 40);
+        assert!(mem.violations().is_empty());
+    }
+
+    #[test]
+    fn reads_observe_start_of_round_state() {
+        let mut mem = TracedMem::new(vec![1i64, 2], Model::Crew);
+        // pid 0 writes cell 1; pid 1 reads cell 0 — no conflict, and pid 1
+        // must see the pre-round value even though pid 0 ran "first".
+        mem.round(2, |pid, ctx| {
+            if pid == 0 {
+                ctx.write(1, 99);
+            } else {
+                assert_eq!(*ctx.read(0), 1);
+            }
+        });
+        assert_eq!(mem.cells(), &[1, 99]);
+        assert!(mem.violations().is_empty());
+    }
+
+    #[test]
+    fn read_write_same_cell_different_procs_flagged() {
+        let mut mem = TracedMem::new(vec![5i64], Model::Crew);
+        mem.round(2, |pid, ctx| {
+            if pid == 0 {
+                let _ = ctx.read(0);
+            } else {
+                ctx.write(0, 6);
+            }
+        });
+        assert!(mem
+            .violations()
+            .iter()
+            .any(|v| v.kind == ConflictKind::ReadWrite));
+    }
+
+    #[test]
+    fn own_read_then_write_is_legal() {
+        let mut mem = TracedMem::new(vec![5i64], Model::Erew);
+        mem.round(1, |_pid, ctx| {
+            let v = *ctx.read(0);
+            ctx.write(0, v + 1);
+        });
+        assert!(mem.violations().is_empty());
+        assert_eq!(mem.cells()[0], 6);
+    }
+
+    #[test]
+    fn violation_records_round_number() {
+        let mut mem = TracedMem::new(vec![0i64; 2], Model::Erew);
+        mem.round(1, |_pid, ctx| ctx.write(0, 1)); // clean round
+        mem.round(2, |_pid, ctx| {
+            let _ = ctx.read(1);
+        }); // concurrent read in round 1
+        assert_eq!(mem.violations().len(), 1);
+        assert_eq!(mem.violations()[0].round, 1);
+        assert_eq!(mem.violations()[0].cell, 1);
+        assert_eq!(mem.rounds(), 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Orthogonal range search in the plane (Theorem 6).
+//!
+//! A range tree: a complete binary tree over the points sorted by `x`,
+//! each node's catalog holding the y-coordinates of the points below it in
+//! sorted order (total `O(n log n)`). A query `[x1, x2] × [y1, y2]`
+//! decomposes `[x1, x2]` into `O(log n)` canonical subtrees hanging off the
+//! two boundary root-to-leaf paths; cooperative searches for `y1` and
+//! `y2` along those paths (Theorem 1) position the query in every path
+//! catalog, and one bridge step per canonical child yields its contiguous
+//! report range.
+
+use crate::report::{charge_direct, charge_indirect, RangeList, ReportRange};
+use fc_catalog::{CatalogTree, NodeId};
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::cost::Pram;
+use rand::prelude::*;
+
+/// An axis-parallel query rectangle (inclusive bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct Rect {
+    /// Left x bound.
+    pub x1: i64,
+    /// Right x bound.
+    pub x2: i64,
+    /// Bottom y bound.
+    pub y1: i64,
+    /// Top y bound.
+    pub y2: i64,
+}
+
+/// The preprocessed 2D range tree.
+pub struct RangeTree2D {
+    /// The points, by id.
+    pub points: Vec<(i64, i64)>,
+    /// Cooperative structure over the x-tree with y-catalogs.
+    pub st: CoopStructure<i64>,
+    /// Point ids per node, aligned with the y-sorted catalogs.
+    pub ids: Vec<Vec<u32>>,
+    /// Point x-coordinates in leaf order.
+    xs_sorted: Vec<i64>,
+    /// Number of leaves (power of two).
+    leaves: usize,
+}
+
+impl RangeTree2D {
+    /// Build the range tree.
+    ///
+    /// # Panics
+    /// Panics if the points are empty or share x- or y-coordinates
+    /// (general position, as usual for range trees with catalogs).
+    pub fn build(points: Vec<(i64, i64)>, mode: ParamMode) -> Self {
+        assert!(!points.is_empty());
+        // Keep ids stable under the x-sort.
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by_key(|&i| points[i as usize].0);
+        let by_x: Vec<(i64, i64)> = order.iter().map(|&i| points[i as usize]).collect();
+        assert!(
+            by_x.windows(2).all(|w| w[0].0 < w[1].0),
+            "x-coordinates must be distinct"
+        );
+
+        let leaves = points.len().next_power_of_two();
+        let internal = leaves - 1;
+        let total = internal + leaves;
+        let mut catalogs: Vec<Vec<i64>> = vec![Vec::new(); total];
+        let mut ids: Vec<Vec<u32>> = vec![Vec::new(); total];
+        // Leaves first, then merge upward.
+        for (li, (&id, pt)) in order.iter().zip(&by_x).enumerate() {
+            catalogs[internal + li] = vec![pt.1];
+            ids[internal + li] = vec![id];
+        }
+        for i in (0..internal).rev() {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut merged: Vec<(i64, u32)> = catalogs[l]
+                .iter()
+                .zip(&ids[l])
+                .chain(catalogs[r].iter().zip(&ids[r]))
+                .map(|(&y, &id)| (y, id))
+                .collect();
+            merged.sort_unstable();
+            assert!(
+                merged.windows(2).all(|w| w[0].0 < w[1].0),
+                "y-coordinates must be distinct"
+            );
+            catalogs[i] = merged.iter().map(|&(y, _)| y).collect();
+            ids[i] = merged.iter().map(|&(_, id)| id).collect();
+        }
+        let parents: Vec<Option<u32>> = (0..total)
+            .map(|i| if i == 0 { None } else { Some(((i - 1) / 2) as u32) })
+            .collect();
+        let xs_sorted = by_x.iter().map(|&(x, _)| x).collect();
+        let tree = CatalogTree::from_parents(parents, catalogs);
+        let st = CoopStructure::preprocess(tree, mode);
+        // Restore id-ordered points.
+        let mut pts = vec![(0i64, 0i64); order.len()];
+        for (&id, &pt) in order.iter().zip(&by_x) {
+            pts[id as usize] = pt;
+        }
+        RangeTree2D {
+            points: pts,
+            st,
+            ids,
+            xs_sorted,
+            leaves,
+        }
+    }
+
+    /// Root-to-leaf path to leaf slot `li`.
+    fn path_to_leaf(&self, li: usize) -> Vec<NodeId> {
+        let mut idx = li + self.leaves - 1;
+        let mut path = vec![NodeId(idx as u32)];
+        while idx > 0 {
+            idx = (idx - 1) / 2;
+            path.push(NodeId(idx as u32));
+        }
+        path.reverse();
+        path
+    }
+
+    /// Canonical decomposition of leaf range `[a, b]` (inclusive): node
+    /// arena indices whose subtrees exactly tile the range.
+    fn canonical(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.canon_rec(0, 0, self.leaves, a, b, &mut out);
+        out
+    }
+
+    fn canon_rec(&self, node: usize, lo: usize, width: usize, a: usize, b: usize, out: &mut Vec<usize>) {
+        let hi = lo + width - 1;
+        if b < lo || a > hi {
+            return;
+        }
+        if a <= lo && hi <= b {
+            out.push(node);
+            return;
+        }
+        let half = width / 2;
+        self.canon_rec(2 * node + 1, lo, half, a, b, out);
+        self.canon_rec(2 * node + 2, lo + half, half, a, b, out);
+    }
+
+    /// Cooperative range query. Returns the report ranges (over the
+    /// canonical nodes' catalogs) with Theorem 6 cost accounting.
+    pub fn query_coop(&self, r: Rect, direct: bool, pram: &mut Pram) -> RangeList {
+        // Leaf range of [x1, x2].
+        let a = self.xs_sorted.partition_point(|&x| x < r.x1);
+        let b = self.xs_sorted.partition_point(|&x| x <= r.x2);
+        if a >= b {
+            return RangeList::default();
+        }
+        let (a, b) = (a, b - 1);
+        // Boundary paths + cooperative y-searches along them.
+        let path_a = self.path_to_leaf(a);
+        let path_b = self.path_to_leaf(b);
+        let hi_key = r.y2.saturating_add(1);
+        let lo_a = coop_search_explicit(&self.st, &path_a, r.y1, pram);
+        let hi_a = coop_search_explicit(&self.st, &path_a, hi_key, pram);
+        let (lo_b, hi_b) = if a == b {
+            (None, None)
+        } else {
+            (
+                Some(coop_search_explicit(&self.st, &path_b, r.y1, pram)),
+                Some(coop_search_explicit(&self.st, &path_b, hi_key, pram)),
+            )
+        };
+
+        // Position lookup: node arena idx -> position on a path.
+        let pos_on = |path: &[NodeId], idx: usize| path.iter().position(|n| n.idx() == idx);
+        let fc = self.st.cascade();
+        let tree = self.st.tree();
+
+        let canon = self.canonical(a, b);
+        // All canonical nodes resolve in one parallel round: each is either
+        // on a boundary path (answer already known) or the child of a path
+        // node (one bridge step from the path's augmented position).
+        let mut ranges = Vec::with_capacity(canon.len());
+        let mut round_ops = 0usize;
+        for c in canon {
+            let (lo_native, hi_native) = if let Some(p) = pos_on(&path_a, c) {
+                (lo_a.finds[p].native_idx, hi_a.finds[p].native_idx)
+            } else if let (Some(p), Some(lo_b), Some(hi_b)) =
+                (pos_on(&path_b, c), lo_b.as_ref(), hi_b.as_ref())
+            {
+                (lo_b.finds[p].native_idx, hi_b.finds[p].native_idx)
+            } else {
+                // Child of a path node: one bridge step per key.
+                let parent = (c - 1) / 2;
+                let slot = if 2 * parent + 1 == c { 0 } else { 1 };
+                let (pp, lo_res, hi_res) = if let Some(p) = pos_on(&path_a, parent) {
+                    (p, &lo_a, &hi_a)
+                } else {
+                    let p = pos_on(&path_b, parent).expect("canonical child off both paths");
+                    (p, lo_b.as_ref().unwrap(), hi_b.as_ref().unwrap())
+                };
+                let parent_node = NodeId(parent as u32);
+                let (lo_aug, w1) = fc.descend(parent_node, slot, lo_res.augs[pp], r.y1);
+                let (hi_aug, w2) = fc.descend(parent_node, slot, hi_res.augs[pp], hi_key);
+                round_ops += 2 + w1 + w2;
+                let child = tree.children(parent_node)[slot];
+                (
+                    fc.native_result(child, lo_aug).native_idx,
+                    fc.native_result(child, hi_aug).native_idx,
+                )
+            };
+            debug_assert!(lo_native <= hi_native);
+            ranges.push(ReportRange {
+                node_idx: c as u32,
+                start: lo_native,
+                count: hi_native - lo_native,
+            });
+        }
+        pram.round(round_ops);
+        let list = RangeList::from_ranges(ranges);
+        if direct {
+            charge_direct(pram, path_a.len() * 2, list.total);
+        } else {
+            charge_indirect(pram, path_a.len() * 2);
+        }
+        list
+    }
+
+    /// Materialise reported point ids.
+    pub fn collect_ids(&self, list: &RangeList) -> Vec<u32> {
+        let mut out = Vec::with_capacity(list.total as usize);
+        for r in &list.ranges {
+            let ids = &self.ids[r.node_idx as usize];
+            out.extend_from_slice(&ids[r.start as usize..(r.start + r.count) as usize]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force ground truth.
+    pub fn query_brute(&self, r: Rect) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| x >= r.x1 && x <= r.x2 && y >= r.y1 && y <= r.y2)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Random points with distinct x and distinct y coordinates.
+pub fn random_points(n: usize, range: i64, rng: &mut impl Rng) -> Vec<(i64, i64)> {
+    let xs = fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng);
+    let mut ys = fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng);
+    // Shuffle y against x so the point set is not a monotone staircase.
+    for i in (1..ys.len()).rev() {
+        ys.swap(i, rng.gen_range(0..=i));
+    }
+    xs.into_iter().zip(ys).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+
+    fn build(n: usize, seed: u64) -> RangeTree2D {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        RangeTree2D::build(random_points(n, 100_000, &mut rng), ParamMode::Auto)
+    }
+
+    fn rand_rect(rng: &mut SmallRng) -> Rect {
+        let (a, b) = (rng.gen_range(-10..100_010), rng.gen_range(-10..100_010));
+        let (c, d) = (rng.gen_range(-10..100_010), rng.gen_range(-10..100_010));
+        Rect {
+            x1: a.min(b),
+            x2: a.max(b),
+            y1: c.min(d),
+            y2: c.max(d),
+        }
+    }
+
+    #[test]
+    fn coop_query_matches_brute_force() {
+        let t = build(600, 401);
+        let mut rng = SmallRng::seed_from_u64(402);
+        for p in [1usize, 64, 1 << 16] {
+            for _ in 0..50 {
+                let r = rand_rect(&mut rng);
+                let mut pram = Pram::new(p, Model::Crew);
+                let list = t.query_coop(r, true, &mut pram);
+                assert_eq!(t.collect_ids(&list), t.query_brute(r), "p {p} r {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_and_empty_rectangles() {
+        let t = build(100, 403);
+        let mut pram = Pram::new(64, Model::Crew);
+        // Empty x-range.
+        let empty = t.query_coop(
+            Rect {
+                x1: 10,
+                x2: 9,
+                y1: 0,
+                y2: 100_000,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(empty.total, 0);
+        // Single point: query exactly its coordinates.
+        let (x, y) = t.points[0];
+        let hit = t.query_coop(
+            Rect {
+                x1: x,
+                x2: x,
+                y1: y,
+                y2: y,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(t.collect_ids(&hit), vec![0]);
+    }
+
+    #[test]
+    fn full_domain_reports_everything() {
+        let t = build(257, 405); // non-power-of-two: padding leaves exist
+        let mut pram = Pram::new(256, Model::Crew);
+        let all = t.query_coop(
+            Rect {
+                x1: i64::MIN / 2,
+                x2: i64::MAX / 2,
+                y1: i64::MIN / 2,
+                y2: i64::MAX / 2,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(all.total, 257);
+        assert_eq!(t.collect_ids(&all), (0..257).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn catalog_space_is_n_log_n() {
+        let t = build(2048, 407);
+        let n = 2048usize;
+        let total = t.st.tree().total_catalog_size();
+        // Exactly n per level of a complete tree: n * (log n + 1).
+        assert_eq!(total, n * (n.ilog2() as usize + 1));
+    }
+
+    #[test]
+    fn indirect_mode_matches_direct_counts() {
+        let t = build(500, 409);
+        let mut rng = SmallRng::seed_from_u64(410);
+        for _ in 0..20 {
+            let r = rand_rect(&mut rng);
+            let mut pd = Pram::new(128, Model::Crew);
+            let d = t.query_coop(r, true, &mut pd);
+            let mut pi = Pram::new(128, Model::Crcw);
+            let i = t.query_coop(r, false, &mut pi);
+            assert_eq!(d.total, i.total);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Three-dimensional orthogonal range search (Corollary 2, d = 3).
+//!
+//! A balanced tree over the points sorted by the first coordinate; each
+//! node points to a (d−1)-dimensional structure — here a full
+//! [`RangeTree2D`] — over its subtree's points projected along x. Space
+//! `O(n log² n)`.
+//!
+//! The cooperative retrieval follows the corollary's recursion: the query
+//! jumps `Θ(log p)` levels of the x-tree per phase, concurrently solving
+//! the canonical nodes' 2D subproblems with split processors, giving
+//! `O(((log n)/log p)^(d−1))` for indirect retrieval.
+
+use crate::range2d::{RangeTree2D, Rect};
+use crate::report::charge_direct;
+use fc_coop::ParamMode;
+use fc_pram::cost::Pram;
+use rand::prelude::*;
+
+/// An axis-parallel box query (inclusive bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct Box3 {
+    /// x bounds.
+    pub x: (i64, i64),
+    /// y bounds.
+    pub y: (i64, i64),
+    /// z bounds.
+    pub z: (i64, i64),
+}
+
+/// The preprocessed 3D range tree.
+pub struct RangeTree3D {
+    /// The points, by id.
+    pub points: Vec<(i64, i64, i64)>,
+    /// x-coordinates in leaf order.
+    xs_sorted: Vec<i64>,
+    /// Leaf count (power of two).
+    leaves: usize,
+    /// Per x-node: the 2D structure over (y, z) and the id map from inner
+    /// ids to global ids. Empty padding nodes hold `None`.
+    inner: Vec<Option<(RangeTree2D, Vec<u32>)>>,
+}
+
+impl RangeTree3D {
+    /// Build the tree. Points must have pairwise distinct coordinates in
+    /// every dimension (general position).
+    pub fn build(points: Vec<(i64, i64, i64)>, mode: ParamMode) -> Self {
+        assert!(!points.is_empty());
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by_key(|&i| points[i as usize].0);
+        let leaves = points.len().next_power_of_two();
+        let total = 2 * leaves - 1;
+
+        // Ids under each node, leaves upward.
+        let mut under: Vec<Vec<u32>> = vec![Vec::new(); total];
+        for (li, &id) in order.iter().enumerate() {
+            under[leaves - 1 + li] = vec![id];
+        }
+        for i in (0..leaves - 1).rev() {
+            let mut v = under[2 * i + 1].clone();
+            v.extend_from_slice(&under[2 * i + 2]);
+            under[i] = v;
+        }
+        let inner = under
+            .iter()
+            .map(|ids| {
+                if ids.is_empty() {
+                    None
+                } else {
+                    let pts: Vec<(i64, i64)> = ids
+                        .iter()
+                        .map(|&id| {
+                            let (_, y, z) = points[id as usize];
+                            (y, z)
+                        })
+                        .collect();
+                    Some((RangeTree2D::build(pts, mode), ids.clone()))
+                }
+            })
+            .collect();
+
+        let xs_sorted = order.iter().map(|&i| points[i as usize].0).collect();
+        RangeTree3D {
+            points,
+            xs_sorted,
+            leaves,
+            inner,
+        }
+    }
+
+    fn canonical(&self, a: usize, b: usize) -> Vec<usize> {
+        fn rec(node: usize, lo: usize, width: usize, a: usize, b: usize, out: &mut Vec<usize>) {
+            let hi = lo + width - 1;
+            if b < lo || a > hi {
+                return;
+            }
+            if a <= lo && hi <= b {
+                out.push(node);
+                return;
+            }
+            let half = width / 2;
+            rec(2 * node + 1, lo, half, a, b, out);
+            rec(2 * node + 2, lo + half, half, a, b, out);
+        }
+        let mut out = Vec::new();
+        rec(0, 0, self.leaves, a, b, &mut out);
+        out
+    }
+
+    /// Cooperative box query: 2D subqueries at the canonical x-nodes run
+    /// concurrently with split processors. Returns sorted global ids.
+    pub fn query_coop(&self, q: Box3, pram: &mut Pram) -> Vec<u32> {
+        let a = self.xs_sorted.partition_point(|&x| x < q.x.0);
+        let b = self.xs_sorted.partition_point(|&x| x <= q.x.1);
+        if a >= b {
+            return Vec::new();
+        }
+        let canon = self.canonical(a, b - 1);
+        // Identifying the canonical set: O(log n) comparisons, done by
+        // log n processors in O(1) rounds on a CREW PRAM.
+        pram.round(2 * (usize::BITS - self.leaves.leading_zeros()) as usize);
+
+        let p_inner = (pram.processors() / canon.len().max(1)).max(1);
+        let rect = Rect {
+            x1: q.y.0,
+            x2: q.y.1,
+            y1: q.z.0,
+            y2: q.z.1,
+        };
+        let mut out = Vec::new();
+        let mut k = 0u64;
+        let mut branch_prams = Vec::with_capacity(canon.len());
+        for c in canon {
+            let Some((t2, ids)) = &self.inner[c] else { continue };
+            let mut bp = pram.with_processors(p_inner);
+            let list = t2.query_coop(rect, false, &mut bp);
+            k += list.total;
+            for inner_id in t2.collect_ids(&list) {
+                out.push(ids[inner_id as usize]);
+            }
+            branch_prams.push(bp);
+        }
+        pram.join_max(branch_prams);
+        charge_direct(pram, 2 * (usize::BITS - self.leaves.leading_zeros()) as usize, k);
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force ground truth.
+    pub fn query_brute(&self, q: Box3) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y, z))| {
+                x >= q.x.0 && x <= q.x.1 && y >= q.y.0 && y <= q.y.1 && z >= q.z.0 && z <= q.z.1
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total catalog entries over all inner structures (`O(n log² n)`).
+    pub fn total_space(&self) -> usize {
+        self.inner
+            .iter()
+            .flatten()
+            .map(|(t, _)| t.st.tree().total_catalog_size())
+            .sum()
+    }
+}
+
+/// Random points with pairwise distinct coordinates per dimension.
+pub fn random_points3(n: usize, range: i64, rng: &mut impl Rng) -> Vec<(i64, i64, i64)> {
+    let xs = fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng);
+    let mut ys = fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng);
+    let mut zs = fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng);
+    for i in (1..n).rev() {
+        ys.swap(i, rng.gen_range(0..=i));
+        zs.swap(i, rng.gen_range(0..=i));
+    }
+    xs.into_iter()
+        .zip(ys)
+        .zip(zs)
+        .map(|((x, y), z)| (x, y, z))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+
+    fn rand_box(rng: &mut SmallRng, range: i64) -> Box3 {
+        let mut dim = || {
+            let (a, b) = (rng.gen_range(-5..range + 5), rng.gen_range(-5..range + 5));
+            (a.min(b), a.max(b))
+        };
+        Box3 {
+            x: dim(),
+            y: dim(),
+            z: dim(),
+        }
+    }
+
+    #[test]
+    fn coop_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(601);
+        let t = RangeTree3D::build(random_points3(300, 5000, &mut rng), ParamMode::Auto);
+        for p in [1usize, 256, 1 << 16] {
+            for _ in 0..30 {
+                let q = rand_box(&mut rng, 5000);
+                let mut pram = Pram::new(p, Model::Crew);
+                assert_eq!(t.query_coop(q, &mut pram), t.query_brute(q), "p {p} q {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_box_reports_all() {
+        let mut rng = SmallRng::seed_from_u64(603);
+        let t = RangeTree3D::build(random_points3(100, 5000, &mut rng), ParamMode::Auto);
+        let q = Box3 {
+            x: (i64::MIN / 2, i64::MAX / 2),
+            y: (i64::MIN / 2, i64::MAX / 2),
+            z: (i64::MIN / 2, i64::MAX / 2),
+        };
+        let mut pram = Pram::new(64, Model::Crew);
+        assert_eq!(t.query_coop(q, &mut pram).len(), 100);
+    }
+
+    #[test]
+    fn space_is_n_log_squared() {
+        let mut rng = SmallRng::seed_from_u64(607);
+        let n = 512usize;
+        let t = RangeTree3D::build(random_points3(n, 50_000, &mut rng), ParamMode::Auto);
+        let lg = n.ilog2() as usize + 1;
+        assert!(
+            t.total_space() <= n * lg * lg,
+            "space {} vs n log^2 n = {}",
+            t.total_space(),
+            n * lg * lg
+        );
+    }
+
+    #[test]
+    fn empty_and_point_queries() {
+        let mut rng = SmallRng::seed_from_u64(609);
+        let pts = random_points3(50, 2000, &mut rng);
+        let (x, y, z) = pts[7];
+        let t = RangeTree3D::build(pts, ParamMode::Auto);
+        let mut pram = Pram::new(64, Model::Crew);
+        let exact = Box3 {
+            x: (x, x),
+            y: (y, y),
+            z: (z, z),
+        };
+        assert_eq!(t.query_coop(exact, &mut pram), vec![7]);
+        let empty = Box3 {
+            x: (x + 1, x),
+            y: (y, y),
+            z: (z, z),
+        };
+        assert!(t.query_coop(empty, &mut pram).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Generic `d`-dimensional orthogonal range search (Corollary 2).
+//!
+//! The corollary's structure, for any constant `d >= 1`: a balanced tree
+//! over the first coordinate whose every node owns a `(d−1)`-dimensional
+//! structure for its subtree's points; the base case is a sorted catalog.
+//! Space `O(n log^(d−1) n)`; cooperative retrieval in
+//! `O(((log n)/log p)^(d−1))` phases by splitting the processors among the
+//! canonical subproblems at each level of the recursion.
+//!
+//! [`crate::range3d`] is the `d = 3` instantiation fused with the
+//! fractionally-cascaded 2D structure; this module is the clean recursion
+//! for arbitrary `d` (tested to `d = 4`), trading the last log factor for
+//! generality, exactly as the corollary's proof sketch does.
+
+use fc_pram::cost::Pram;
+use fc_pram::primitives::coop_lower_bound;
+use rand::prelude::*;
+
+/// A `d`-dimensional range tree over points with `i64` coordinates.
+pub enum RangeTreeD {
+    /// Base case: points sorted by their (single remaining) coordinate.
+    Catalog {
+        /// Sorted coordinate values.
+        keys: Vec<i64>,
+        /// Point ids aligned with `keys`.
+        ids: Vec<u32>,
+    },
+    /// Recursive case: a complete binary tree over the first coordinate.
+    Tree {
+        /// Points' first coordinates in leaf order.
+        xs: Vec<i64>,
+        /// Leaf count (power of two).
+        leaves: usize,
+        /// Per tree node (BFS order, `2*leaves - 1` entries): the
+        /// `(d−1)`-dimensional structure over the points below, or `None`
+        /// for empty padding nodes.
+        inner: Vec<Option<Box<RangeTreeD>>>,
+    },
+}
+
+impl RangeTreeD {
+    /// Build over `points` (each of dimension `d = points[0].len()`, all
+    /// equal). Ids are the positions in `points`. Coordinates must be
+    /// pairwise distinct within every dimension (general position).
+    pub fn build(points: &[Vec<i64>]) -> Self {
+        assert!(!points.is_empty());
+        let d = points[0].len();
+        assert!(d >= 1);
+        assert!(points.iter().all(|p| p.len() == d));
+        let ids: Vec<u32> = (0..points.len() as u32).collect();
+        Self::build_rec(points, &ids, 0)
+    }
+
+    fn build_rec(points: &[Vec<i64>], ids: &[u32], dim: usize) -> Self {
+        let d = points[0].len();
+        if dim + 1 == d {
+            // Base: sorted catalog on the last coordinate.
+            let mut pairs: Vec<(i64, u32)> =
+                ids.iter().map(|&id| (points[id as usize][dim], id)).collect();
+            pairs.sort_unstable();
+            assert!(
+                pairs.windows(2).all(|w| w[0].0 < w[1].0),
+                "coordinates must be distinct per dimension"
+            );
+            return RangeTreeD::Catalog {
+                keys: pairs.iter().map(|&(k, _)| k).collect(),
+                ids: pairs.iter().map(|&(_, id)| id).collect(),
+            };
+        }
+        // Sort this level's ids by the current coordinate.
+        let mut order: Vec<u32> = ids.to_vec();
+        order.sort_by_key(|&id| points[id as usize][dim]);
+        let leaves = order.len().next_power_of_two();
+        let total = 2 * leaves - 1;
+        // Ids under each node.
+        let mut under: Vec<Vec<u32>> = vec![Vec::new(); total];
+        for (li, &id) in order.iter().enumerate() {
+            under[leaves - 1 + li] = vec![id];
+        }
+        for i in (0..leaves - 1).rev() {
+            let mut v = under[2 * i + 1].clone();
+            v.extend_from_slice(&under[2 * i + 2]);
+            v.sort_by_key(|&id| points[id as usize][dim]);
+            under[i] = v;
+        }
+        let inner = under
+            .iter()
+            .map(|sub_ids| {
+                if sub_ids.is_empty() {
+                    None
+                } else {
+                    Some(Box::new(Self::build_rec(points, sub_ids, dim + 1)))
+                }
+            })
+            .collect();
+        RangeTreeD::Tree {
+            xs: order.iter().map(|&id| points[id as usize][dim]).collect(),
+            leaves,
+            inner,
+        }
+    }
+
+    /// Total stored coordinates (`O(n log^(d−1) n)`).
+    pub fn space(&self) -> usize {
+        match self {
+            RangeTreeD::Catalog { keys, .. } => keys.len(),
+            RangeTreeD::Tree { inner, .. } => {
+                inner.iter().flatten().map(|t| t.space()).sum()
+            }
+        }
+    }
+
+    /// Cooperative query: report ids of points inside the box
+    /// (`bounds[k] = (lo, hi)` inclusive per dimension). Processors split
+    /// among the canonical subproblems at every recursion level.
+    pub fn query(&self, bounds: &[(i64, i64)], pram: &mut Pram) -> Vec<u32> {
+        let mut out = self.query_rec(bounds, pram);
+        out.sort_unstable();
+        out
+    }
+
+    fn query_rec(&self, bounds: &[(i64, i64)], pram: &mut Pram) -> Vec<u32> {
+        match self {
+            RangeTreeD::Catalog { keys, ids } => {
+                let (lo, hi) = bounds[0];
+                // Cooperative binary searches for the two ends.
+                let a = coop_lower_bound(keys, &lo, pram);
+                let b = coop_lower_bound(keys, &hi.saturating_add(1), pram);
+                pram.round(b.saturating_sub(a)); // report
+                ids[a..b].to_vec()
+            }
+            RangeTreeD::Tree { xs, leaves, inner } => {
+                let (lo, hi) = bounds[0];
+                let a = xs.partition_point(|&x| x < lo);
+                let b = xs.partition_point(|&x| x <= hi);
+                if a >= b {
+                    return Vec::new();
+                }
+                let canon = canonical(*leaves, a, b - 1);
+                pram.round(2 * (usize::BITS - leaves.leading_zeros()) as usize);
+                let p_inner = (pram.processors() / canon.len().max(1)).max(1);
+                let mut out = Vec::new();
+                let mut branches = Vec::with_capacity(canon.len());
+                for c in canon {
+                    if let Some(t) = &inner[c] {
+                        let mut bp = pram.with_processors(p_inner);
+                        out.extend(t.query_rec(&bounds[1..], &mut bp));
+                        branches.push(bp);
+                    }
+                }
+                pram.join_max(branches);
+                out
+            }
+        }
+    }
+}
+
+fn canonical(leaves: usize, a: usize, b: usize) -> Vec<usize> {
+    fn rec(node: usize, lo: usize, width: usize, a: usize, b: usize, out: &mut Vec<usize>) {
+        let hi = lo + width - 1;
+        if b < lo || a > hi {
+            return;
+        }
+        if a <= lo && hi <= b {
+            out.push(node);
+            return;
+        }
+        let half = width / 2;
+        rec(2 * node + 1, lo, half, a, b, out);
+        rec(2 * node + 2, lo + half, half, a, b, out);
+    }
+    let mut out = Vec::new();
+    rec(0, 0, leaves, a, b, &mut out);
+    out
+}
+
+/// Brute-force ground truth.
+pub fn brute(points: &[Vec<i64>], bounds: &[(i64, i64)]) -> Vec<u32> {
+    let mut out: Vec<u32> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.iter()
+                .zip(bounds)
+                .all(|(&c, &(lo, hi))| c >= lo && c <= hi)
+        })
+        .map(|(i, _)| i as u32)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Random points in general position (distinct per dimension).
+pub fn random_points_d(n: usize, d: usize, range: i64, rng: &mut impl Rng) -> Vec<Vec<i64>> {
+    let mut cols: Vec<Vec<i64>> = (0..d)
+        .map(|_| fc_catalog::gen::distinct_sorted_keys(n, range.max(4 * n as i64), rng))
+        .collect();
+    for col in cols.iter_mut().skip(1) {
+        for i in (1..col.len()).rev() {
+            col.swap(i, rng.gen_range(0..=i));
+        }
+    }
+    (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+
+    fn rand_bounds(rng: &mut SmallRng, d: usize, range: i64) -> Vec<(i64, i64)> {
+        (0..d)
+            .map(|_| {
+                let (a, b) = (rng.gen_range(-5..range + 5), rng.gen_range(-5..range + 5));
+                (a.min(b), a.max(b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_for_d_1_through_4() {
+        let mut rng = SmallRng::seed_from_u64(651);
+        for d in 1..=4usize {
+            let n = 200;
+            let pts = random_points_d(n, d, 3000, &mut rng);
+            let t = RangeTreeD::build(&pts);
+            for p in [1usize, 256, 1 << 16] {
+                for _ in 0..25 {
+                    let b = rand_bounds(&mut rng, d, 3000);
+                    let mut pram = Pram::new(p, Model::Crew);
+                    assert_eq!(t.query(&b, &mut pram), brute(&pts, &b), "d {d} p {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_grows_one_log_per_dimension() {
+        let mut rng = SmallRng::seed_from_u64(653);
+        let n = 512usize;
+        let lg = n.ilog2() as usize + 1;
+        let mut prev = 0usize;
+        for d in 1..=4usize {
+            let pts = random_points_d(n, d, 1 << 20, &mut rng);
+            let t = RangeTreeD::build(&pts);
+            let space = t.space();
+            assert!(
+                space <= n * lg.pow(d as u32 - 1),
+                "d {d}: space {space} exceeds n log^(d-1) n"
+            );
+            assert!(space >= prev, "space must grow with d");
+            prev = space;
+        }
+    }
+
+    #[test]
+    fn processor_splitting_cuts_steps_at_higher_d() {
+        let mut rng = SmallRng::seed_from_u64(657);
+        let pts = random_points_d(512, 3, 1 << 18, &mut rng);
+        let t = RangeTreeD::build(&pts);
+        let b = rand_bounds(&mut rng, 3, 1 << 18);
+        let mut p1 = Pram::new(1, Model::Crew);
+        t.query(&b, &mut p1);
+        let mut pbig = Pram::new(1 << 24, Model::Crew);
+        t.query(&b, &mut pbig);
+        assert!(pbig.steps() < p1.steps());
+    }
+
+    #[test]
+    fn degenerate_boxes() {
+        let mut rng = SmallRng::seed_from_u64(659);
+        let pts = random_points_d(64, 2, 1000, &mut rng);
+        let t = RangeTreeD::build(&pts);
+        let mut pram = Pram::new(64, Model::Crew);
+        // Exact-point box.
+        let p0 = &pts[0];
+        let b: Vec<(i64, i64)> = p0.iter().map(|&c| (c, c)).collect();
+        assert_eq!(t.query(&b, &mut pram), vec![0]);
+        // Inverted (empty) box.
+        let b = vec![(5i64, 4i64), (0, 1000)];
+        assert!(t.query(&b, &mut pram).is_empty());
+    }
+}

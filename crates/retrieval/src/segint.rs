@@ -1,0 +1,407 @@
+//! Orthogonal segment intersection (the problem Theorem 6 details).
+//!
+//! Input: `n` vertical segments. Query: a horizontal segment `h`; report
+//! every vertical segment crossing it.
+//!
+//! Structure: a **segment tree** on the segments' y-extents — each segment
+//! is allocated to `O(log n)` canonical nodes; each node's catalog holds
+//! its allocated segments **sorted by x**. A query descends to the leaf of
+//! the query's height `y` (every allocated segment on that path spans `y`),
+//! then runs two *explicit cooperative searches* along the path — one for
+//! each x-extreme of `h` — which identifies a contiguous catalog range to
+//! report per node (Theorem 1 gives the `O((log n)/log p)` bound).
+
+use crate::report::{charge_direct, charge_indirect, RangeList, ReportRange};
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::cost::Pram;
+use fc_catalog::{CatalogTree, NodeId};
+use rand::prelude::*;
+
+/// A vertical segment: `x` from `y_lo` to `y_hi` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VSegment {
+    /// x-coordinate (distinct across the input — general position).
+    pub x: i64,
+    /// Lower y endpoint.
+    pub y_lo: i64,
+    /// Upper y endpoint.
+    pub y_hi: i64,
+}
+
+/// A horizontal query segment at height `y` from `x_lo` to `x_hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct HQuery {
+    /// Height.
+    pub y: i64,
+    /// Left x end.
+    pub x_lo: i64,
+    /// Right x end.
+    pub x_hi: i64,
+}
+
+/// The preprocessed segment-intersection structure.
+pub struct SegmentIntersection {
+    /// The segments, by id.
+    pub segments: Vec<VSegment>,
+    /// Cooperative structure over the segment tree.
+    pub st: CoopStructure<i64>,
+    /// Segment ids per node, aligned with the (x-sorted) catalogs.
+    pub ids: Vec<Vec<u32>>,
+    /// Sorted distinct y endpoints (elementary interval boundaries).
+    endpoints: Vec<i64>,
+    /// Number of segment-tree leaves (power of two).
+    leaves: usize,
+}
+
+impl SegmentIntersection {
+    /// Build the structure: segment tree over the y-endpoints, catalogs
+    /// sorted by x, fractional cascading + cooperative preprocessing.
+    ///
+    /// # Panics
+    /// Panics if two segments share an x-coordinate (the catalogs need
+    /// distinct keys; the paper's standard general-position assumption).
+    pub fn build(segments: Vec<VSegment>, mode: ParamMode) -> Self {
+        assert!(!segments.is_empty());
+        for s in &segments {
+            assert!(s.y_lo <= s.y_hi, "degenerate segment");
+        }
+        // Elementary intervals with closed endpoints handled by doubling:
+        // slab 2r+1 = the point endpoints[r]; slab 2r = the open interval
+        // below it (slab 0 extends to −∞, slab 2m to +∞).
+        let mut endpoints: Vec<i64> = segments
+            .iter()
+            .flat_map(|s| [s.y_lo, s.y_hi])
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let slabs = 2 * endpoints.len() + 1;
+        let leaves = slabs.next_power_of_two();
+
+        // Complete binary tree in BFS order: node i children 2i+1, 2i+2.
+        let internal = leaves - 1;
+        let total_nodes = internal + leaves;
+        let mut alloc: Vec<Vec<u32>> = vec![Vec::new(); total_nodes];
+
+        // Allocate each segment to canonical nodes covering its slab range.
+        for (id, s) in segments.iter().enumerate() {
+            let lo = 2 * endpoints.binary_search(&s.y_lo).unwrap() + 1;
+            let hi = 2 * endpoints.binary_search(&s.y_hi).unwrap() + 1;
+            insert(&mut alloc, 0, 0, leaves, lo, hi, id as u32);
+        }
+
+        // Catalogs: allocated segments sorted by x.
+        let mut parents: Vec<Option<u32>> = Vec::with_capacity(total_nodes);
+        let mut catalogs: Vec<Vec<i64>> = Vec::with_capacity(total_nodes);
+        let mut ids: Vec<Vec<u32>> = Vec::with_capacity(total_nodes);
+        for (i, list) in alloc.iter_mut().enumerate() {
+            parents.push(if i == 0 {
+                None
+            } else {
+                Some(((i - 1) / 2) as u32)
+            });
+            list.sort_by_key(|&id| segments[id as usize].x);
+            let cat: Vec<i64> = list.iter().map(|&id| segments[id as usize].x).collect();
+            assert!(
+                cat.windows(2).all(|w| w[0] < w[1]),
+                "segment x-coordinates must be distinct"
+            );
+            catalogs.push(cat);
+            ids.push(std::mem::take(list));
+        }
+
+        let tree = CatalogTree::from_parents(parents, catalogs);
+        let st = CoopStructure::preprocess(tree, mode);
+        SegmentIntersection {
+            segments,
+            st,
+            ids,
+            endpoints,
+            leaves,
+        }
+    }
+
+    /// The slab index of height `y`: `2r + 1` when `y` equals an endpoint,
+    /// the open slab `2r` below the `r`-th endpoint otherwise.
+    fn slab_of(&self, y: i64) -> usize {
+        match self.endpoints.binary_search(&y) {
+            Ok(r) => 2 * r + 1,
+            Err(r) => 2 * r,
+        }
+        .min(self.leaves - 1)
+    }
+
+    /// The root-to-leaf path of the slab containing `y`.
+    pub fn path_of(&self, y: i64) -> Vec<NodeId> {
+        let mut idx = self.slab_of(y) + self.leaves - 1; // leaf arena index
+        let mut path = vec![NodeId(idx as u32)];
+        while idx > 0 {
+            idx = (idx - 1) / 2;
+            path.push(NodeId(idx as u32));
+        }
+        path.reverse();
+        path
+    }
+
+    /// Cooperative query: the catalog ranges of segments crossing `q`,
+    /// found with two explicit cooperative searches; reporting cost charged
+    /// per `direct`. Returns the range list (and implicitly `k`).
+    pub fn query_coop(&self, q: HQuery, direct: bool, pram: &mut Pram) -> RangeList {
+        let path = self.path_of(q.y);
+        // Two explicit searches: first x >= x_lo, and first x > x_hi.
+        let lo = coop_search_explicit(&self.st, &path, q.x_lo, pram);
+        let hi_key = q.x_hi.saturating_add(1);
+        let hi = coop_search_explicit(&self.st, &path, hi_key, pram);
+        let tree = self.st.tree();
+        let list = RangeList::from_ranges(path.iter().enumerate().map(|(i, &node)| {
+            let a = lo.finds[i].native_idx;
+            let b = hi.finds[i].native_idx;
+            debug_assert!(a <= b, "catalog ranges are ordered");
+            debug_assert!(b as usize <= tree.catalog(node).len());
+            ReportRange {
+                node_idx: node.0,
+                start: a,
+                count: b - a,
+            }
+        }));
+        if direct {
+            charge_direct(pram, path.len(), list.total);
+        } else {
+            charge_indirect(pram, path.len());
+        }
+        list
+    }
+
+    /// Materialise the reported segment ids from a range list.
+    pub fn collect_ids(&self, list: &RangeList) -> Vec<u32> {
+        let mut out = Vec::with_capacity(list.total as usize);
+        for r in &list.ranges {
+            let ids = &self.ids[r.node_idx as usize];
+            out.extend_from_slice(&ids[r.start as usize..(r.start + r.count) as usize]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force ground truth.
+    pub fn query_brute(&self, q: HQuery) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.x >= q.x_lo && s.x <= q.x_hi && s.y_lo <= q.y && q.y <= s.y_hi
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total catalog entries (`O(n log n)`, each segment in `O(log n)`
+    /// nodes).
+    pub fn catalog_size(&self) -> usize {
+        self.st.tree().total_catalog_size()
+    }
+}
+
+/// Standard segment-tree insertion of slab range `[lo, hi]` under `node`
+/// covering `[node_lo, node_lo + width)`.
+fn insert(
+    alloc: &mut [Vec<u32>],
+    node: usize,
+    node_lo: usize,
+    width: usize,
+    lo: usize,
+    hi: usize,
+    id: u32,
+) {
+    let node_hi = node_lo + width - 1;
+    if hi < node_lo || lo > node_hi {
+        return;
+    }
+    if lo <= node_lo && node_hi <= hi {
+        alloc[node].push(id);
+        return;
+    }
+    let half = width / 2;
+    insert(alloc, 2 * node + 1, node_lo, half, lo, hi, id);
+    insert(alloc, 2 * node + 2, node_lo + half, half, lo, hi, id);
+}
+
+/// Random segment workload: distinct x, y-extents drawn over a `range`
+/// sized domain.
+pub fn random_segments(n: usize, range: i64, rng: &mut impl Rng) -> Vec<VSegment> {
+    let xs = fc_catalog::gen::distinct_sorted_keys(n, range.max(n as i64 * 4), rng);
+    xs.into_iter()
+        .map(|x| {
+            let a = rng.gen_range(0..range);
+            let b = rng.gen_range(0..range);
+            VSegment {
+                x,
+                y_lo: a.min(b),
+                y_hi: a.max(b),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_pram::Model;
+    use rand::rngs::SmallRng;
+
+    fn build(n: usize, seed: u64) -> SegmentIntersection {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let segs = random_segments(n, 1000, &mut rng);
+        SegmentIntersection::build(segs, ParamMode::Auto)
+    }
+
+    #[test]
+    fn coop_query_matches_brute_force() {
+        let s = build(500, 301);
+        let mut rng = SmallRng::seed_from_u64(302);
+        for p in [1usize, 64, 1 << 14] {
+            for _ in 0..60 {
+                let a = rng.gen_range(-10..5000);
+                let b = rng.gen_range(-10..5000);
+                let q = HQuery {
+                    y: rng.gen_range(-10..1010),
+                    x_lo: a.min(b),
+                    x_hi: a.max(b),
+                };
+                let mut pram = Pram::new(p, Model::Crew);
+                let list = s.query_coop(q, true, &mut pram);
+                assert_eq!(s.collect_ids(&list), s.query_brute(q), "p {p} q {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_queries_are_inclusive() {
+        let s = SegmentIntersection::build(
+            vec![
+                VSegment {
+                    x: 10,
+                    y_lo: 0,
+                    y_hi: 5,
+                },
+                VSegment {
+                    x: 20,
+                    y_lo: 5,
+                    y_hi: 9,
+                },
+                VSegment {
+                    x: 30,
+                    y_lo: 6,
+                    y_hi: 8,
+                },
+            ],
+            ParamMode::Auto,
+        );
+        let mut pram = Pram::new(4, Model::Crew);
+        // y = 5 touches the first two segments.
+        let list = s.query_coop(
+            HQuery {
+                y: 5,
+                x_lo: 0,
+                x_hi: 100,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(s.collect_ids(&list), vec![0, 1]);
+        // x-range boundary inclusivity.
+        let list = s.query_coop(
+            HQuery {
+                y: 5,
+                x_lo: 10,
+                x_hi: 20,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(s.collect_ids(&list), vec![0, 1]);
+        let list = s.query_coop(
+            HQuery {
+                y: 5,
+                x_lo: 11,
+                x_hi: 19,
+            },
+            true,
+            &mut pram,
+        );
+        assert!(s.collect_ids(&list).is_empty());
+    }
+
+    #[test]
+    fn catalog_size_is_n_log_n() {
+        let s = build(2000, 303);
+        let n = 2000f64;
+        let bound = (n * n.log2() * 2.5) as usize;
+        assert!(
+            s.catalog_size() <= bound,
+            "catalog {} vs n log n bound {bound}",
+            s.catalog_size()
+        );
+        assert!(s.catalog_size() >= 2000, "every segment stored somewhere");
+    }
+
+    #[test]
+    fn indirect_is_cheaper_than_direct_for_large_k() {
+        let s = build(3000, 307);
+        let q = HQuery {
+            y: 500,
+            x_lo: i64::MIN / 2,
+            x_hi: i64::MAX / 2,
+        };
+        let mut d = Pram::new(64, Model::Crew);
+        let dl = s.query_coop(q, true, &mut d);
+        let mut i = Pram::new(64, Model::Crcw);
+        let il = s.query_coop(q, false, &mut i);
+        assert_eq!(dl.total, il.total);
+        assert!(dl.total > 100, "query must report many items");
+        assert!(i.steps() < d.steps(), "indirect {} direct {}", i.steps(), d.steps());
+    }
+
+    #[test]
+    fn empty_result_queries() {
+        let s = build(200, 311);
+        let mut pram = Pram::new(64, Model::Crew);
+        let list = s.query_coop(
+            HQuery {
+                y: -1000,
+                x_lo: 0,
+                x_hi: 10,
+            },
+            true,
+            &mut pram,
+        );
+        assert_eq!(list.total, 0);
+        assert!(list.ranges.is_empty());
+    }
+
+    #[test]
+    fn steps_shrink_with_processors() {
+        let s = build(20_000, 313);
+        let mut rng = SmallRng::seed_from_u64(314);
+        let mut steps = Vec::new();
+        for p in [1usize, 1 << 30] {
+            let mut total = 0u64;
+            let mut rng2 = SmallRng::seed_from_u64(rng.gen());
+            for _ in 0..20 {
+                let q = HQuery {
+                    y: rng2.gen_range(0..1000),
+                    x_lo: 100,
+                    x_hi: 120, // narrow: tiny k, search dominates
+                };
+                let mut pram = Pram::new(p, Model::Crew);
+                s.query_coop(q, false, &mut pram);
+                total += pram.steps();
+            }
+            steps.push(total);
+        }
+        assert!(steps[1] < steps[0], "steps {steps:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Dynamic cooperative search (the paper's open problem 4): insert and
+//! delete catalog entries under query load, with buffering and global
+//! rebuilding keeping searches exact.
+//!
+//! ```text
+//! cargo run -p fc-bench --release --example dynamic_updates
+//! ```
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::NodeId;
+use fc_coop::dynamic::DynamicCoop;
+use fc_coop::ParamMode;
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let tree = gen::balanced_binary(10, 1 << 14, SizeDist::Uniform, &mut rng);
+    println!(
+        "initial tree: {} nodes, {} catalog entries",
+        tree.len(),
+        tree.total_catalog_size()
+    );
+    let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
+    let mut pram = Pram::new(1 << 16, Model::Crew);
+    let node_count = dy.structure().tree().len() as u32;
+
+    println!(
+        "\n{:>9}  {:>8}  {:>8}  {:>14}  {:>12}",
+        "updates", "pending", "rebuilds", "query steps", "verified"
+    );
+    let mut total_updates = 0usize;
+    for _phase in 0..6 {
+        // A burst of mixed updates.
+        for _ in 0..3000 {
+            let node = NodeId(rng.gen_range(0..node_count));
+            let key = rng.gen_range(0..1_000_000i64);
+            if rng.gen_bool(0.65) {
+                dy.insert(node, key, &mut pram);
+            } else {
+                dy.remove(node, key, &mut pram);
+            }
+            total_updates += 1;
+        }
+        // Queries, verified against the logical catalogs.
+        let mut steps = 0u64;
+        let mut verified = 0usize;
+        for _ in 0..15 {
+            let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
+            let path = dy.structure().tree().path_from_root(leaf);
+            let y = rng.gen_range(0..1_000_000i64);
+            let mut qp = Pram::new(1 << 16, Model::Crew);
+            let got = dy.search(&path, y, &mut qp);
+            steps += qp.steps();
+            let want: Vec<Option<i64>> = path
+                .iter()
+                .map(|&node| dy.logical_catalog(node).into_iter().find(|&k| k >= y))
+                .collect();
+            assert_eq!(got, want);
+            verified += 1;
+        }
+        println!(
+            "{:>9}  {:>8}  {:>8}  {:>14.1}  {:>10}/15",
+            total_updates,
+            dy.pending_changes(),
+            dy.rebuilds,
+            steps as f64 / 15.0,
+            verified
+        );
+    }
+    println!("\nevery query matched the logical (post-update) catalogs exactly");
+}

@@ -1,0 +1,69 @@
+//! Planar point location (Section 3.1): generate a monotone subdivision,
+//! build the bridged separator tree, and locate points sequentially and
+//! cooperatively — the Figure 5/6 walk-through.
+//!
+//! ```text
+//! cargo run -p fc-bench --release --example point_location
+//! ```
+
+use fc_coop::ParamMode;
+use fc_geom::cooploc::locate_coop;
+use fc_geom::septree::{locate_sequential, SeparatorTree};
+use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // A monotone subdivision with 1024 regions; separators share edges
+    // (the "stick" probability), which is what produces the gaps that make
+    // point-location search "highly implicit".
+    let sub = MonotoneSubdivision::generate(
+        SubdivisionParams {
+            regions: 1024,
+            strips: 24,
+            stick: 0.4,
+            detach: 0.4,
+        },
+        &mut rng,
+    );
+    println!(
+        "subdivision: {} regions, {} strips, {} distinct edges ({}% shared)",
+        sub.f,
+        sub.strips(),
+        sub.distinct_edges(),
+        100 - 100 * sub.distinct_edges() / (sub.separators() * sub.strips())
+    );
+
+    // The bridged separator tree: proper edges at LCAs, fractional
+    // cascading bridges, cooperative substructures.
+    let t = SeparatorTree::build(sub, ParamMode::Auto);
+
+    println!("\n{:>28}  {:>6}  {:>6}  {:>6}", "query", "region", "seq", "coop");
+    for _ in 0..8 {
+        let (x, y) = t.sub.random_query(&mut rng);
+        let brute = t.sub.locate_brute(x, y);
+
+        let mut ps = Pram::new(1, Model::Crew);
+        let (r_seq, stats) = locate_sequential(&t, x, y, Some(&mut ps));
+
+        let mut pc = Pram::new(1 << 20, Model::Crew);
+        let (r_coop, cstats) = locate_coop(&t, x, y, &mut pc);
+
+        assert_eq!(r_seq, brute);
+        assert_eq!(r_coop, brute);
+        println!(
+            "({x:10.3}, {y:8.3})  r_{brute:<5}  {:>6}  {:>6}   [{} active / {} inactive on path; {} hops, window ({}, {})]",
+            ps.steps(),
+            pc.steps(),
+            stats.active_nodes,
+            stats.inactive_nodes,
+            cstats.hops,
+            cstats.window.0,
+            cstats.window.1,
+        );
+    }
+    println!("\nsequential = bridged separator tree (O(log n)); coop = Theorem 4 (O(log n / log p))");
+}

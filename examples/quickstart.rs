@@ -1,0 +1,68 @@
+//! Quickstart: build a catalog tree, preprocess it for cooperative search,
+//! and watch the step count fall as the processor count grows.
+//!
+//! ```text
+//! cargo run -p fc-bench --release --example quickstart
+//! ```
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::search::search_path_naive;
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    // A balanced binary tree of height 14 whose nodes hold sorted catalogs
+    // with a total of n = 2^18 entries — the paper's object of study.
+    let n = 1usize << 18;
+    let height = 14;
+    let tree = gen::balanced_binary(height, n, SizeDist::Uniform, &mut rng);
+    println!(
+        "tree: {} nodes, height {height}, {} total catalog entries",
+        tree.len(),
+        tree.total_catalog_size()
+    );
+
+    // Preprocess into the cooperative search structure T' (Theorem 1):
+    // fractional cascading + skeleton substructures for every processor
+    // band.
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    println!(
+        "preprocessed: {} words total, {} substructures",
+        st.total_space_words(),
+        st.substructures().len()
+    );
+
+    // One query: locate y in every catalog along a root-to-leaf path.
+    let leaf = gen::random_leaf(st.tree(), &mut rng);
+    let path = st.tree().path_from_root(leaf);
+    let y: i64 = rng.gen_range(0..(n as i64 * 16));
+    println!("\nsearching y = {y} along a root-to-leaf path of {} nodes", path.len());
+
+    // Baseline: one processor, binary search per node.
+    let mut pram = Pram::new(1, Model::Crew);
+    let baseline = search_path_naive(st.tree(), &path, y, Some(&mut pram));
+    println!("{:>12}  {:>8}  {}", "processors", "steps", "algorithm");
+    println!("{:>12}  {:>8}  naive binary search per node", 1, pram.steps());
+
+    // Cooperative search across a sweep of processor counts. The PRAM cost
+    // model accepts any p — that is the point of simulating the machine.
+    for p in [1usize, 1 << 8, 1 << 16, 1 << 24, 1 << 32] {
+        let mut pram = Pram::new(p, Model::Crew);
+        let out = coop_search_explicit(&st, &path, y, &mut pram);
+        assert_eq!(out.finds, baseline.results, "all algorithms agree");
+        println!(
+            "{:>12}  {:>8}  cooperative (h = {:?}, {} hops, {} tail)",
+            format!("2^{}", usize::BITS - 1 - p.leading_zeros()),
+            pram.steps(),
+            out.stats.used_h,
+            out.stats.hops,
+            out.stats.tail_nodes,
+        );
+    }
+    println!("\ntheory: steps fall like (log n)/log p  (Theorem 1)");
+}

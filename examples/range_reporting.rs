@@ -1,0 +1,78 @@
+//! Geometric retrieval (Section 4): orthogonal segment intersection, 2D
+//! range search, and point enclosure, in both of Theorem 6's retrieval
+//! models.
+//!
+//! ```text
+//! cargo run -p fc-bench --release --example range_reporting
+//! ```
+
+use fc_coop::ParamMode;
+use fc_pram::{Model, Pram};
+use fc_retrieval::enclosure::{random_rects, PointEnclosure};
+use fc_retrieval::range2d::{random_points, RangeTree2D, Rect};
+use fc_retrieval::segint::{random_segments, HQuery, SegmentIntersection};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let p = 1usize << 16;
+
+    // --- Orthogonal segment intersection -------------------------------
+    let segs = random_segments(10_000, 100_000, &mut rng);
+    let si = SegmentIntersection::build(segs, ParamMode::Auto);
+    println!(
+        "segment intersection: n = 10000, catalog entries = {} (O(n log n))",
+        si.catalog_size()
+    );
+    let q = HQuery {
+        y: 50_000,
+        x_lo: 20_000,
+        x_hi: 60_000,
+    };
+    let mut pd = Pram::new(p, Model::Crew);
+    let direct = si.query_coop(q, true, &mut pd);
+    let mut pi = Pram::new(p, Model::Crcw);
+    let indirect = si.query_coop(q, false, &mut pi);
+    println!(
+        "  query {q:?}\n  k = {} segments; direct retrieval {} steps, indirect {} steps",
+        direct.total,
+        pd.steps(),
+        pi.steps()
+    );
+    assert_eq!(si.collect_ids(&direct), si.query_brute(q));
+    assert_eq!(direct.total, indirect.total);
+
+    // --- 2D orthogonal range search -------------------------------------
+    let pts = random_points(8192, 1 << 20, &mut rng);
+    let rt = RangeTree2D::build(pts, ParamMode::Auto);
+    let r = Rect {
+        x1: 100_000,
+        x2: 500_000,
+        y1: 200_000,
+        y2: 800_000,
+    };
+    let mut pr = Pram::new(p, Model::Crew);
+    let list = rt.query_coop(r, true, &mut pr);
+    println!(
+        "\nrange search: n = 8192, query {r:?}\n  k = {} points in {} steps",
+        list.total,
+        pr.steps()
+    );
+    assert_eq!(rt.collect_ids(&list), rt.query_brute(r));
+
+    // --- Point enclosure -------------------------------------------------
+    let rects = random_rects(8000, 100_000, &mut rng);
+    let pe = PointEnclosure::build(rects);
+    let (qx, qy) = (rng.gen_range(0..100_000), rng.gen_range(0..100_000));
+    let mut pp = Pram::new(p, Model::Crew);
+    let ids = pe.query_coop(qx, qy, &mut pp);
+    println!(
+        "\npoint enclosure: n = 8000 rectangles, query ({qx}, {qy})\n  k = {} containing rectangles in {} steps",
+        ids.len(),
+        pp.steps()
+    );
+    assert_eq!(ids, pe.query_brute(qx, qy));
+
+    println!("\nall three reports verified against brute force");
+}

@@ -1,0 +1,63 @@
+//! Spatial point location (Section 3.2): a stacked-surface cell complex
+//! searched via separating surfaces with per-node planar point location —
+//! Theorem 5's two-level cooperative search.
+//!
+//! ```text
+//! cargo run -p fc-bench --release --example spatial_location
+//! ```
+
+use fc_coop::ParamMode;
+use fc_geom::spatial::{
+    locate_spatial_coop, locate_spatial_sequential, SpatialComplex, SpatialLocator, SpatialParams,
+};
+use fc_geom::subdivision::SubdivisionParams;
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let complex = SpatialComplex::generate(
+        SpatialParams {
+            cells: 128,
+            footprint: SubdivisionParams {
+                regions: 128,
+                strips: 16,
+                stick: 0.4,
+                detach: 0.4,
+            },
+            coincide: 0.35,
+        },
+        &mut rng,
+    );
+    println!(
+        "complex: {} cells over a {}-region footprint ({} surfaces, coincidence produces shared facets)",
+        complex.cells,
+        complex.footprint.f,
+        complex.surfaces()
+    );
+    let loc = SpatialLocator::build(complex, ParamMode::Auto);
+
+    println!("\n{:>34}  {:>5}  {:>9}  {:>9}", "query (x, y, z)", "cell", "seq steps", "coop steps");
+    for _ in 0..8 {
+        let (x, y, z) = loc.complex.random_query(&mut rng);
+        let want = loc.complex.locate_brute(x, y, z);
+
+        let mut ps = Pram::new(1, Model::Crew);
+        let (c_seq, _) = locate_spatial_sequential(&loc, x, y, z, &mut ps);
+
+        let mut pc = Pram::new(1 << 22, Model::Crew);
+        let (c_coop, stats) = locate_spatial_coop(&loc, x, y, z, &mut pc);
+
+        assert_eq!(c_seq, want);
+        assert_eq!(c_coop, want);
+        println!(
+            "({x:8.2}, {y:8.2}, {z:8.2})  c_{want:<4}  {:>9}  {:>9}   [{} outer hops, {} inner planar queries]",
+            ps.steps(),
+            pc.steps(),
+            stats.hops,
+            stats.inner_queries,
+        );
+    }
+    println!("\nsequential = canal-tree style O(log^2 n); coop = Theorem 5 O((log^2 n)/log^2 p)");
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the extension modules: pipelined construction
+//! feeding the cooperative search, float-keyed structures, batch queries,
+//! dynamic updates, caterpillar/path topologies, and the Euler-tour
+//! substrate.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::key::OrdF64;
+use fc_catalog::pipeline::build_pipelined;
+use fc_catalog::search::search_path_naive;
+use fc_catalog::{CatalogTree, NodeId};
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::general::coop_search_long_path;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The pipelined construction's output drives the cooperative search
+/// end-to-end (build -> preprocess -> search -> verify).
+#[test]
+fn pipelined_build_feeds_cooperative_search() {
+    let mut rng = SmallRng::seed_from_u64(3001);
+    let tree = gen::balanced_binary(8, 10_000, SizeDist::Uniform, &mut rng);
+    let (fc, stats) = build_pipelined(tree, 4, None);
+    assert!(stats.rounds > 0);
+    let st = CoopStructure::from_cascade(fc, ParamMode::Auto);
+    for _ in 0..15 {
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let y = rng.gen_range(0..160_000);
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        let mut pram = Pram::new(1 << 18, Model::Crew);
+        let coop = coop_search_explicit(&st, &path, y, &mut pram);
+        assert_eq!(coop.finds, naive.results);
+    }
+}
+
+/// Float-keyed catalogs (OrdF64) work through the whole stack — the same
+/// machinery the geometry crate relies on.
+#[test]
+fn float_keys_through_the_whole_stack() {
+    let mut rng = SmallRng::seed_from_u64(3003);
+    // Build a float-keyed tree by hand: complete binary, random sorted
+    // float catalogs.
+    let parents = gen::complete_binary_parents(5);
+    let catalogs: Vec<Vec<OrdF64>> = (0..parents.len())
+        .map(|_| {
+            let mut v: Vec<f64> = (0..rng.gen_range(0..40))
+                .map(|_| rng.gen_range(0.0..1000.0))
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.dedup();
+            v.into_iter().map(OrdF64::new).collect()
+        })
+        .collect();
+    let tree = CatalogTree::from_parents(parents, catalogs);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    for _ in 0..20 {
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let y = OrdF64::new(rng.gen_range(-1.0..1001.0));
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let coop = coop_search_explicit(&st, &path, y, &mut pram);
+        assert_eq!(coop.finds, naive.results);
+    }
+}
+
+/// Theorem 2 machinery on caterpillars (bounded degree, long spine).
+#[test]
+fn long_path_search_on_caterpillars() {
+    let mut rng = SmallRng::seed_from_u64(3005);
+    let tree = gen::caterpillar(200, 4000, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    // The deepest leaf gives the longest path.
+    let leaf = *st
+        .tree()
+        .leaves()
+        .iter()
+        .max_by_key(|&&l| st.tree().depth(l))
+        .unwrap();
+    let path = st.tree().path_from_root(leaf);
+    assert!(path.len() >= 200);
+    for p in [1usize, 1 << 12, 1 << 24] {
+        let y = rng.gen_range(0..64_000);
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        let mut pram = Pram::new(p, Model::Crew);
+        let out = coop_search_long_path(&st, &path, y, 0.5, &mut pram);
+        assert_eq!(out.finds, naive.results, "p {p}");
+    }
+}
+
+/// Batch queries agree with individual queries and cover every leaf of a
+/// small tree exhaustively.
+#[test]
+fn batch_covers_every_leaf() {
+    let mut rng = SmallRng::seed_from_u64(3007);
+    let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let queries: Vec<(NodeId, i64)> = st
+        .tree()
+        .leaves()
+        .into_iter()
+        .map(|l| (l, rng.gen_range(0..32_000)))
+        .collect();
+    let out = fc_coop::batch::explicit_batch(&st, &queries, 1 << 14);
+    assert_eq!(out.len(), queries.len());
+    for ((res, _), &(leaf, y)) in out.iter().zip(&queries) {
+        let path = st.tree().path_from_root(leaf);
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        assert_eq!(res.finds, naive.results);
+    }
+}
+
+/// The Euler-tour depth computation agrees with stored depths on every
+/// generator family.
+#[test]
+fn euler_depths_across_topologies() {
+    let mut rng = SmallRng::seed_from_u64(3009);
+    let trees = vec![
+        gen::balanced_binary(7, 500, SizeDist::Uniform, &mut rng),
+        gen::path(50, 200, SizeDist::Uniform, &mut rng),
+        gen::caterpillar(30, 300, &mut rng),
+        gen::dary(5, 3, 400, &mut rng),
+    ];
+    for tree in trees {
+        let mut pram = Pram::new(4 * tree.len(), Model::Erew);
+        let depths = tree.depths_parallel(&mut pram);
+        for id in tree.ids() {
+            assert_eq!(depths[id.idx()], tree.depth(id));
+        }
+    }
+}
+
+/// Dynamic + batch interplay: a dynamic structure can be rebuilt and its
+/// static snapshot batch-queried.
+#[test]
+fn dynamic_snapshot_supports_batches() {
+    use fc_coop::dynamic::DynamicCoop;
+    let mut rng = SmallRng::seed_from_u64(3011);
+    let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+    let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.05);
+    let mut pram = Pram::new(1 << 12, Model::Crew);
+    // Enough inserts to force at least one rebuild (threshold 5% of n).
+    let nodes = dy.structure().tree().len() as u32;
+    for _ in 0..2000 {
+        dy.insert(
+            NodeId(rng.gen_range(0..nodes)),
+            rng.gen_range(0..1_000_000),
+            &mut pram,
+        );
+    }
+    assert!(dy.rebuilds >= 1);
+    // The rebuilt static structure answers batches with the inserted keys
+    // visible.
+    let queries: Vec<(NodeId, i64)> = (0..50)
+        .map(|_| {
+            (
+                gen::random_leaf(dy.structure().tree(), &mut rng),
+                rng.gen_range(0..1_000_000),
+            )
+        })
+        .collect();
+    let out = fc_coop::batch::explicit_batch(dy.structure(), &queries, 1 << 12);
+    for ((res, _), &(leaf, y)) in out.iter().zip(&queries) {
+        let path = dy.structure().tree().path_from_root(leaf);
+        let naive = search_path_naive(dy.structure().tree(), &path, y, None);
+        assert_eq!(res.finds, naive.results);
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure injection: deliberately corrupt structure internals and verify
+//! that (a) the invariant checkers detect the corruption, and (b) where a
+//! runtime guard exists (the Lemma 3 window-coverage check), searches
+//! remain exact by falling back.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::invariants;
+use fc_catalog::search::search_path_naive;
+use fc_catalog::CascadedTree;
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::{Model, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A bridge pushed past its true target breaks Property 1 or 3 and must be
+/// reported by the checker.
+#[test]
+fn corrupted_bridge_is_detected() {
+    let mut rng = SmallRng::seed_from_u64(2001);
+    let tree = gen::balanced_binary(7, 4000, SizeDist::Uniform, &mut rng);
+    let mut fc = CascadedTree::build_bidir(tree, 4);
+    assert!(invariants::validate(&invariants::check_all(&fc)).is_ok());
+
+    // Find an internal node with a reasonably long bridge vector and yank
+    // one bridge far ahead.
+    let victim = fc
+        .tree()
+        .ids()
+        .find(|&id| !fc.tree().children(id).is_empty() && fc.aug(id).bridges[0].len() > 8)
+        .expect("some internal node");
+    let child = fc.tree().children(victim)[0];
+    let child_len = fc.keys(child).len() as u32;
+    {
+        let aug = fc.aug_mut_for_fault_injection(victim);
+        let mid = aug.bridges[0].len() / 2;
+        aug.bridges[0][mid] = child_len - 1; // overshoot to the terminal
+    }
+    let report = invariants::check_all(&fc);
+    assert!(
+        invariants::validate(&report).is_err(),
+        "checker must flag the corrupted bridge: {report:?}"
+    );
+}
+
+/// A bridge that crosses its neighbour breaks Property 3 specifically.
+#[test]
+fn crossing_bridges_are_detected_as_non_monotone() {
+    let mut rng = SmallRng::seed_from_u64(2003);
+    let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+    let mut fc = CascadedTree::build_bidir(tree, 4);
+    let victim = fc
+        .tree()
+        .ids()
+        .find(|&id| !fc.tree().children(id).is_empty() && fc.aug(id).bridges[0].len() > 8)
+        .unwrap();
+    {
+        let aug = fc.aug_mut_for_fault_injection(victim);
+        let mid = aug.bridges[0].len() / 2;
+        let earlier = aug.bridges[0][mid - 1];
+        aug.bridges[0][mid] = earlier.saturating_sub(1); // cross over
+    }
+    let report = invariants::check_all(&fc);
+    assert!(!report.monotone, "crossing must be reported: {report:?}");
+}
+
+/// An understated fan-out constant shrinks the hop windows below what the
+/// instance needs; the coverage check must catch every miss and repair it
+/// with a binary search, keeping results exact.
+#[test]
+fn understated_b_is_repaired_by_fallbacks() {
+    let mut rng = SmallRng::seed_from_u64(2005);
+    // Skewed catalogs make the observed fan-out larger, so claiming b = 1
+    // genuinely under-covers on some queries.
+    let tree = gen::balanced_binary(10, 60_000, SizeDist::SingleHeavy(0.6), &mut rng);
+    let fc = CascadedTree::build_bidir(tree, 4);
+    let observed = invariants::check_all(&fc).b_observed;
+    let st = CoopStructure::from_cascade_with_b(fc, ParamMode::Auto, 1);
+    let mut total_fallbacks = 0usize;
+    for _ in 0..200 {
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let y = rng.gen_range(0..(60_000i64 * 16));
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        let mut pram = Pram::new(1 << 20, Model::Crew);
+        let out = coop_search_explicit(&st, &path, y, &mut pram);
+        assert_eq!(out.finds, naive.results, "results stay exact under faults");
+        total_fallbacks += out.stats.fallbacks;
+    }
+    if observed > 1 {
+        assert!(
+            total_fallbacks > 0,
+            "windows sized for b = 1 should miss somewhere when observed b = {observed}"
+        );
+    }
+}
+
+/// Corrupting an augmented key ordering is caught by the searches' debug
+/// guards; in release the checker still reports the fan-out violation the
+/// corruption induces downstream.
+#[test]
+fn corrupted_key_breaks_fanout_accounting() {
+    let mut rng = SmallRng::seed_from_u64(2007);
+    let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+    let mut fc = CascadedTree::build_bidir(tree, 4);
+    let victim = fc
+        .tree()
+        .ids()
+        .find(|&id| fc.tree().children(id).len() == 2 && fc.aug(id).bridges[1].len() > 10)
+        .unwrap();
+    {
+        let aug = fc.aug_mut_for_fault_injection(victim);
+        // Zero out a late bridge: everything before it now "crosses".
+        let last = aug.bridges[1].len() - 2;
+        aug.bridges[1][last] = 0;
+    }
+    let report = invariants::check_all(&fc);
+    assert!(invariants::validate(&report).is_err());
+}

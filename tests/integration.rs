@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: full pipelines from workload generation
+//! through preprocessing to queries, covering every theorem end-to-end.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::invariants;
+use fc_catalog::search::{search_path_fc, search_path_naive};
+use fc_catalog::CascadedTree;
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::general::{binarize, coop_search_binarized};
+use fc_coop::implicit::{
+    coop_search_implicit, implicit_search_seq, ConsistentLeafOracle, LeafOracleAdapter,
+};
+use fc_coop::{CoopStructure, ParamMode};
+use fc_geom::cooploc::locate_coop;
+use fc_geom::septree::{locate_sequential, SeparatorTree};
+use fc_geom::spatial::{locate_spatial_coop, SpatialComplex, SpatialLocator, SpatialParams};
+use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_pram::{Model, Pram};
+use fc_retrieval::range2d::{random_points, RangeTree2D, Rect};
+use fc_retrieval::segint::{random_segments, HQuery, SegmentIntersection};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 1 pipeline: every search algorithm agrees on every query, for
+/// every processor count and both parameter modes.
+#[test]
+fn theorem1_all_algorithms_agree() {
+    let mut rng = SmallRng::seed_from_u64(1001);
+    for dist in [SizeDist::Uniform, SizeDist::SingleHeavy(0.6), SizeDist::LeafHeavy] {
+        let tree = gen::balanced_binary(9, 15_000, dist, &mut rng);
+        for mode in [ParamMode::Theory, ParamMode::Auto] {
+            let st = CoopStructure::preprocess(tree.clone(), mode);
+            // The cascade invariants hold on the preprocessed structure.
+            invariants::validate(&invariants::check_all(st.cascade())).unwrap();
+            for _ in 0..10 {
+                let leaf = gen::random_leaf(st.tree(), &mut rng);
+                let path = st.tree().path_from_root(leaf);
+                let y = rng.gen_range(-10..15_000 * 16 + 10);
+                let naive = search_path_naive(st.tree(), &path, y, None);
+                let fc = search_path_fc(st.cascade(), &path, y, None);
+                assert_eq!(naive, fc);
+                for p in [1usize, 100, 1 << 13, 1 << 21] {
+                    let mut pram = Pram::new(p, Model::Crew);
+                    let coop = coop_search_explicit(&st, &path, y, &mut pram);
+                    assert_eq!(coop.finds, naive.results, "{dist:?} {mode:?} p={p}");
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 1 (implicit) pipeline: cooperative implicit search finds the
+/// same path and the same entries as the sequential implicit search.
+#[test]
+fn theorem1_implicit_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(1003);
+    let tree = gen::balanced_binary(8, 8000, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    for _ in 0..20 {
+        let target = gen::random_leaf(st.tree(), &mut rng);
+        let oracle = ConsistentLeafOracle::new(st.tree(), target);
+        let adapter = LeafOracleAdapter::new(st.tree(), &oracle);
+        let y = rng.gen_range(0..8000 * 16);
+        let seq = implicit_search_seq(&st, &adapter, y, None);
+        let mut pram = Pram::new(1 << 15, Model::Crew);
+        let coop = coop_search_implicit(&st, &adapter, y, &mut pram);
+        assert_eq!(seq.path, coop.path);
+        assert_eq!(seq.finds, coop.finds);
+    }
+}
+
+/// Theorem 3 pipeline: a degree-6 tree binarized and searched.
+#[test]
+fn theorem3_binarized_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(1005);
+    let tree = gen::dary(6, 3, 6000, &mut rng);
+    let bin = binarize(&tree);
+    let st = CoopStructure::preprocess(bin.tree.clone(), ParamMode::Auto);
+    for _ in 0..15 {
+        let leaf = gen::random_leaf(&tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        let y = rng.gen_range(-5..6000 * 16 + 5);
+        let naive = search_path_naive(&tree, &path, y, None);
+        let mut pram = Pram::new(1 << 16, Model::Crew);
+        let (finds, _) =
+            coop_search_binarized(&st, &bin, bin.old_to_new[leaf.idx()], y, &mut pram);
+        assert_eq!(finds, naive.results);
+    }
+}
+
+/// Theorem 4 pipeline: generation -> separator tree -> both locators vs
+/// brute force, over a grid of generator parameters.
+#[test]
+fn theorem4_planar_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(1007);
+    for (regions, strips, stick) in [(32usize, 8usize, 0.2f64), (256, 20, 0.5), (64, 64, 0.7)] {
+        let sub = MonotoneSubdivision::generate(
+            SubdivisionParams {
+                regions,
+                strips,
+                stick,
+                detach: 0.4,
+            },
+            &mut rng,
+        );
+        let t = SeparatorTree::build(sub, ParamMode::Auto);
+        for _ in 0..60 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let want = t.sub.locate_brute(x, y);
+            let (s, _) = locate_sequential(&t, x, y, None);
+            assert_eq!(s, want);
+            let mut pram = Pram::new(1 << 18, Model::Crew);
+            let (c, stats) = locate_coop(&t, x, y, &mut pram);
+            assert_eq!(c, want);
+            assert_eq!(stats.fallbacks, 0);
+        }
+    }
+}
+
+/// Theorem 5 pipeline: spatial complexes across coincidence levels.
+#[test]
+fn theorem5_spatial_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(1009);
+    for coincide in [0.0, 0.4, 0.9] {
+        let complex = SpatialComplex::generate(
+            SpatialParams {
+                cells: 32,
+                footprint: SubdivisionParams {
+                    regions: 32,
+                    strips: 10,
+                    stick: 0.4,
+                    detach: 0.4,
+                },
+                coincide,
+            },
+            &mut rng,
+        );
+        let loc = SpatialLocator::build(complex, ParamMode::Auto);
+        for _ in 0..40 {
+            let (x, y, z) = loc.complex.random_query(&mut rng);
+            let want = loc.complex.locate_brute(x, y, z);
+            let mut pram = Pram::new(1 << 16, Model::Crew);
+            let (got, _) = locate_spatial_coop(&loc, x, y, z, &mut pram);
+            assert_eq!(got, want, "coincide {coincide}");
+        }
+    }
+}
+
+/// Theorem 6 pipeline: retrieval structures against brute force with both
+/// retrieval models, checking the k-dependence of the direct model.
+#[test]
+fn theorem6_retrieval_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(1011);
+    let si = SegmentIntersection::build(random_segments(3000, 10_000, &mut rng), ParamMode::Auto);
+    let rt = RangeTree2D::build(random_points(2048, 1 << 16, &mut rng), ParamMode::Auto);
+    for _ in 0..40 {
+        let x0 = rng.gen_range(0..10_000);
+        let q = HQuery {
+            y: rng.gen_range(0..10_000),
+            x_lo: x0,
+            x_hi: x0 + rng.gen_range(0..5000),
+        };
+        let mut pd = Pram::new(256, Model::Crew);
+        let list = si.query_coop(q, true, &mut pd);
+        assert_eq!(si.collect_ids(&list), si.query_brute(q));
+
+        let (a, b) = (rng.gen_range(0i64..1 << 16), rng.gen_range(0i64..1 << 16));
+        let (c, d) = (rng.gen_range(0i64..1 << 16), rng.gen_range(0i64..1 << 16));
+        let r = Rect {
+            x1: a.min(b),
+            x2: a.max(b),
+            y1: c.min(d),
+            y2: c.max(d),
+        };
+        let mut pr = Pram::new(256, Model::Crew);
+        let rl = rt.query_coop(r, true, &mut pr);
+        assert_eq!(rt.collect_ids(&rl), rt.query_brute(r));
+    }
+}
+
+/// The bidirectional cascade (required by Lemma 1) searches identically to
+/// the downward-only cascade.
+#[test]
+fn bidirectional_and_downward_cascades_agree_on_searches() {
+    let mut rng = SmallRng::seed_from_u64(1013);
+    let tree = gen::balanced_binary(8, 6000, SizeDist::Uniform, &mut rng);
+    let down = CascadedTree::build(tree.clone(), 4);
+    let bidir = CascadedTree::build_bidir(tree.clone(), 4);
+    for _ in 0..20 {
+        let leaf = gen::random_leaf(&tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        let y = rng.gen_range(-5..6000 * 16 + 5);
+        assert_eq!(
+            search_path_fc(&down, &path, y, None),
+            search_path_fc(&bidir, &path, y, None)
+        );
+    }
+    // Both satisfy the forward invariants.
+    invariants::validate(&invariants::check_all(&down)).unwrap();
+    invariants::validate(&invariants::check_all(&bidir)).unwrap();
+}
+
+/// End-to-end determinism: identical seeds produce identical structures,
+/// searches, and step counts (required for reproducible experiments).
+#[test]
+fn experiments_are_deterministic() {
+    let run = || {
+        let mut rng = SmallRng::seed_from_u64(1015);
+        let tree = gen::balanced_binary(8, 5000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let mut pram = Pram::new(1 << 14, Model::Crew);
+        let out = coop_search_explicit(&st, &path, 1234, &mut pram);
+        (out.finds, pram.steps(), st.total_space_words())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,284 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * fractional cascading Properties 1–3 on arbitrary trees and catalogs;
+//! * cooperative search == sequential search == naive search, for
+//!   arbitrary instances, queries, and processor counts;
+//! * Lemma 1 disjointness on the bidirectional structure;
+//! * point location == brute force on arbitrary monotone subdivisions;
+//! * retrieval == brute-force report sets.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::invariants;
+use fc_catalog::search::{search_path_fc, search_path_naive};
+use fc_catalog::CascadedTree;
+use fc_coop::explicit::coop_search_explicit;
+use fc_coop::skeleton::check_lemma1;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_geom::cooploc::locate_coop;
+use fc_geom::septree::{locate_sequential, SeparatorTree};
+use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_pram::primitives::{coop_lower_bound, lower_bound, merge_par, merge_seq, prefix_sum_par, prefix_sum_seq};
+use fc_pram::{Model, Pram};
+use fc_retrieval::segint::{HQuery, SegmentIntersection, VSegment};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cooperative p-ary search equals binary search for arbitrary sorted
+    /// inputs, probes, and processor counts.
+    #[test]
+    fn prop_coop_lower_bound(mut v in prop::collection::vec(-1000i64..1000, 0..400),
+                             y in -1100i64..1100,
+                             p in 1usize..600) {
+        v.sort_unstable();
+        let mut pram = Pram::new(p, Model::Crew);
+        prop_assert_eq!(coop_lower_bound(&v, &y, &mut pram), lower_bound(&v, &y));
+    }
+
+    /// Parallel merge equals sequential merge.
+    #[test]
+    fn prop_merge(mut a in prop::collection::vec(-500i64..500, 0..300),
+                  mut b in prop::collection::vec(-500i64..500, 0..300)) {
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(merge_par(&a, &b), merge_seq(&a, &b));
+    }
+
+    /// Parallel prefix sums equal sequential prefix sums.
+    #[test]
+    fn prop_prefix(v in prop::collection::vec(0u64..1000, 0..5000)) {
+        prop_assert_eq!(prefix_sum_par(&v), prefix_sum_seq(&v));
+    }
+
+    /// Properties 1–3 hold on randomly shaped/sized cascaded trees, for
+    /// both builds.
+    #[test]
+    fn prop_cascade_invariants(seed in 0u64..5000, height in 0u32..7, total in 1usize..3000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+        let down = CascadedTree::build(tree.clone(), 4);
+        prop_assert!(invariants::validate(&invariants::check_all(&down)).is_ok());
+        let bidir = CascadedTree::build_bidir(tree, 4);
+        prop_assert!(invariants::validate(&invariants::check_all(&bidir)).is_ok());
+    }
+
+    /// Cooperative explicit search agrees with the naive baseline on
+    /// arbitrary instances, queries, and processor counts.
+    #[test]
+    fn prop_coop_search_agrees(seed in 0u64..5000,
+                               total in 64usize..4000,
+                               p_exp in 0u32..34,
+                               y in -100_000i64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(7, total, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let naive = search_path_naive(st.tree(), &path, y, None);
+        let mut pram = Pram::new(1usize << p_exp, Model::Crew);
+        let coop = coop_search_explicit(&st, &path, y, &mut pram);
+        prop_assert_eq!(coop.finds, naive.results);
+        prop_assert_eq!(coop.stats.fallbacks, 0);
+    }
+
+    /// The sequential FC search agrees with naive for arbitrary skew.
+    #[test]
+    fn prop_fc_search_agrees(seed in 0u64..5000, heavy in 0.0f64..0.95) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::SingleHeavy(heavy), &mut rng);
+        let fc = CascadedTree::build_bidir(tree.clone(), 4);
+        let leaf = gen::random_leaf(&tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        for y in [-1i64, 0, 16_000, 31_999, 32_000] {
+            prop_assert_eq!(
+                search_path_fc(&fc, &path, y, None),
+                search_path_naive(&tree, &path, y, None)
+            );
+        }
+    }
+
+    /// Lemma 1: skeleton keys are distinct on the bidirectional structure,
+    /// for arbitrary instances.
+    #[test]
+    fn prop_lemma1_disjoint(seed in 0u64..5000, total in 500usize..8000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(8, total, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        for sub in st.substructures() {
+            let (violations, _) = check_lemma1(sub);
+            prop_assert_eq!(violations, 0);
+        }
+    }
+
+    /// Point location: both locators equal brute force on arbitrary
+    /// subdivisions and queries.
+    #[test]
+    fn prop_point_location(seed in 0u64..5000,
+                           regions_exp in 2u32..8,
+                           strips in 2usize..24,
+                           stick in 0.0f64..0.9,
+                           qx in -5.0f64..1030.0,
+                           qy in -5.0f64..80.0) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sub = MonotoneSubdivision::generate(SubdivisionParams {
+            regions: 1 << regions_exp,
+            strips,
+            stick,
+            detach: 0.4,
+        }, &mut rng);
+        let t = SeparatorTree::build(sub, ParamMode::Auto);
+        let want = t.sub.locate_brute(qx, qy);
+        let (seq, _) = locate_sequential(&t, qx, qy, None);
+        prop_assert_eq!(seq, want);
+        let mut pram = Pram::new(1 << 16, Model::Crew);
+        let (coop, _) = locate_coop(&t, qx, qy, &mut pram);
+        prop_assert_eq!(coop, want);
+    }
+
+    /// Segment intersection reports exactly the brute-force set for
+    /// arbitrary segments and queries.
+    #[test]
+    fn prop_segment_intersection(seed in 0u64..5000,
+                                 n in 1usize..200,
+                                 y in -50i64..1050,
+                                 x_lo in -50i64..1050,
+                                 width in 0i64..1100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs = gen::distinct_sorted_keys(n, 100_000, &mut rng);
+        let segs: Vec<VSegment> = xs.into_iter().map(|x| {
+            let a = rand::Rng::gen_range(&mut rng, 0..1000);
+            let b = rand::Rng::gen_range(&mut rng, 0..1000);
+            VSegment { x, y_lo: a.min(b), y_hi: a.max(b) }
+        }).collect();
+        let si = SegmentIntersection::build(segs, ParamMode::Auto);
+        let q = HQuery { y, x_lo, x_hi: x_lo + width };
+        let mut pram = Pram::new(64, Model::Crew);
+        let list = si.query_coop(q, true, &mut pram);
+        prop_assert_eq!(si.collect_ids(&list), si.query_brute(q));
+    }
+
+    /// The pipelined (ACG) build converges to the direct construction on
+    /// arbitrary instances.
+    #[test]
+    fn prop_pipelined_build(seed in 0u64..5000, height in 0u32..7, total in 1usize..2500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+        let direct = CascadedTree::build(tree.clone(), 4);
+        let (piped, stats) = fc_catalog::pipeline::build_pipelined(tree, 4, None);
+        for id in direct.tree().ids() {
+            prop_assert_eq!(direct.keys(id), piped.keys(id));
+        }
+        // Depth bound: 4 * (height + log total + slack).
+        let lg = (usize::BITS - total.max(2).leading_zeros()) as u64;
+        prop_assert!(stats.rounds <= 4 * (height as u64 + lg + 8));
+    }
+
+    /// List ranking and Euler depths match their sequential definitions on
+    /// random forests/trees.
+    #[test]
+    fn prop_list_rank(perm_seed in 0u64..5000, n in 1usize..300) {
+        use fc_pram::listrank::list_rank;
+        let mut rng = SmallRng::seed_from_u64(perm_seed);
+        // Random forest of lists: each element points to a higher index or
+        // itself (guarantees termination).
+        let next: Vec<usize> = (0..n)
+            .map(|i| if i + 1 == n || rand::Rng::gen_bool(&mut rng, 0.2) { i } else { rand::Rng::gen_range(&mut rng, i + 1..n) })
+            .collect();
+        let mut pram = Pram::new(n, Model::Erew);
+        let ranks = list_rank(&next, &mut pram);
+        for (i, &rank) in ranks.iter().enumerate() {
+            // Sequential reference.
+            let (mut cur, mut d) = (i, 0u64);
+            while next[cur] != cur {
+                cur = next[cur];
+                d += 1;
+            }
+            prop_assert_eq!(rank, d);
+        }
+    }
+
+    /// Euler-tour depths equal stored depths on random catalog trees.
+    #[test]
+    fn prop_euler_depths(seed in 0u64..5000, height in 0u32..8) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(height, 100, SizeDist::Uniform, &mut rng);
+        let mut pram = Pram::new(4 * tree.len(), Model::Erew);
+        let depths = tree.depths_parallel(&mut pram);
+        for id in tree.ids() {
+            prop_assert_eq!(depths[id.idx()], tree.depth(id));
+        }
+    }
+
+    /// The generic d-dimensional range tree matches brute force for
+    /// d in 1..=3 with arbitrary boxes.
+    #[test]
+    fn prop_range_tree_d(seed in 0u64..5000, d in 1usize..4, n in 1usize..150) {
+        use fc_retrieval::ranged::{brute, random_points_d, RangeTreeD};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = random_points_d(n, d, 5000, &mut rng);
+        let t = RangeTreeD::build(&pts);
+        for _ in 0..3 {
+            let bounds: Vec<(i64, i64)> = (0..d).map(|_| {
+                let a = rand::Rng::gen_range(&mut rng, -5i64..5005);
+                let b = rand::Rng::gen_range(&mut rng, -5i64..5005);
+                (a.min(b), a.max(b))
+            }).collect();
+            let mut pram = Pram::new(256, Model::Crew);
+            prop_assert_eq!(t.query(&bounds, &mut pram), brute(&pts, &bounds));
+        }
+    }
+
+    /// Spatial point location equals brute force for arbitrary complexes.
+    #[test]
+    fn prop_spatial_location(seed in 0u64..5000,
+                             cells_exp in 1u32..6,
+                             coincide in 0.0f64..0.9,
+                             qz in -2.0f64..80.0) {
+        use fc_geom::spatial::{locate_spatial_coop, SpatialComplex, SpatialLocator, SpatialParams};
+        use fc_geom::subdivision::SubdivisionParams;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let complex = SpatialComplex::generate(SpatialParams {
+            cells: 1 << cells_exp,
+            footprint: SubdivisionParams { regions: 16, strips: 6, stick: 0.4, detach: 0.4 },
+            coincide,
+        }, &mut rng);
+        let loc = SpatialLocator::build(complex, ParamMode::Auto);
+        let (x, y, _) = loc.complex.random_query(&mut rng);
+        let want = loc.complex.locate_brute(x, y, qz);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let (got, _) = locate_spatial_coop(&loc, x, y, qz, &mut pram);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Dynamic searches stay exact under arbitrary update sequences.
+    #[test]
+    fn prop_dynamic_updates(seed in 0u64..5000, updates in 0usize..400) {
+        use fc_catalog::NodeId;
+        use fc_coop::dynamic::DynamicCoop;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = gen::balanced_binary(5, 600, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
+        let mut pram = Pram::new(256, Model::Crew);
+        let nodes = dy.structure().tree().len() as u32;
+        for _ in 0..updates {
+            let node = NodeId(rand::Rng::gen_range(&mut rng, 0..nodes));
+            let key = rand::Rng::gen_range(&mut rng, 0..10_000i64);
+            if rand::Rng::gen_bool(&mut rng, 0.5) {
+                dy.insert(node, key, &mut pram);
+            } else {
+                dy.remove(node, key, &mut pram);
+            }
+        }
+        let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
+        let path = dy.structure().tree().path_from_root(leaf);
+        let y = rand::Rng::gen_range(&mut rng, -5..10_005i64);
+        let got = dy.search(&path, y, &mut pram);
+        let want: Vec<Option<i64>> = path.iter().map(|&node| {
+            dy.logical_catalog(node).into_iter().find(|&k| k >= y)
+        }).collect();
+        prop_assert_eq!(got, want);
+    }
+}
