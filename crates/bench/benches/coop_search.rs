@@ -108,7 +108,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_explicit, bench_implicit, bench_batch_throughput

@@ -71,7 +71,9 @@ fn bench_spatial(c: &mut Criterion) {
         &mut rng,
     );
     let loc = SpatialLocator::build(complex, ParamMode::Auto);
-    let queries: Vec<(f64, f64, f64)> = (0..32).map(|_| loc.complex.random_query(&mut rng)).collect();
+    let queries: Vec<(f64, f64, f64)> = (0..32)
+        .map(|_| loc.complex.random_query(&mut rng))
+        .collect();
 
     let mut g = c.benchmark_group("spatial_point_location");
     g.bench_function("sequential", |b| {
@@ -100,7 +102,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_planar, bench_spatial

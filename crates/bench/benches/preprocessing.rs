@@ -39,9 +39,7 @@ fn bench_full_preprocess(c: &mut Criterion) {
                 BenchmarkId::new(format!("{mode:?}"), n),
                 &tree,
                 |b, tree| {
-                    b.iter(|| {
-                        std::hint::black_box(CoopStructure::preprocess(tree.clone(), mode))
-                    })
+                    b.iter(|| std::hint::black_box(CoopStructure::preprocess(tree.clone(), mode)))
                 },
             );
         }
@@ -56,7 +54,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_cascade_builds, bench_full_preprocess

@@ -29,7 +29,8 @@ fn bench_segint(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, 10_000), &direct, |b, &direct| {
             b.iter(|| {
                 for &q in &queries {
-                    let mut pram = Pram::new(1 << 16, if direct { Model::Crew } else { Model::Crcw });
+                    let mut pram =
+                        Pram::new(1 << 16, if direct { Model::Crew } else { Model::Crcw });
                     std::hint::black_box(s.query_coop(q, direct, &mut pram));
                 }
             })
@@ -102,7 +103,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_segint, bench_range2d, bench_enclosure_and_3d

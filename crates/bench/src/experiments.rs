@@ -47,13 +47,27 @@ pub fn t1_explicit() -> Table {
     let theory = CoopStructure::preprocess(tree, ParamMode::Theory);
 
     let mut t = Table::new(
-        format!("E-T1-explicit (Theorem 1): explicit cooperative search, n = 2^18, height {height}"),
-        &["p", "steps(auto)", "h(auto)", "hops", "tail", "steps(theory)", "naive(1 proc)", "(log n)/log p"],
+        format!(
+            "E-T1-explicit (Theorem 1): explicit cooperative search, n = 2^18, height {height}"
+        ),
+        &[
+            "p",
+            "steps(auto)",
+            "h(auto)",
+            "hops",
+            "tail",
+            "steps(theory)",
+            "naive(1 proc)",
+            "(log n)/log p",
+        ],
     );
     let queries: Vec<(Vec<_>, i64)> = (0..50)
         .map(|_| {
             let leaf = gen::random_leaf(auto.tree(), &mut rng);
-            (auto.tree().path_from_root(leaf), rng.gen_range(0..(n as i64 * 16)))
+            (
+                auto.tree().path_from_root(leaf),
+                rng.gen_range(0..(n as i64 * 16)),
+            )
         })
         .collect();
     let log_n = (n as f64).log2();
@@ -86,7 +100,9 @@ pub fn t1_explicit() -> Table {
             fmt_f(log_n / (p.max(2) as f64).log2()),
         ]);
     }
-    t.note("shape check: steps(auto) should fall like (log n)/log p once p clears the h>=2 threshold");
+    t.note(
+        "shape check: steps(auto) should fall like (log n)/log p once p clears the h>=2 threshold",
+    );
     t.note("theory mode uses the paper's exact alpha/h_i constants (tiny hops for practical p)");
     t
 }
@@ -102,7 +118,9 @@ pub fn t1_implicit() -> Table {
         "E-T1-implicit (Theorem 1 / Section 2.3): implicit cooperative search, n = 2^17",
         &["p", "steps", "work", "hops", "seq steps(1 proc)"],
     );
-    let targets: Vec<_> = (0..30).map(|_| gen::random_leaf(st.tree(), &mut rng)).collect();
+    let targets: Vec<_> = (0..30)
+        .map(|_| gen::random_leaf(st.tree(), &mut rng))
+        .collect();
     for p in P_SWEEP {
         let (mut steps, mut work, mut hops, mut seq) = (0u64, 0u64, 0usize, 0u64);
         for &target in &targets {
@@ -233,7 +251,12 @@ pub fn t2() -> Table {
         let tree = gen::path(k, k * 8, SizeDist::Uniform, &mut rng);
         let st = CoopStructure::preprocess(tree, ParamMode::Auto);
         let path = st.tree().path_from_root(st.tree().leaves()[0]);
-        for (p, eps) in [(1usize, 0.5), (1 << 10, 0.5), (1 << 20, 0.5), (1 << 20, 0.25)] {
+        for (p, eps) in [
+            (1usize, 0.5),
+            (1 << 10, 0.5),
+            (1 << 20, 0.5),
+            (1 << 20, 0.25),
+        ] {
             let y = rng.gen_range(0..(k as i64 * 64));
             let mut pram = Pram::new(p, Model::Crew);
             let out = coop_search_long_path(&st, &path, y, eps, &mut pram);
@@ -255,7 +278,13 @@ pub fn t2() -> Table {
 pub fn t3() -> Table {
     let mut t = Table::new(
         "E-T3-degree (Theorem 3): degree-d trees, log d slowdown after binarization",
-        &["d", "orig height", "bin height", "steps (p=2^20)", "steps x / log2 d"],
+        &[
+            "d",
+            "orig height",
+            "bin height",
+            "steps (p=2^20)",
+            "steps x / log2 d",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(SEED + 6);
     let mut base = None;
@@ -309,9 +338,18 @@ pub fn t4() -> Table {
             "E-T4-planar (Theorem 4): point location, f = 4096 regions, {} distinct edges",
             t4_tree.sub.distinct_edges()
         ),
-        &["p", "coop steps", "hops", "seq (bridged)", "binary/node", "mismatches"],
+        &[
+            "p",
+            "coop steps",
+            "hops",
+            "seq (bridged)",
+            "binary/node",
+            "mismatches",
+        ],
     );
-    let queries: Vec<(f64, f64)> = (0..60).map(|_| t4_tree.sub.random_query(&mut rng)).collect();
+    let queries: Vec<(f64, f64)> = (0..60)
+        .map(|_| t4_tree.sub.random_query(&mut rng))
+        .collect();
     for p in P_SWEEP {
         let (mut cs, mut hops, mut ss, mut bs, mut bad) = (0u64, 0usize, 0u64, 0u64, 0usize);
         for &(x, y) in &queries {
@@ -363,9 +401,18 @@ pub fn t5() -> Table {
     let loc = SpatialLocator::build(complex, ParamMode::Auto);
     let mut t = Table::new(
         "E-T5-spatial (Theorem 5 / Cor 1): 3D point location, 256 cells x 256 footprint regions",
-        &["p", "coop steps", "hops", "inner queries", "seq steps", "mismatches"],
+        &[
+            "p",
+            "coop steps",
+            "hops",
+            "inner queries",
+            "seq steps",
+            "mismatches",
+        ],
     );
-    let queries: Vec<(f64, f64, f64)> = (0..40).map(|_| loc.complex.random_query(&mut rng)).collect();
+    let queries: Vec<(f64, f64, f64)> = (0..40)
+        .map(|_| loc.complex.random_query(&mut rng))
+        .collect();
     for p in [1usize, 1 << 8, 1 << 14, 1 << 20, 1 << 26] {
         let (mut cs, mut hops, mut inner, mut ss, mut bad) = (0u64, 0usize, 0usize, 0u64, 0usize);
         for &(x, y, z) in &queries {
@@ -405,7 +452,13 @@ pub fn t6() -> Table {
             "E-T6-segint (Theorem 6): segment intersection, n = 20000, catalog = {}",
             s.catalog_size()
         ),
-        &["p", "selectivity", "avg k", "direct steps", "indirect steps (CRCW)"],
+        &[
+            "p",
+            "selectivity",
+            "avg k",
+            "direct steps",
+            "indirect steps (CRCW)",
+        ],
     );
     for p in [1usize, 1 << 10, 1 << 20] {
         for width in [100i64, 10_000, 2_000_000] {
@@ -588,7 +641,12 @@ pub fn fig2() -> Table {
     let mut rng = SmallRng::seed_from_u64(SEED + 15);
     let mut t = Table::new(
         "F-2-prune (Figure 2): naive reach storage vs distinct coverage",
-        &["catalog dist", "sum of |reach|", "distinct pairs", "blow-up"],
+        &[
+            "catalog dist",
+            "sum of |reach|",
+            "distinct pairs",
+            "blow-up",
+        ],
     );
     for (name, dist) in [
         ("uniform", SizeDist::Uniform),
@@ -673,7 +731,9 @@ pub fn fig5() -> Table {
     let (x, y) = tree.sub.random_query(&mut rng);
     let region = tree.sub.locate_brute(x, y);
     let mut t = Table::new(
-        format!("F-5-seqloc (Figure 5): sequential trace for q = ({x:.2}, {y:.2}) -> region r_{region}"),
+        format!(
+            "F-5-seqloc (Figure 5): sequential trace for q = ({x:.2}, {y:.2}) -> region r_{region}"
+        ),
         &["node", "kind", "activity", "branch"],
     );
     // Re-run the search, recording the trace.
@@ -686,7 +746,12 @@ pub fn fig5() -> Table {
     loop {
         match tree.kind[node.idx()] {
             NodeKind::Region(r) => {
-                t.row(vec![format!("r_{r}"), "region".into(), "-".into(), "-".into()]);
+                t.row(vec![
+                    format!("r_{r}"),
+                    "region".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 break;
             }
             NodeKind::Separator(c) => {
@@ -727,7 +792,15 @@ pub fn fig6() -> Table {
     let tree = default_subdivision(1024, 24, &mut rng);
     let mut t = Table::new(
         "F-6-cooploc (Figure 6): cooperative point location traces (per query)",
-        &["query", "region", "hops", "active nodes", "final (L, R)", "tail", "fallbacks"],
+        &[
+            "query",
+            "region",
+            "hops",
+            "active nodes",
+            "final (L, R)",
+            "tail",
+            "fallbacks",
+        ],
     );
     for i in 0..8 {
         let (x, y) = tree.sub.random_query(&mut rng);
@@ -769,7 +842,13 @@ pub fn ablation_b() -> Table {
             "A-b-calib (ablation): window constant b — guaranteed {} vs observed {}",
             report.b_guaranteed, b_obs
         ),
-        &["p", "steps (b guar.)", "steps (b calib.)", "fallbacks (calib.)", "h guar./calib."],
+        &[
+            "p",
+            "steps (b guar.)",
+            "steps (b calib.)",
+            "fallbacks (calib.)",
+            "h guar./calib.",
+        ],
     );
     let queries: Vec<(Vec<_>, i64)> = (0..40)
         .map(|_| {
@@ -804,7 +883,9 @@ pub fn ablation_b() -> Table {
             format!("{}/{}", hg.map_or(0, |h| h), hc.map_or(0, |h| h)),
         ]);
     }
-    t.note("calibrated b gives bigger hops at the same p; fallbacks repair any window miss exactly");
+    t.note(
+        "calibrated b gives bigger hops at the same p; fallbacks repair any window miss exactly",
+    );
     t
 }
 
@@ -891,14 +972,19 @@ pub fn cd_general() -> Table {
 /// E-dyn — the dynamic extension (paper's open problem 4, global
 /// rebuilding baseline).
 pub fn dynamic() -> Table {
-    use fc_coop::dynamic::DynamicCoop;
     use fc_catalog::NodeId;
+    use fc_coop::dynamic::DynamicCoop;
     let mut rng = SmallRng::seed_from_u64(SEED + 23);
     let tree = gen::balanced_binary(10, 1 << 14, SizeDist::Uniform, &mut rng);
     let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
     let mut t = Table::new(
         "E-dyn (open problem 4): dynamic searches via buffering + global rebuilding",
-        &["updates so far", "rebuilds", "pending", "query steps (p=2^16)"],
+        &[
+            "updates so far",
+            "rebuilds",
+            "pending",
+            "query steps (p=2^16)",
+        ],
     );
     let mut pram = Pram::new(1 << 16, Model::Crew);
     let node_count = dy.structure().tree().len() as u32;
@@ -961,6 +1047,179 @@ pub fn op3() -> Table {
     t
 }
 
+/// E-fault — fc-resilience: detection rate per fault kind, localized repair
+/// cost vs full rebuild, and degraded-mode search with mid-query processor
+/// kills.
+pub fn efault() -> Table {
+    use fc_coop::explicit::coop_search_explicit_checked;
+    use fc_resilience::{audit, repair, Fault, FaultPlan, FaultSpec};
+
+    let mut rng = SmallRng::seed_from_u64(SEED + 40);
+    let height = 10u32;
+    let n = 1usize << 14;
+    let tree = gen::balanced_binary(height, n, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+
+    let kinds: [(&str, FaultSpec); 6] = [
+        (
+            "key-swap",
+            FaultSpec {
+                key_swaps: 1,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "key-clobber",
+            FaultSpec {
+                key_clobbers: 1,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "supremum-clobber",
+            FaultSpec {
+                supremum_clobbers: 1,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "bridge-perturb",
+            FaultSpec {
+                bridge_perturbs: 1,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "native-succ-perturb",
+            FaultSpec {
+                native_succ_perturbs: 1,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "skeleton-perturb",
+            FaultSpec {
+                skeleton_perturbs: 1,
+                ..FaultSpec::default()
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        format!("E-fault (fc-resilience): inject -> detect -> repair, n = 2^14, height {height}, 20 seeds per kind"),
+        &["fault kind", "detected", "repaired clean", "avg repair ops", "full rebuild ops", "fallbacks"],
+    );
+    let trials = 20u64;
+    for (name, spec) in &kinds {
+        let (mut detected, mut clean_after, mut fallbacks) = (0usize, 0usize, 0usize);
+        let (mut rops, mut fops) = (0u64, 0u64);
+        for seed in 0..trials {
+            let plan = FaultPlan::generate(&st, spec, 1000 + seed);
+            let mut tampered = st.clone();
+            plan.apply(&mut tampered);
+            let report = audit(&tampered);
+            if !report.is_clean() {
+                detected += 1;
+            }
+            let stats = repair(&mut tampered, &report);
+            rops += stats.repair_ops as u64;
+            fops += stats.full_rebuild_ops as u64;
+            if stats.fell_back_to_full_rebuild {
+                fallbacks += 1;
+            }
+            if audit(&tampered).is_clean() {
+                clean_after += 1;
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{detected}/{trials}"),
+            format!("{clean_after}/{trials}"),
+            fmt_f(rops as f64 / trials as f64),
+            fmt_f(fops as f64 / trials as f64),
+            fallbacks.to_string(),
+        ]);
+    }
+
+    // Checked search on a heavily bridge-tampered structure: every query
+    // either returns the exact answer or a localized error — never a
+    // silently wrong answer.
+    let plan = FaultPlan::generate(
+        &st,
+        &FaultSpec {
+            bridge_perturbs: 32,
+            ..FaultSpec::default()
+        },
+        99,
+    );
+    let mut tampered = st.clone();
+    plan.apply(&mut tampered);
+    let (mut errs, mut oks, mut wrong) = (0usize, 0usize, 0usize);
+    for _ in 0..200 {
+        let leaf = gen::random_leaf(tampered.tree(), &mut rng);
+        let path = tampered.tree().path_from_root(leaf);
+        let y = rng.gen_range(0..(n as i64 * 16));
+        // Small p: the sequential bridge tail dominates, so queries actually
+        // cross the tampered bridges instead of hopping over them.
+        let mut pram = Pram::new(16, Model::Crew);
+        match coop_search_explicit_checked(&tampered, &path, y, &mut pram) {
+            Ok(out) => {
+                oks += 1;
+                let truth = fc_catalog::search::search_path_naive(tampered.tree(), &path, y, None);
+                if out.finds != truth.results {
+                    wrong += 1;
+                }
+            }
+            Err(_) => errs += 1,
+        }
+    }
+    t.note(format!(
+        "checked search (p=16), 32 bridge perturbs, 200 queries: {errs} flagged Err, {oks} Ok, {wrong} wrong answers among Oks (must be 0)"
+    ));
+
+    // Degraded mode: kill half the processors two rounds into the search and
+    // compare against a fresh run provisioned at the survivor count.
+    let p0 = 1usize << 16;
+    let queries: Vec<(Vec<_>, i64)> = (0..30)
+        .map(|_| {
+            let leaf = gen::random_leaf(st.tree(), &mut rng);
+            (
+                st.tree().path_from_root(leaf),
+                rng.gen_range(0..(n as i64 * 16)),
+            )
+        })
+        .collect();
+    let (mut degraded, mut fresh, mut mism) = (0u64, 0u64, 0usize);
+    for (path, y) in &queries {
+        let mut pram = Pram::new(p0, Model::Crew);
+        FaultPlan {
+            seed: 0,
+            faults: vec![Fault::KillProcessors {
+                at_round: 2,
+                count: p0 / 2,
+            }],
+        }
+        .arm(&mut pram);
+        let out = coop_search_explicit(&st, path, *y, &mut pram);
+        degraded += pram.steps();
+        let truth = fc_catalog::search::search_path_naive(st.tree(), path, *y, None);
+        if out.finds != truth.results {
+            mism += 1;
+        }
+        let mut pf = Pram::new(p0 / 2, Model::Crew);
+        coop_search_explicit(&st, path, *y, &mut pf);
+        fresh += pf.steps();
+    }
+    let q = queries.len() as f64;
+    t.note(format!(
+        "degraded mode (p = 2^16, half killed at round 2): avg steps {} vs fresh run at p/2 {} ({} wrong answers; bound: <= 2x fresh)",
+        fmt_f(degraded as f64 / q),
+        fmt_f(fresh as f64 / q),
+        mism
+    ));
+    t
+}
+
 /// All experiments, in DESIGN.md order.
 pub fn all() -> Vec<(&'static str, fn() -> Table)> {
     vec![
@@ -988,5 +1247,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("cd", cd_general),
         ("dyn", dynamic),
         ("op3", op3),
+        ("fault", efault),
     ]
 }

@@ -19,7 +19,6 @@
 #![warn(missing_docs)]
 #![allow(clippy::type_complexity)]
 
-
 pub mod experiments;
 pub mod table;
 

@@ -34,6 +34,7 @@
 //! [`CascadedTree::pipelined_depth_estimate`] for the preprocessing
 //! experiment).
 
+use crate::error::FcError;
 use crate::key::CatalogKey;
 use crate::tree::{CatalogTree, NodeId};
 use fc_pram::cost::Pram;
@@ -78,13 +79,26 @@ impl<K: CatalogKey> CascadedTree<K> {
     /// choice for binary trees (total augmented size `<= 2n + O(#nodes)`).
     ///
     /// # Panics
-    /// Panics if `sample <= tree.max_degree()` or `sample < 2`.
+    /// Panics if `sample <= tree.max_degree()` or `sample < 2`, or if the
+    /// level schedule is corrupt (see [`CascadedTree::try_build`] for the
+    /// non-panicking form).
     pub fn build(tree: CatalogTree<K>, sample: usize) -> Self {
+        Self::try_build(tree, sample).unwrap_or_else(|e| panic!("cascade build failed: {e}"))
+    }
+
+    /// Fallible form of [`CascadedTree::build`]: a corrupt level schedule
+    /// surfaces as [`FcError::UnbuiltNode`] instead of a panic.
+    pub fn try_build(tree: CatalogTree<K>, sample: usize) -> Result<Self, FcError> {
         Self::build_inner(tree, sample, BuildMode::Sequential, None)
     }
 
     /// Build with rayon parallelism (level-synchronous, leaves upward).
     pub fn build_par(tree: CatalogTree<K>, sample: usize) -> Self {
+        Self::try_build_par(tree, sample).unwrap_or_else(|e| panic!("cascade build failed: {e}"))
+    }
+
+    /// Fallible form of [`CascadedTree::build_par`].
+    pub fn try_build_par(tree: CatalogTree<K>, sample: usize) -> Result<Self, FcError> {
         Self::build_inner(tree, sample, BuildMode::Parallel, None)
     }
 
@@ -93,6 +107,16 @@ impl<K: CatalogKey> CascadedTree<K> {
     /// charged `O(log len)` rounds of `len` ops (rank-by-binary-search
     /// parallel merge).
     pub fn build_cost(tree: CatalogTree<K>, sample: usize, pram: &mut Pram) -> Self {
+        Self::try_build_cost(tree, sample, pram)
+            .unwrap_or_else(|e| panic!("cascade build failed: {e}"))
+    }
+
+    /// Fallible form of [`CascadedTree::build_cost`].
+    pub fn try_build_cost(
+        tree: CatalogTree<K>,
+        sample: usize,
+        pram: &mut Pram,
+    ) -> Result<Self, FcError> {
         Self::build_inner(tree, sample, BuildMode::Sequential, Some(pram))
     }
 
@@ -119,11 +143,7 @@ impl<K: CatalogKey> CascadedTree<K> {
         Self::build_bidir_inner(tree, sample, Some(pram))
     }
 
-    fn build_bidir_inner(
-        tree: CatalogTree<K>,
-        sample: usize,
-        mut pram: Option<&mut Pram>,
-    ) -> Self {
+    fn build_bidir_inner(tree: CatalogTree<K>, sample: usize, mut pram: Option<&mut Pram>) -> Self {
         assert!(sample >= 2, "sampling factor must be at least 2");
         assert!(
             sample > tree.max_degree() + 1,
@@ -238,7 +258,7 @@ impl<K: CatalogKey> CascadedTree<K> {
         sample: usize,
         mode: BuildMode,
         mut pram: Option<&mut Pram>,
-    ) -> Self {
+    ) -> Result<Self, FcError> {
         assert!(sample >= 2, "sampling factor must be at least 2");
         assert!(
             sample > tree.max_degree(),
@@ -250,13 +270,16 @@ impl<K: CatalogKey> CascadedTree<K> {
         // Process levels bottom-up; within a level all nodes are independent.
         let levels = tree.levels();
         for level in levels.iter().rev() {
-            let build_one = |&id: &NodeId| -> (usize, CascadedNode<K>) {
-                let node = cascade_node(&tree, id, &nodes, sample);
-                (id.idx(), node)
+            let build_one = |&id: &NodeId| -> Result<(usize, CascadedNode<K>), FcError> {
+                let node = cascade_node(&tree, id, &nodes, sample)?;
+                Ok((id.idx(), node))
             };
             let built: Vec<(usize, CascadedNode<K>)> = match mode {
-                BuildMode::Sequential => level.iter().map(build_one).collect(),
-                BuildMode::Parallel => level.par_iter().map(build_one).collect(),
+                BuildMode::Sequential => level.iter().map(build_one).collect::<Result<_, _>>()?,
+                BuildMode::Parallel => level
+                    .par_iter()
+                    .map(build_one)
+                    .collect::<Result<Vec<_>, _>>()?,
             };
             if let Some(pram) = pram.as_deref_mut() {
                 // EREW cost of the level: all merges run concurrently;
@@ -273,11 +296,15 @@ impl<K: CatalogKey> CascadedTree<K> {
                 nodes[idx] = Some(node);
             }
         }
-        CascadedTree {
-            nodes: nodes.into_iter().map(|n| n.expect("all built")).collect(),
+        let mut done = Vec::with_capacity(nodes.len());
+        for (idx, n) in nodes.into_iter().enumerate() {
+            done.push(n.ok_or(FcError::UnbuiltNode { node: idx as u32 })?);
+        }
+        Ok(CascadedTree {
+            nodes: done,
             tree,
             sample,
-        }
+        })
     }
 
     /// The underlying tree.
@@ -333,7 +360,10 @@ impl<K: CatalogKey> CascadedTree<K> {
     #[inline]
     pub fn find_aug(&self, id: NodeId, y: K) -> usize {
         let i = lower_bound(&self.nodes[id.idx()].keys, &y);
-        debug_assert!(i < self.nodes[id.idx()].keys.len(), "terminal +inf guarantees a hit");
+        debug_assert!(
+            i < self.nodes[id.idx()].keys.len(),
+            "terminal +inf guarantees a hit"
+        );
         i
     }
 
@@ -353,6 +383,51 @@ impl<K: CatalogKey> CascadedTree<K> {
         }
         debug_assert!(walked <= self.fanout_bound(), "fan-out property violated");
         (j, walked)
+    }
+
+    /// Audited variant of [`descend`](Self::descend) for searches that must
+    /// never return a silently wrong answer on a corrupted structure.
+    ///
+    /// [`descend`](Self::descend) corrects bridge *overshoot* by back-walking,
+    /// but a bridge corrupted to *undershoot* (point before the true lower
+    /// bound) produces a wrong child position with no visible symptom. Here we
+    /// verify all three failure modes — bridge index out of range, back-walk
+    /// longer than the fan-out bound `b`, and a landing position whose key is
+    /// still `< y` — and return a blame coordinate instead of a bad position.
+    pub fn checked_descend(
+        &self,
+        parent: NodeId,
+        slot: usize,
+        aug_idx: usize,
+        y: K,
+    ) -> Result<(usize, usize), FcError> {
+        let blame = FcError::CorruptBridge {
+            node: parent.0,
+            slot,
+            entry: aug_idx,
+        };
+        let children = self.tree.children(parent);
+        let child = *children.get(slot).ok_or(blame)?;
+        let child_keys = &self.nodes[child.idx()].keys;
+        let bridge_row = self.nodes[parent.idx()].bridges.get(slot).ok_or(blame)?;
+        let mut j = *bridge_row.get(aug_idx).ok_or(blame)? as usize;
+        if j >= child_keys.len() {
+            return Err(blame);
+        }
+        let mut walked = 0usize;
+        while j > 0 && child_keys[j - 1] >= y {
+            j -= 1;
+            walked += 1;
+            if walked > self.fanout_bound() {
+                return Err(blame);
+            }
+        }
+        // Undershoot: the landing key is still below y, so `j` is not the
+        // lower bound — `descend` would have silently returned it.
+        if child_keys[j] < y {
+            return Err(blame);
+        }
+        Ok((j, walked))
     }
 
     /// Convert an augmented location at `id` into the native `find(y, v)`
@@ -388,7 +463,7 @@ fn cascade_node<K: CatalogKey>(
     id: NodeId,
     nodes: &[Option<CascadedNode<K>>],
     sample: usize,
-) -> CascadedNode<K> {
+) -> Result<CascadedNode<K>, FcError> {
     let native = tree.catalog(id);
     let children = tree.children(id);
 
@@ -396,7 +471,9 @@ fn cascade_node<K: CatalogKey>(
     let mut lists: Vec<Vec<K>> = Vec::with_capacity(children.len() + 1);
     lists.push(native.to_vec());
     for &c in children {
-        let child = nodes[c.idx()].as_ref().expect("children built first");
+        let child = nodes[c.idx()]
+            .as_ref()
+            .ok_or(FcError::UnbuiltNode { node: c.0 })?;
         lists.push(
             child
                 .keys
@@ -428,24 +505,30 @@ fn cascade_node<K: CatalogKey>(
     // bridges: two-pointer walk over (keys, child.keys) per child.
     let mut bridges = Vec::with_capacity(children.len());
     for &c in children {
-        let child_keys = &nodes[c.idx()].as_ref().expect("built").keys;
+        let child_keys = &nodes[c.idx()]
+            .as_ref()
+            .ok_or(FcError::UnbuiltNode { node: c.0 })?
+            .keys;
         let mut bj = 0usize;
         let mut bv = Vec::with_capacity(keys.len());
         for &k in &keys {
             while bj < child_keys.len() && child_keys[bj] < k {
                 bj += 1;
             }
-            debug_assert!(bj < child_keys.len(), "child terminal +inf guarantees a hit");
+            debug_assert!(
+                bj < child_keys.len(),
+                "child terminal +inf guarantees a hit"
+            );
             bv.push(bj as u32);
         }
         bridges.push(bv);
     }
 
-    CascadedNode {
+    Ok(CascadedNode {
         keys,
         native_succ,
         bridges,
-    }
+    })
 }
 
 /// Merge `k` sorted lists (small `k`): repeated pairwise merge.
@@ -597,7 +680,11 @@ mod tests {
         let fc = CascadedTree::build(tree, 2);
         assert_eq!(fc.find_aug(NodeId(0), 5), 1);
         assert_eq!(fc.native_result(NodeId(0), 1).native_idx, 1);
-        assert_eq!(fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 100)).native_idx, 2);
+        assert_eq!(
+            fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 100))
+                .native_idx,
+            2
+        );
     }
 
     #[test]
@@ -609,7 +696,11 @@ mod tests {
         let fc = CascadedTree::build(tree, 4);
         // Root native is empty; aug must still contain child samples + SUP.
         assert!(fc.keys(NodeId(0)).len() > 1);
-        assert_eq!(fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 10)).native_idx, 0);
+        assert_eq!(
+            fc.native_result(NodeId(0), fc.find_aug(NodeId(0), 10))
+                .native_idx,
+            0
+        );
     }
 
     #[test]

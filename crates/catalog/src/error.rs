@@ -1,0 +1,112 @@
+//! Typed errors for build-time and search-time structural failures.
+//!
+//! The cascaded structure's correctness rests on the three properties of
+//! Section 2; when a property is violated at runtime (memory corruption, a
+//! bad dynamic update, a fault-injection experiment), the searches must not
+//! return a silently wrong answer. [`FcError`] is the std-only error type
+//! carried by the checked builders ([`crate::cascade::CascadedTree::try_build`])
+//! and the checked search paths (`fc-coop`'s `coop_search_explicit_checked`),
+//! localizing the blame to a (node, slot, entry) coordinate so a repair pass
+//! can rebuild exactly the damaged region.
+
+use std::fmt;
+
+/// A localized structural failure in a fractional cascaded structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcError {
+    /// A level-synchronous build observed a node whose children were not
+    /// built yet (schedule bug or corrupted level index).
+    UnbuiltNode {
+        /// Arena index of the offending node.
+        node: u32,
+    },
+    /// A bridge pointer is corrupt: it points outside the child catalog, or
+    /// lands so far from the true lower bound that the fan-out property
+    /// cannot recover it (undershoot, or a back-walk past `b` steps).
+    CorruptBridge {
+        /// Arena index of the parent node owning the bridge.
+        node: u32,
+        /// Child slot of the bridge array.
+        slot: usize,
+        /// Entry index into the parent's augmented catalog.
+        entry: usize,
+    },
+    /// A hop window failed to cover the true answer (Lemma 3 violation at
+    /// search time — corrupt skeleton key or understated fan-out bound).
+    WindowOverrun {
+        /// Arena index of the node whose window missed.
+        node: u32,
+        /// Relative level of the node inside its unit.
+        level: u32,
+        /// The true augmented position that fell outside the window.
+        got: usize,
+        /// Window lower bound.
+        lo: usize,
+        /// Window upper bound.
+        hi: usize,
+    },
+    /// An augmented catalog lost its terminal supremum or its sort order —
+    /// binary searches on it are meaningless.
+    CorruptCatalog {
+        /// Arena index of the offending node.
+        node: u32,
+        /// First entry at which the corruption was observed.
+        entry: usize,
+    },
+    /// Every processor was marked dead before the search completed.
+    NoProcessors,
+}
+
+impl fmt::Display for FcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FcError::UnbuiltNode { node } => {
+                write!(f, "node {node} used before its children were built")
+            }
+            FcError::CorruptBridge { node, slot, entry } => write!(
+                f,
+                "corrupt bridge at node {node}, child slot {slot}, entry {entry}"
+            ),
+            FcError::WindowOverrun { node, level, got, lo, hi } => write!(
+                f,
+                "window overrun at node {node} (unit level {level}): true position {got} outside [{lo}, {hi}]"
+            ),
+            FcError::CorruptCatalog { node, entry } => {
+                write!(f, "corrupt augmented catalog at node {node}, entry {entry}")
+            }
+            FcError::NoProcessors => write!(f, "all processors died before the search completed"),
+        }
+    }
+}
+
+impl std::error::Error for FcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_localized() {
+        let e = FcError::CorruptBridge {
+            node: 7,
+            slot: 1,
+            entry: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('1') && s.contains("42"));
+        let w = FcError::WindowOverrun {
+            node: 3,
+            level: 2,
+            got: 9,
+            lo: 10,
+            hi: 12,
+        };
+        assert!(w.to_string().contains("[10, 12]"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FcError::NoProcessors);
+    }
+}

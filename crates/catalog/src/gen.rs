@@ -35,7 +35,10 @@ pub enum SizeDist {
 /// # Panics
 /// Panics if `count > range`.
 pub fn distinct_sorted_keys(count: usize, range: i64, rng: &mut impl Rng) -> Vec<i64> {
-    assert!(count as i64 <= range, "cannot draw {count} distinct keys from 0..{range}");
+    assert!(
+        count as i64 <= range,
+        "cannot draw {count} distinct keys from 0..{range}"
+    );
     // Oversample, dedupe, trim; retry with more slack if unlucky.
     let mut slack = count / 8 + 16;
     loop {
@@ -139,7 +142,13 @@ fn fill(
 pub fn complete_binary_parents(height: u32) -> Vec<Option<u32>> {
     let n = (1usize << (height + 1)) - 1;
     (0..n)
-        .map(|i| if i == 0 { None } else { Some(((i - 1) / 2) as u32) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(((i - 1) / 2) as u32)
+            }
+        })
         .collect()
 }
 
@@ -170,7 +179,11 @@ pub fn caterpillar(spine: usize, total: usize, rng: &mut impl Rng) -> CatalogTre
     // Interleave spine and leaf nodes so parents precede children.
     // Node 2i = spine node i; node 2i+1 = leaf hanging off spine node i.
     for i in 0..spine {
-        parents.push(if i == 0 { None } else { Some(2 * (i as u32 - 1)) });
+        parents.push(if i == 0 {
+            None
+        } else {
+            Some(2 * (i as u32 - 1))
+        });
         parents.push(Some(2 * i as u32));
     }
     fill(parents, total, SizeDist::Uniform, rng)
@@ -186,7 +199,13 @@ pub fn dary(d: usize, height: u32, total: usize, rng: &mut impl Rng) -> CatalogT
         count += level;
     }
     let parents = (0..count)
-        .map(|i| if i == 0 { None } else { Some(((i - 1) / d) as u32) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(((i - 1) / d) as u32)
+            }
+        })
         .collect();
     fill(parents, total, SizeDist::Uniform, rng)
 }
@@ -199,7 +218,10 @@ pub fn random_queries(count: usize, total: usize, rng: &mut impl Rng) -> Vec<i64
 }
 
 /// Pick a uniformly random leaf of `tree`.
-pub fn random_leaf<K: CatalogKey>(tree: &CatalogTree<K>, rng: &mut impl Rng) -> crate::tree::NodeId {
+pub fn random_leaf<K: CatalogKey>(
+    tree: &CatalogTree<K>,
+    rng: &mut impl Rng,
+) -> crate::tree::NodeId {
     let leaves = tree.leaves();
     leaves[rng.gen_range(0..leaves.len())]
 }

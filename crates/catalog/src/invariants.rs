@@ -159,7 +159,8 @@ mod tests {
     fn properties_hold_on_uniform_trees() {
         let mut rng = SmallRng::seed_from_u64(211);
         for height in [0u32, 2, 5, 8] {
-            let tree = gen::balanced_binary(height, 500 << height.min(4), SizeDist::Uniform, &mut rng);
+            let tree =
+                gen::balanced_binary(height, 500 << height.min(4), SizeDist::Uniform, &mut rng);
             let fc = CascadedTree::build(tree, 4);
             let report = check_all(&fc);
             validate(&report).unwrap();

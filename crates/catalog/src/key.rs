@@ -92,7 +92,8 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(clippy::assertions_on_constants)] // documents the SUPREMUM contract
+    #[allow(clippy::assertions_on_constants, clippy::absurd_extreme_comparisons)]
+    // documents the SUPREMUM contract
     fn suprema_dominate() {
         assert!(i64::SUPREMUM >= 123456789);
         assert!(u32::SUPREMUM >= 42);

@@ -28,8 +28,8 @@
 // Explicit index loops mirror the one-processor-per-index PRAM semantics.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cascade;
+pub mod error;
 pub mod gen;
 pub mod invariants;
 pub mod key;
@@ -38,6 +38,7 @@ pub mod search;
 pub mod tree;
 
 pub use cascade::{CascadedNode, CascadedTree};
+pub use error::FcError;
 pub use key::CatalogKey;
 pub use search::{search_path_fc, search_path_naive, PathSearchOutput};
 pub use tree::{CatalogTree, NodeId};

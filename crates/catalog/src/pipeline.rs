@@ -76,9 +76,10 @@ pub fn build_pipelined<K: CatalogKey>(
         max_round_ops: 0,
     };
     // Generous guard: height + log of the largest staged list + slack.
-    let max_rounds = 4 * (tree.height() as usize
-        + (usize::BITS - tree.total_catalog_size().max(2).leading_zeros()) as usize
-        + 8);
+    let max_rounds = 4
+        * (tree.height() as usize
+            + (usize::BITS - tree.total_catalog_size().max(2).leading_zeros()) as usize
+            + 8);
 
     while !settled[tree.root().idx()] {
         stats.rounds += 1;
@@ -129,7 +130,9 @@ pub fn build_pipelined<K: CatalogKey>(
         }
         // Commit; update strides and settledness.
         for id in tree.ids() {
-            let Some(list) = next[id.idx()].take() else { continue };
+            let Some(list) = next[id.idx()].take() else {
+                continue;
+            };
             let stable = list == cur[id.idx()];
             cur[id.idx()] = list;
             if stride[id.idx()] > 1 {
@@ -172,7 +175,11 @@ mod tests {
     #[test]
     fn pipelined_equals_direct_build() {
         let mut rng = SmallRng::seed_from_u64(901);
-        for dist in [SizeDist::Uniform, SizeDist::SingleHeavy(0.7), SizeDist::RootHeavy] {
+        for dist in [
+            SizeDist::Uniform,
+            SizeDist::SingleHeavy(0.7),
+            SizeDist::RootHeavy,
+        ] {
             let tree = gen::balanced_binary(8, 6000, dist, &mut rng);
             let direct = CascadedTree::build(tree.clone(), 4);
             let (piped, _) = build_pipelined(tree, 4, None);

@@ -162,7 +162,11 @@ impl<K: CatalogKey> CatalogTree<K> {
 
     /// Maximum node degree (number of children).
     pub fn max_degree(&self) -> usize {
-        self.nodes.iter().map(|nd| nd.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|nd| nd.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Height of the tree (longest root-to-leaf edge count).
@@ -248,13 +252,7 @@ mod tests {
     fn sample() -> CatalogTree<i64> {
         CatalogTree::from_parents(
             vec![None, Some(0), Some(0), Some(1), Some(1)],
-            vec![
-                vec![10, 20],
-                vec![5],
-                vec![15, 25, 35],
-                vec![1, 2],
-                vec![],
-            ],
+            vec![vec![10, 20], vec![5], vec![15, 25, 35], vec![1, 2], vec![]],
         )
     }
 

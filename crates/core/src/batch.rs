@@ -116,7 +116,9 @@ mod tests {
         // LeafOracleAdapter borrows the tree and the oracle, both Sync, so
         // batches work directly.
         use crate::implicit::LeafOracleAdapter;
-        let targets: Vec<NodeId> = (0..20).map(|_| gen::random_leaf(st.tree(), &mut rng)).collect();
+        let targets: Vec<NodeId> = (0..20)
+            .map(|_| gen::random_leaf(st.tree(), &mut rng))
+            .collect();
         let oracles: Vec<ConsistentLeafOracle> = targets
             .iter()
             .map(|&t| ConsistentLeafOracle::new(st.tree(), t))

@@ -157,10 +157,7 @@ impl<K: CatalogKey> DynamicCoop<K> {
         }
         // Rebuild from the logical catalogs.
         let tree = self.st.tree();
-        let parents: Vec<Option<u32>> = tree
-            .ids()
-            .map(|id| tree.parent(id).map(|p| p.0))
-            .collect();
+        let parents: Vec<Option<u32>> = tree.ids().map(|id| tree.parent(id).map(|p| p.0)).collect();
         let catalogs: Vec<Vec<K>> = tree.ids().map(|id| self.logical_catalog(id)).collect();
         let new_tree = CatalogTree::from_parents(parents, catalogs);
         let new_n = new_tree.total_catalog_size();
@@ -187,11 +184,7 @@ mod tests {
 
     fn brute(dy: &DynamicCoop<i64>, path: &[NodeId], y: i64) -> Vec<Option<i64>> {
         path.iter()
-            .map(|&node| {
-                dy.logical_catalog(node)
-                    .into_iter()
-                    .find(|&k| k >= y)
-            })
+            .map(|&node| dy.logical_catalog(node).into_iter().find(|&k| k >= y))
             .collect()
     }
 
@@ -232,7 +225,14 @@ mod tests {
         // Delete the first few entries of the root catalog and search below
         // them.
         let root = path[0];
-        let first: Vec<i64> = dy.structure().tree().catalog(root).iter().take(3).copied().collect();
+        let first: Vec<i64> = dy
+            .structure()
+            .tree()
+            .catalog(root)
+            .iter()
+            .take(3)
+            .copied()
+            .collect();
         for &k in &first {
             dy.remove(root, k, &mut pram);
         }

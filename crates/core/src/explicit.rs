@@ -25,7 +25,7 @@ use crate::skeleton::NO_CHILD;
 use crate::structure::CoopStructure;
 use fc_catalog::cascade::Find;
 use fc_catalog::search::search_path_fc;
-use fc_catalog::{CatalogKey, NodeId};
+use fc_catalog::{CatalogKey, FcError, NodeId};
 use fc_pram::cost::Pram;
 use fc_pram::primitives::coop_lower_bound;
 
@@ -63,6 +63,11 @@ pub struct ExplicitSearchResult {
 /// Run an explicit cooperative search for `y` along `path` (a downward path
 /// starting at the root) with the processor count carried by `pram`.
 ///
+/// Degrades gracefully: if processors die mid-search ([`Pram::kill`] or a
+/// scheduled failure), the remaining hops re-select a substructure sized for
+/// the survivors and continue, still returning the exact answer in
+/// `O((log n)/log p')` steps for `p'` survivors.
+///
 /// # Panics
 /// Panics if `path` is empty, does not start at the root, or is not a
 /// connected downward path.
@@ -72,26 +77,86 @@ pub fn coop_search_explicit<K: CatalogKey>(
     y: K,
     pram: &mut Pram,
 ) -> ExplicitSearchResult {
+    match search_explicit_inner(st, path, y, pram, false) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unchecked explicit search cannot fail: {e}"),
+    }
+}
+
+/// Audited variant of [`coop_search_explicit`] for structures that may have
+/// been corrupted: instead of trusting the fan-out and window bounds, every
+/// bridge crossing and window is verified, and the first violated invariant
+/// aborts the search with a localized [`FcError`] — never a silently wrong
+/// answer. The blame coordinate feeds `fc-resilience`'s audit/repair pass.
+///
+/// Costs the same PRAM steps as the unchecked search up to the abort point
+/// (the guards are `O(1)` per hop and ride along with work already charged).
+///
+/// # Panics
+/// Panics on the same malformed-`path` conditions as
+/// [`coop_search_explicit`]. Structure corruption never panics.
+pub fn coop_search_explicit_checked<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+) -> Result<ExplicitSearchResult, FcError> {
+    search_explicit_inner(st, path, y, pram, true)
+}
+
+/// Verify that `g` is a locally consistent lower-bound position for `y` in
+/// `keys` (used in checked mode after every binary search: on a corrupted,
+/// unsorted catalog a binary search can land anywhere).
+fn audit_locate<K: CatalogKey>(keys: &[K], g: usize, y: K, node: u32) -> Result<(), FcError> {
+    match keys.get(g) {
+        Some(&k) if k >= y && (g == 0 || keys[g - 1] < y) => Ok(()),
+        _ => Err(FcError::CorruptCatalog {
+            node,
+            entry: g.min(keys.len().saturating_sub(1)),
+        }),
+    }
+}
+
+fn search_explicit_inner<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+    checked: bool,
+) -> Result<ExplicitSearchResult, FcError> {
     assert!(!path.is_empty(), "path must be nonempty");
     assert_eq!(path[0], st.tree().root(), "path must start at the root");
 
-    let p = pram.processors();
-    let Some(sub) = st.select(p) else {
+    let fc = st.cascade();
+    let tree = st.tree();
+    if checked && pram.processors() == 0 {
+        return Err(FcError::NoProcessors);
+    }
+
+    let mut p_sel = pram.processors();
+    let Some(mut sub) = st.select(p_sel) else {
         // No hop height pays off at this p: sequential fractional cascading
         // (the p = 1 baseline) is the right algorithm.
-        let fc = st.cascade();
         let out = search_path_fc(fc, path, y, Some(pram));
-        // Recover the augmented positions with a free second walk (the
-        // sequential search already paid for it).
+        // Recover the augmented positions with a second walk (the sequential
+        // search already paid for it); in checked mode this walk audits the
+        // same bridges the sequential search trusted.
         let mut augs = Vec::with_capacity(path.len());
         let mut aug = fc.find_aug(path[0], y);
+        if checked {
+            audit_locate(fc.keys(path[0]), aug, y, path[0].0)?;
+        }
         augs.push(aug);
         for w in path.windows(2) {
             let slot = st.tree().child_slot(w[0], w[1]);
-            aug = fc.descend(w[0], slot, aug, y).0;
+            aug = if checked {
+                fc.checked_descend(w[0], slot, aug, y)?.0
+            } else {
+                fc.descend(w[0], slot, aug, y).0
+            };
             augs.push(aug);
         }
-        return ExplicitSearchResult {
+        return Ok(ExplicitSearchResult {
             finds: out.results,
             augs,
             stats: SearchStats {
@@ -99,11 +164,9 @@ pub fn coop_search_explicit<K: CatalogKey>(
                 used_h: None,
                 ..SearchStats::default()
             },
-        };
+        });
     };
 
-    let fc = st.cascade();
-    let tree = st.tree();
     let mut stats = SearchStats {
         used_h: Some(sub.sp.h),
         ..SearchStats::default()
@@ -111,6 +174,9 @@ pub fn coop_search_explicit<K: CatalogKey>(
 
     // Step 1: cooperative p-ary search in the root's augmented catalog.
     let mut aug = coop_lower_bound(fc.keys(path[0]), &y, pram);
+    if checked {
+        audit_locate(fc.keys(path[0]), aug, y, path[0].0)?;
+    }
     let mut finds = Vec::with_capacity(path.len());
     let mut augs = Vec::with_capacity(path.len());
     finds.push(fc.native_result(path[0], aug));
@@ -118,9 +184,56 @@ pub fn coop_search_explicit<K: CatalogKey>(
     let mut pos = 0usize;
 
     // Steps 2-4: hop unit by unit while the current node roots a unit.
+    // `realigning` is set after a mid-search processor failure forced a
+    // substructure switch: the current node need not root a unit of the new
+    // forest, so we walk sequentially until the levels line up again.
+    let mut realigning = false;
     while pos + 1 < path.len() {
+        // Graceful degradation: processors may have died in the rounds just
+        // charged. Re-read the machine size and re-Brent-schedule the rest
+        // of the search onto the survivors.
+        let p_now = pram.processors();
+        if checked && p_now == 0 {
+            return Err(FcError::NoProcessors);
+        }
+        if p_now != p_sel {
+            p_sel = p_now;
+            match st.select(p_now) {
+                Some(s) => {
+                    sub = s;
+                    stats.used_h = Some(s.sp.h);
+                    realigning = true;
+                }
+                None => break, // too few survivors to hop: sequential tail
+            }
+        }
+
         let v = path[pos];
-        let Some(unit) = sub.unit_at(v) else { break };
+        let unit = match sub.unit_at(v) {
+            Some(u) => u,
+            None => {
+                if realigning {
+                    // One sequential bridge step toward the next unit root
+                    // of the newly selected forest.
+                    let w = path[pos + 1];
+                    let slot = tree.child_slot(v, w);
+                    let (next, walked) = if checked {
+                        fc.checked_descend(v, slot, aug, y)?
+                    } else {
+                        fc.descend(v, slot, aug, y)
+                    };
+                    pram.seq(1 + walked);
+                    aug = next;
+                    finds.push(fc.native_result(w, aug));
+                    augs.push(aug);
+                    pos += 1;
+                    stats.tail_nodes += 1;
+                    continue;
+                }
+                break;
+            }
+        };
+        realigning = false;
 
         // Step 2: move right to the nearest sampled entry, selecting U_j.
         // The paper assigns s_i processors to find it; arithmetic gives the
@@ -149,7 +262,22 @@ pub fn coop_search_explicit<K: CatalogKey>(
             let hi = (k + q).min(len - 1);
             ops += hi - lo + 1;
             let g = fc.find_aug(w, y);
+            if checked {
+                audit_locate(fc.keys(w), g, y, w.0)?;
+            }
             if g < lo || g > hi {
+                if checked {
+                    // Lemma 3 violated at search time: a corrupt skeleton
+                    // key (or understated b) steered the window away from
+                    // the true answer. Blame the node and abort.
+                    return Err(FcError::WindowOverrun {
+                        node: w.0,
+                        level: l,
+                        got: g,
+                        lo,
+                        hi,
+                    });
+                }
                 // Lemma 3 violation (only possible with an understated b):
                 // repair with a full binary search.
                 stats.fallbacks += 1;
@@ -175,7 +303,11 @@ pub fn coop_search_explicit<K: CatalogKey>(
         let v = path[pos];
         let w = path[pos + 1];
         let slot = tree.child_slot(v, w);
-        let (next, walked) = fc.descend(v, slot, aug, y);
+        let (next, walked) = if checked {
+            fc.checked_descend(v, slot, aug, y)?
+        } else {
+            fc.descend(v, slot, aug, y)
+        };
         pram.seq(1 + walked);
         aug = next;
         finds.push(fc.native_result(w, aug));
@@ -184,7 +316,7 @@ pub fn coop_search_explicit<K: CatalogKey>(
         stats.tail_nodes += 1;
     }
 
-    ExplicitSearchResult { finds, augs, stats }
+    Ok(ExplicitSearchResult { finds, augs, stats })
 }
 
 #[cfg(test)]
@@ -203,7 +335,12 @@ mod tests {
         CoopStructure::preprocess(tree, mode)
     }
 
-    fn check_against_naive(st: &CoopStructure<i64>, p: usize, queries: usize, seed: u64) -> SearchStats {
+    fn check_against_naive(
+        st: &CoopStructure<i64>,
+        p: usize,
+        queries: usize,
+        seed: u64,
+    ) -> SearchStats {
         let mut rng = SmallRng::seed_from_u64(seed);
         let tree = st.tree();
         let total = tree.total_catalog_size();

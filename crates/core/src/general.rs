@@ -119,7 +119,9 @@ fn search_subpath<K: CatalogKey>(
                     break;
                 }
             }
-            let Some(unit) = sub.unit_at(path[pos]) else { break };
+            let Some(unit) = sub.unit_at(path[pos]) else {
+                break;
+            };
             if pos + 1 >= path.len() {
                 break;
             }
@@ -394,7 +396,9 @@ mod tests {
         assert_eq!(out.group_size, 4096 / 8);
         assert_eq!(
             out.groups,
-            path.chunks(out.subpath_len).count().div_ceil(out.group_size)
+            path.chunks(out.subpath_len)
+                .count()
+                .div_ceil(out.group_size)
         );
     }
 
@@ -489,7 +493,7 @@ mod tests {
         for d in [3usize, 4, 8, 16] {
             let tree = gen::dary(d, 2, 1000, &mut rng);
             let bin = binarize(&tree);
-            let lg_d = (usize::BITS - (d - 1).leading_zeros()) as u32;
+            let lg_d = usize::BITS - (d - 1).leading_zeros();
             assert!(
                 bin.tree.height() <= tree.height() * (lg_d + 1),
                 "d {d}: new height {} old {} lg_d {lg_d}",

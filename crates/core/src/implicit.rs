@@ -177,9 +177,10 @@ pub fn implicit_search_seq<K: CatalogKey>(
         pram.seq((usize::BITS - len.leading_zeros()) as usize);
     }
     let mut path = vec![node];
-    let mut finds = vec![fc.native_result(node, aug)];
+    let mut cur = fc.native_result(node, aug);
+    let mut finds = vec![cur];
     while !tree.is_leaf(node) {
-        let b = oracle.branch(node, *finds.last().unwrap());
+        let b = oracle.branch(node, cur);
         let slot = b.slot().min(tree.children(node).len() - 1);
         let (next, walked) = fc.descend(node, slot, aug, y);
         if let Some(pram) = pram.as_deref_mut() {
@@ -187,8 +188,9 @@ pub fn implicit_search_seq<K: CatalogKey>(
         }
         node = tree.children(node)[slot];
         aug = next;
+        cur = fc.native_result(node, aug);
         path.push(node);
-        finds.push(fc.native_result(node, aug));
+        finds.push(cur);
     }
     ImplicitSearchResult {
         path,
@@ -302,15 +304,17 @@ pub fn coop_search_implicit<K: CatalogKey>(
     }
 
     // Sequential tail.
+    let mut cur = fc.native_result(node, aug);
     while !tree.is_leaf(node) {
-        let b = oracle.branch(node, *finds.last().unwrap());
+        let b = oracle.branch(node, cur);
         let slot = b.slot().min(tree.children(node).len() - 1);
         let (next, walked) = fc.descend(node, slot, aug, y);
         pram.seq(2 + walked);
         node = tree.children(node)[slot];
         aug = next;
+        cur = fc.native_result(node, aug);
         path.push(node);
-        finds.push(fc.native_result(node, aug));
+        finds.push(cur);
         stats.tail_nodes += 1;
     }
 
@@ -338,7 +342,7 @@ fn inorder_is_monotone(unit: &Unit, branches: &[Branch]) -> bool {
 /// adjacent pair `(w = last R, v = first L)`, the one at the unit's bottom
 /// level (Section 2.3's identification, adapted as described in DESIGN.md).
 fn transition_bottom(unit: &Unit, branches: &[Branch]) -> Option<usize> {
-    let bottom = *unit.level_of.iter().max().unwrap();
+    let bottom = unit.level_of.iter().copied().max().unwrap_or(0);
     let mut last_r: Option<usize> = None;
     let mut first_l: Option<usize> = None;
     for &z in &unit.inorder {

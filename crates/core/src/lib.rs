@@ -47,7 +47,6 @@
 // Explicit index loops mirror the one-processor-per-index PRAM semantics.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod batch;
 pub mod dynamic;
 pub mod explicit;
@@ -58,7 +57,7 @@ pub mod reach;
 pub mod skeleton;
 pub mod structure;
 
-pub use explicit::{coop_search_explicit, ExplicitSearchResult};
+pub use explicit::{coop_search_explicit, coop_search_explicit_checked, ExplicitSearchResult};
 pub use implicit::{coop_search_implicit, Branch, BranchOracle, ConsistentLeafOracle};
 pub use params::{CoopParams, ParamMode};
 pub use structure::CoopStructure;

@@ -110,15 +110,13 @@ impl CoopParams {
                 let mut h = 1u32;
                 loop {
                     let s = sampling_factor(b, h);
-                    let work_h = 2u64.saturating_mul(s as u64).saturating_mul(pow_u64(
-                        (2 * b + 1) as u64,
-                        h,
-                    ));
+                    let work_h = 2u64
+                        .saturating_mul(s as u64)
+                        .saturating_mul(pow_u64((2 * b + 1) as u64, h));
                     let s_next = sampling_factor(b, h + 1);
-                    let work_next = 2u64.saturating_mul(s_next as u64).saturating_mul(pow_u64(
-                        (2 * b + 1) as u64,
-                        h + 1,
-                    ));
+                    let work_next = 2u64
+                        .saturating_mul(s_next as u64)
+                        .saturating_mul(pow_u64((2 * b + 1) as u64, h + 1));
                     let p_min = work_h;
                     let p_max = work_next.saturating_sub(1);
                     let lg_p = 64 - p_min.leading_zeros();

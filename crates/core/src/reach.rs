@@ -67,7 +67,8 @@ pub fn reach_overlap<K: CatalogKey>(fc: &CascadedTree<K>, u: NodeId, h: u32) -> 
     // the union per node is the hull of the first and last interval. We
     // exploit this instead of materialising sets.
     let tree = fc.tree();
-    let mut hulls: std::collections::HashMap<u32, (usize, usize)> = std::collections::HashMap::new();
+    let mut hulls: std::collections::HashMap<u32, (usize, usize)> =
+        std::collections::HashMap::new();
     for c in 0..t {
         let (_, tot) = reach_size(fc, u, c, h);
         sum += tot;

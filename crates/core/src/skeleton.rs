@@ -125,6 +125,27 @@ impl Substructure {
     pub fn space(&self) -> usize {
         self.units.iter().map(Unit::space).sum()
     }
+
+    /// Rebuild the unit rooted at `root` from the (repaired) cascaded
+    /// structure, leaving every other unit untouched. Returns the number of
+    /// skeleton keys rewritten, or `None` when `root` does not root a unit
+    /// of this substructure. This is the localized-repair primitive: after
+    /// a catalog/bridge fix at a node, only the `O(1)` units whose key
+    /// matrices read through that node need refilling — not the whole `T_i`.
+    pub fn rebuild_unit_at<K: CatalogKey>(
+        &mut self,
+        fc: &CascadedTree<K>,
+        root: NodeId,
+    ) -> Option<usize> {
+        let u = self.unit_of_root[root.idx()];
+        if u == NOT_A_ROOT {
+            return None;
+        }
+        let unit = build_unit(fc, root, self.sp);
+        let words = unit.space();
+        self.units[u as usize] = unit;
+        Some(words)
+    }
 }
 
 /// Build the unit rooted at `root`: BFS to relative depth `sp.h`, clipped at

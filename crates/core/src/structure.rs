@@ -148,6 +148,30 @@ impl<K: CatalogKey> CoopStructure<K> {
         self.params.select(p).map(|i| &self.subs[i])
     }
 
+    /// Mutable cascaded structure — a fault-injection hook for robustness
+    /// tests and the `fc-resilience` crate (corruptions must be *detected*
+    /// by the audit, never produce silently wrong answers). Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn cascade_mut_for_fault_injection(&mut self) -> &mut CascadedTree<K> {
+        &mut self.fc
+    }
+
+    /// Mutable substructures — fault-injection/repair hook paired with
+    /// [`Self::cascade_mut_for_fault_injection`]. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn substructures_mut_for_fault_injection(&mut self) -> &mut [Substructure] {
+        &mut self.subs
+    }
+
+    /// Split borrow for localized repair: the (already repaired) cascade
+    /// read-only alongside mutable substructures, so individual units can be
+    /// rebuilt in place. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn cascade_and_subs_mut_for_repair(&mut self) -> (&CascadedTree<K>, &mut [Substructure]) {
+        (&self.fc, &mut self.subs)
+    }
+
     /// Per-substructure space breakdown (the Lemma 2 experiment's rows).
     pub fn space_rows(&self) -> Vec<SpaceRow> {
         self.subs

@@ -29,7 +29,6 @@
 // a few hop-state tuples are internal and not worth naming.
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 
-
 pub mod cooploc;
 pub mod septree;
 pub mod spatial;

@@ -206,7 +206,11 @@ impl SeparatorTree {
                 let (lo0, hi0) = sub.edge_run(c0, j);
                 let owner = lca_sep(lo0 as u32 + 1, hi0 as u32 + 1);
                 // branch = left iff c < owner (paper's rule, per strip).
-                sb.push(if c < owner { Branch::Left } else { Branch::Right });
+                sb.push(if c < owner {
+                    Branch::Left
+                } else {
+                    Branch::Right
+                });
             }
             strip_branch[nid.idx()] = sb;
         }

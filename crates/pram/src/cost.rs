@@ -61,6 +61,8 @@ impl Model {
 #[derive(Debug, Clone)]
 pub struct Pram {
     p: usize,
+    alive: usize,
+    pending: Vec<(u64, usize)>,
     model: Model,
     steps: u64,
     work: u64,
@@ -77,6 +79,8 @@ impl Pram {
         assert!(p >= 1, "a PRAM needs at least one processor");
         Pram {
             p,
+            alive: p,
+            pending: Vec::new(),
             model,
             steps: 0,
             work: 0,
@@ -85,10 +89,52 @@ impl Pram {
         }
     }
 
-    /// The processor count this model was created with.
+    /// The number of processors currently alive. Equals the provisioned
+    /// count until [`Pram::kill`] or a scheduled failure fires; degraded-mode
+    /// algorithms re-read this between rounds and re-schedule (Brent) onto
+    /// the survivors.
     #[inline]
     pub fn processors(&self) -> usize {
+        self.alive
+    }
+
+    /// The processor count this model was created with, before any failures.
+    #[inline]
+    pub fn provisioned(&self) -> usize {
         self.p
+    }
+
+    /// Fail `n` processors immediately. The count may reach zero, in which
+    /// case subsequent rounds are charged as if one (phantom) processor were
+    /// left; algorithms that care must check [`Pram::processors`] and report
+    /// `NoProcessors` themselves.
+    pub fn kill(&mut self, n: usize) {
+        self.alive = self.alive.saturating_sub(n);
+    }
+
+    /// Schedule `count` processors to fail just before round `at_round`
+    /// (rounds are numbered from 0 in charge order). Used by fault plans to
+    /// kill processors mid-search deterministically.
+    pub fn schedule_failure(&mut self, at_round: u64, count: usize) {
+        self.pending.push((at_round, count));
+    }
+
+    /// Fire every scheduled failure whose round has arrived.
+    fn apply_pending_failures(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let now = self.rounds;
+        let mut killed = 0usize;
+        self.pending.retain(|&(at, n)| {
+            if at <= now {
+                killed += n;
+                false
+            } else {
+                true
+            }
+        });
+        self.alive = self.alive.saturating_sub(killed);
     }
 
     /// The access discipline this computation claims to obey.
@@ -102,13 +148,15 @@ impl Pram {
     /// scheduling) and `ops` work. A round of zero ops is free.
     #[inline]
     pub fn round(&mut self, ops: usize) {
+        self.apply_pending_failures();
         if ops == 0 {
             return;
         }
-        self.steps += ops.div_ceil(self.p) as u64;
+        let p = self.alive.max(1);
+        self.steps += ops.div_ceil(p) as u64;
         self.work += ops as u64;
         self.rounds += 1;
-        self.peak = self.peak.max(ops.min(self.p));
+        self.peak = self.peak.max(ops.min(p));
     }
 
     /// Charge `ops` strictly sequential unit operations (one processor).
@@ -288,6 +336,37 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_panics() {
         let _ = Pram::new(0, Model::Crew);
+    }
+
+    #[test]
+    fn kill_degrades_round_charging() {
+        let mut pram = Pram::new(8, Model::Crew);
+        pram.round(16); // 2 steps on 8
+        pram.kill(6);
+        assert_eq!(pram.processors(), 2);
+        assert_eq!(pram.provisioned(), 8);
+        pram.round(16); // 8 steps on the 2 survivors
+        assert_eq!(pram.steps(), 2 + 8);
+    }
+
+    #[test]
+    fn kill_saturates_at_zero_and_rounds_still_charge() {
+        let mut pram = Pram::new(4, Model::Crew);
+        pram.kill(100);
+        assert_eq!(pram.processors(), 0);
+        pram.round(5); // charged as one phantom processor
+        assert_eq!(pram.steps(), 5);
+    }
+
+    #[test]
+    fn scheduled_failures_fire_at_round_boundaries() {
+        let mut pram = Pram::new(8, Model::Crew);
+        pram.schedule_failure(1, 4); // fire before the second charged round
+        pram.round(8); // round 0: 8 procs -> 1 step
+        assert_eq!(pram.processors(), 8);
+        pram.round(8); // round 1: failure fires first -> 4 procs -> 2 steps
+        assert_eq!(pram.processors(), 4);
+        assert_eq!(pram.steps(), 1 + 2);
     }
 
     #[test]

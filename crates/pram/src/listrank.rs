@@ -96,11 +96,7 @@ pub fn list_rank_weighted(next: &[usize], weight: &[i64], pram: &mut Pram) -> Ve
 ///
 /// `children` must list each node's children (consistent with `parent`).
 /// `O(log n)` rounds, `O(n)` elements.
-pub fn euler_tour_depths(
-    parent: &[usize],
-    children: &[Vec<usize>],
-    pram: &mut Pram,
-) -> Vec<u32> {
+pub fn euler_tour_depths(parent: &[usize], children: &[Vec<usize>], pram: &mut Pram) -> Vec<u32> {
     let n = parent.len();
     assert_eq!(children.len(), n);
     if n == 1 {
@@ -125,7 +121,7 @@ pub fn euler_tour_depths(
         if v != root {
             weight[2 * v] = 1; // descending into v
             weight[2 * v + 1] = -1; // ascending out of v
-            // down(v) -> first child's down, or up(v).
+                                    // down(v) -> first child's down, or up(v).
             next[2 * v] = match first_child(v) {
                 Some(c) => 2 * c,
                 None => 2 * v + 1,
@@ -263,7 +259,9 @@ mod tests {
     fn euler_depth_rounds_are_logarithmic() {
         // A random-ish binary tree of 2^11 nodes (complete).
         let n = (1 << 11) - 1;
-        let parent: Vec<usize> = (0..n).map(|i| if i == 0 { 0 } else { (i - 1) / 2 }).collect();
+        let parent: Vec<usize> = (0..n)
+            .map(|i| if i == 0 { 0 } else { (i - 1) / 2 })
+            .collect();
         let mut children = vec![Vec::new(); n];
         for i in 1..n {
             children[(i - 1) / 2].push(i);

@@ -250,7 +250,12 @@ mod tests {
     fn check_clb(slice: &[i64], y: i64, p: usize) {
         let mut pram = Pram::new(p, Model::Crew);
         let got = coop_lower_bound(slice, &y, &mut pram);
-        assert_eq!(got, lower_bound(slice, &y), "slice len {} y {y} p {p}", slice.len());
+        assert_eq!(
+            got,
+            lower_bound(slice, &y),
+            "slice len {} y {y} p {p}",
+            slice.len()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! synchronous PRAM.
 
 use crate::cost::Model;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A single detected violation of an access discipline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +64,7 @@ pub struct TracedMem<T> {
     model: Model,
     round: u64,
     violations: Vec<Violation>,
+    dead: HashSet<usize>,
 }
 
 /// Per-processor handle used inside a round closure. All reads observe the
@@ -101,7 +102,21 @@ impl<T: Clone> TracedMem<T> {
             model,
             round: 0,
             violations: Vec::new(),
+            dead: HashSet::new(),
         }
+    }
+
+    /// Mark virtual processor `pid` as dead: from the next round on, its
+    /// body is never run — no reads, no writes, as if the processor halted.
+    /// Fault plans use this to kill processors at chosen rounds and check
+    /// that round-structured algorithms still commit a consistent state.
+    pub fn kill(&mut self, pid: usize) {
+        self.dead.insert(pid);
+    }
+
+    /// Pids marked dead so far (unordered).
+    pub fn dead_pids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dead.iter().copied()
     }
 
     /// Execute one synchronous round with `procs` virtual processors. Each
@@ -120,6 +135,9 @@ impl<T: Clone> TracedMem<T> {
         let mut all_writes: Vec<(usize, usize, T)> = Vec::new(); // (pid, cell, value)
 
         for pid in 0..procs {
+            if self.dead.contains(&pid) {
+                continue;
+            }
             let mut ctx = ProcCtx {
                 pid,
                 cells: &self.cells,
@@ -288,6 +306,17 @@ mod tests {
         });
         assert!(mem.violations().is_empty());
         assert_eq!(mem.cells()[0], 6);
+    }
+
+    #[test]
+    fn dead_pids_are_skipped_entirely() {
+        let mut mem = TracedMem::new(vec![0i64; 4], Model::Crew);
+        mem.kill(1);
+        mem.kill(2);
+        mem.round(4, |pid, ctx| ctx.write(pid, 1 + pid as i64));
+        assert_eq!(mem.cells(), &[1, 0, 0, 4]);
+        assert_eq!(mem.dead_pids().count(), 2);
+        assert!(mem.violations().is_empty());
     }
 
     #[test]

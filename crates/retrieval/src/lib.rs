@@ -31,7 +31,6 @@
 // Interval-tree node payloads are internal tuples, not public API.
 #![allow(clippy::type_complexity)]
 
-
 pub mod enclosure;
 pub mod range2d;
 pub mod range3d;

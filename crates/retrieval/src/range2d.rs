@@ -87,7 +87,13 @@ impl RangeTree2D {
             ids[i] = merged.iter().map(|&(_, id)| id).collect();
         }
         let parents: Vec<Option<u32>> = (0..total)
-            .map(|i| if i == 0 { None } else { Some(((i - 1) / 2) as u32) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(((i - 1) / 2) as u32)
+                }
+            })
             .collect();
         let xs_sorted = by_x.iter().map(|&(x, _)| x).collect();
         let tree = CatalogTree::from_parents(parents, catalogs);
@@ -126,7 +132,15 @@ impl RangeTree2D {
         out
     }
 
-    fn canon_rec(&self, node: usize, lo: usize, width: usize, a: usize, b: usize, out: &mut Vec<usize>) {
+    fn canon_rec(
+        &self,
+        node: usize,
+        lo: usize,
+        width: usize,
+        a: usize,
+        b: usize,
+        out: &mut Vec<usize>,
+    ) {
         let hi = lo + width - 1;
         if b < lo || a > hi {
             return;

@@ -130,7 +130,9 @@ impl RangeTree3D {
         let mut k = 0u64;
         let mut branch_prams = Vec::with_capacity(canon.len());
         for c in canon {
-            let Some((t2, ids)) = &self.inner[c] else { continue };
+            let Some((t2, ids)) = &self.inner[c] else {
+                continue;
+            };
             let mut bp = pram.with_processors(p_inner);
             let list = t2.query_coop(rect, false, &mut bp);
             k += list.total;
@@ -140,7 +142,11 @@ impl RangeTree3D {
             branch_prams.push(bp);
         }
         pram.join_max(branch_prams);
-        charge_direct(pram, 2 * (usize::BITS - self.leaves.leading_zeros()) as usize, k);
+        charge_direct(
+            pram,
+            2 * (usize::BITS - self.leaves.leading_zeros()) as usize,
+            k,
+        );
         out.sort_unstable();
         out
     }
@@ -212,7 +218,11 @@ mod tests {
             for _ in 0..30 {
                 let q = rand_box(&mut rng, 5000);
                 let mut pram = Pram::new(p, Model::Crew);
-                assert_eq!(t.query_coop(q, &mut pram), t.query_brute(q), "p {p} q {q:?}");
+                assert_eq!(
+                    t.query_coop(q, &mut pram),
+                    t.query_brute(q),
+                    "p {p} q {q:?}"
+                );
             }
         }
     }

@@ -55,8 +55,10 @@ impl RangeTreeD {
         let d = points[0].len();
         if dim + 1 == d {
             // Base: sorted catalog on the last coordinate.
-            let mut pairs: Vec<(i64, u32)> =
-                ids.iter().map(|&id| (points[id as usize][dim], id)).collect();
+            let mut pairs: Vec<(i64, u32)> = ids
+                .iter()
+                .map(|&id| (points[id as usize][dim], id))
+                .collect();
             pairs.sort_unstable();
             assert!(
                 pairs.windows(2).all(|w| w[0].0 < w[1].0),
@@ -104,9 +106,7 @@ impl RangeTreeD {
     pub fn space(&self) -> usize {
         match self {
             RangeTreeD::Catalog { keys, .. } => keys.len(),
-            RangeTreeD::Tree { inner, .. } => {
-                inner.iter().flatten().map(|t| t.space()).sum()
-            }
+            RangeTreeD::Tree { inner, .. } => inner.iter().flatten().map(|t| t.space()).sum(),
         }
     }
 
@@ -200,7 +200,9 @@ pub fn random_points_d(n: usize, d: usize, range: i64, rng: &mut impl Rng) -> Ve
             col.swap(i, rng.gen_range(0..=i));
         }
     }
-    (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
+    (0..n)
+        .map(|i| cols.iter().map(|c| c[i]).collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,10 +12,10 @@
 //! report per node (Theorem 1 gives the `O((log n)/log p)` bound).
 
 use crate::report::{charge_direct, charge_indirect, RangeList, ReportRange};
+use fc_catalog::{CatalogTree, NodeId};
 use fc_coop::explicit::coop_search_explicit;
 use fc_coop::{CoopStructure, ParamMode};
 use fc_pram::cost::Pram;
-use fc_catalog::{CatalogTree, NodeId};
 use rand::prelude::*;
 
 /// A vertical segment: `x` from `y_lo` to `y_hi` (inclusive).
@@ -69,10 +69,7 @@ impl SegmentIntersection {
         // Elementary intervals with closed endpoints handled by doubling:
         // slab 2r+1 = the point endpoints[r]; slab 2r = the open interval
         // below it (slab 0 extends to −∞, slab 2m to +∞).
-        let mut endpoints: Vec<i64> = segments
-            .iter()
-            .flat_map(|s| [s.y_lo, s.y_hi])
-            .collect();
+        let mut endpoints: Vec<i64> = segments.iter().flat_map(|s| [s.y_lo, s.y_hi]).collect();
         endpoints.sort_unstable();
         endpoints.dedup();
         let slabs = 2 * endpoints.len() + 1;
@@ -189,9 +186,7 @@ impl SegmentIntersection {
             .segments
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                s.x >= q.x_lo && s.x <= q.x_hi && s.y_lo <= q.y && q.y <= s.y_hi
-            })
+            .filter(|(_, s)| s.x >= q.x_lo && s.x <= q.x_hi && s.y_lo <= q.y && q.y <= s.y_hi)
             .map(|(i, _)| i as u32)
             .collect();
         out.sort_unstable();
@@ -362,7 +357,12 @@ mod tests {
         let il = s.query_coop(q, false, &mut i);
         assert_eq!(dl.total, il.total);
         assert!(dl.total > 100, "query must report many items");
-        assert!(i.steps() < d.steps(), "indirect {} direct {}", i.steps(), d.steps());
+        assert!(
+            i.steps() < d.steps(),
+            "indirect {} direct {}",
+            i.steps(),
+            d.steps()
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ fn main() {
     // cascading bridges, cooperative substructures.
     let t = SeparatorTree::build(sub, ParamMode::Auto);
 
-    println!("\n{:>28}  {:>6}  {:>6}  {:>6}", "query", "region", "seq", "coop");
+    println!(
+        "\n{:>28}  {:>6}  {:>6}  {:>6}",
+        "query", "region", "seq", "coop"
+    );
     for _ in 0..8 {
         let (x, y) = t.sub.random_query(&mut rng);
         let brute = t.sub.locate_brute(x, y);
@@ -65,5 +68,7 @@ fn main() {
             cstats.window.1,
         );
     }
-    println!("\nsequential = bridged separator tree (O(log n)); coop = Theorem 4 (O(log n / log p))");
+    println!(
+        "\nsequential = bridged separator tree (O(log n)); coop = Theorem 4 (O(log n / log p))"
+    );
 }

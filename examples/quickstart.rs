@@ -41,13 +41,20 @@ fn main() {
     let leaf = gen::random_leaf(st.tree(), &mut rng);
     let path = st.tree().path_from_root(leaf);
     let y: i64 = rng.gen_range(0..(n as i64 * 16));
-    println!("\nsearching y = {y} along a root-to-leaf path of {} nodes", path.len());
+    println!(
+        "\nsearching y = {y} along a root-to-leaf path of {} nodes",
+        path.len()
+    );
 
     // Baseline: one processor, binary search per node.
     let mut pram = Pram::new(1, Model::Crew);
     let baseline = search_path_naive(st.tree(), &path, y, Some(&mut pram));
-    println!("{:>12}  {:>8}  {}", "processors", "steps", "algorithm");
-    println!("{:>12}  {:>8}  naive binary search per node", 1, pram.steps());
+    println!("{:>12}  {:>8}  algorithm", "processors", "steps");
+    println!(
+        "{:>12}  {:>8}  naive binary search per node",
+        1,
+        pram.steps()
+    );
 
     // Cooperative search across a sweep of processor counts. The PRAM cost
     // model accepts any p — that is the point of simulating the machine.

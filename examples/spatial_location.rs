@@ -38,7 +38,10 @@ fn main() {
     );
     let loc = SpatialLocator::build(complex, ParamMode::Auto);
 
-    println!("\n{:>34}  {:>5}  {:>9}  {:>9}", "query (x, y, z)", "cell", "seq steps", "coop steps");
+    println!(
+        "\n{:>34}  {:>5}  {:>9}  {:>9}",
+        "query (x, y, z)", "cell", "seq steps", "coop steps"
+    );
     for _ in 0..8 {
         let (x, y, z) = loc.complex.random_query(&mut rng);
         let want = loc.complex.locate_brute(x, y, z);

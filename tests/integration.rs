@@ -26,7 +26,11 @@ use rand::{Rng, SeedableRng};
 #[test]
 fn theorem1_all_algorithms_agree() {
     let mut rng = SmallRng::seed_from_u64(1001);
-    for dist in [SizeDist::Uniform, SizeDist::SingleHeavy(0.6), SizeDist::LeafHeavy] {
+    for dist in [
+        SizeDist::Uniform,
+        SizeDist::SingleHeavy(0.6),
+        SizeDist::LeafHeavy,
+    ] {
         let tree = gen::balanced_binary(9, 15_000, dist, &mut rng);
         for mode in [ParamMode::Theory, ParamMode::Auto] {
             let st = CoopStructure::preprocess(tree.clone(), mode);
@@ -82,8 +86,7 @@ fn theorem3_binarized_pipeline() {
         let y = rng.gen_range(-5..6000 * 16 + 5);
         let naive = search_path_naive(&tree, &path, y, None);
         let mut pram = Pram::new(1 << 16, Model::Crew);
-        let (finds, _) =
-            coop_search_binarized(&st, &bin, bin.old_to_new[leaf.idx()], y, &mut pram);
+        let (finds, _) = coop_search_binarized(&st, &bin, bin.old_to_new[leaf.idx()], y, &mut pram);
         assert_eq!(finds, naive.results);
     }
 }

@@ -26,7 +26,11 @@ fn erew_merge_scatter_round_is_clean() {
     // processor reads one private cell and writes one private cell.
     mem.round(128, |pid, ctx| {
         let v = *ctx.read(pid);
-        let rank = if pid < 64 { 2 * pid } else { 2 * (pid - 64) + 1 };
+        let rank = if pid < 64 {
+            2 * pid
+        } else {
+            2 * (pid - 64) + 1
+        };
         ctx.write(128 + rank, v);
     });
     assert!(mem.violations().is_empty(), "{:?}", mem.violations());
@@ -67,7 +71,11 @@ fn crew_hop_round_has_concurrent_reads_but_exclusive_writes() {
     mem.round(window, |pid, ctx| {
         let y = *ctx.read(0); // concurrent read: fine under CREW
         let cand = *ctx.read(2 + pid); // private candidate
-        let prev = if pid == 0 { i64::MIN } else { *ctx.read(2 + pid - 1) };
+        let prev = if pid == 0 {
+            i64::MIN
+        } else {
+            *ctx.read(2 + pid - 1)
+        };
         let hit = (prev < y && y <= cand) as i64;
         ctx.write(2 + window + pid, hit);
     });
@@ -84,7 +92,10 @@ fn crew_hop_round_has_concurrent_reads_but_exclusive_writes() {
         let _ = *ctx.read(0);
         ctx.write(2 + window + pid, 0);
     });
-    assert!(!erew.violations().is_empty(), "EREW must flag the shared read");
+    assert!(
+        !erew.violations().is_empty(),
+        "EREW must flag the shared read"
+    );
 }
 
 /// Indirect retrieval's empty-range link-out uses concurrent writes: legal

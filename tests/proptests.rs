@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-style randomized tests on the core invariants, driven by
+//! seeded `SmallRng` loops (deterministic, registry-free):
 //!
 //! * fractional cascading Properties 1–3 on arbitrary trees and catalogs;
 //! * cooperative search == sequential search == naive search, for
@@ -6,6 +7,9 @@
 //! * Lemma 1 disjointness on the bidirectional structure;
 //! * point location == brute force on arbitrary monotone subdivisions;
 //! * retrieval == brute-force report sets.
+//!
+//! Each test draws `CASES` independent instances from a fixed per-test
+//! seed, so any failure is reproducible from the seed arithmetic alone.
 
 use fc_catalog::gen::{self, SizeDist};
 use fc_catalog::invariants;
@@ -17,175 +21,232 @@ use fc_coop::{CoopStructure, ParamMode};
 use fc_geom::cooploc::locate_coop;
 use fc_geom::septree::{locate_sequential, SeparatorTree};
 use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
-use fc_pram::primitives::{coop_lower_bound, lower_bound, merge_par, merge_seq, prefix_sum_par, prefix_sum_seq};
+use fc_pram::primitives::{
+    coop_lower_bound, lower_bound, merge_par, merge_seq, prefix_sum_par, prefix_sum_seq,
+};
 use fc_pram::{Model, Pram};
 use fc_retrieval::segint::{HQuery, SegmentIntersection, VSegment};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Cooperative p-ary search equals binary search for arbitrary sorted
-    /// inputs, probes, and processor counts.
-    #[test]
-    fn prop_coop_lower_bound(mut v in prop::collection::vec(-1000i64..1000, 0..400),
-                             y in -1100i64..1100,
-                             p in 1usize..600) {
-        v.sort_unstable();
-        let mut pram = Pram::new(p, Model::Crew);
-        prop_assert_eq!(coop_lower_bound(&v, &y, &mut pram), lower_bound(&v, &y));
+/// Run `body` for `CASES` deterministic sub-seeds.
+fn cases(test_seed: u64, body: impl Fn(&mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(test_seed * 10_000 + case);
+        body(&mut rng);
     }
+}
 
-    /// Parallel merge equals sequential merge.
-    #[test]
-    fn prop_merge(mut a in prop::collection::vec(-500i64..500, 0..300),
-                  mut b in prop::collection::vec(-500i64..500, 0..300)) {
+/// Cooperative p-ary search equals binary search for arbitrary sorted
+/// inputs, probes, and processor counts.
+#[test]
+fn prop_coop_lower_bound() {
+    cases(1, |rng| {
+        let n = rng.gen_range(0usize..400);
+        let mut v: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        v.sort_unstable();
+        let y = rng.gen_range(-1100i64..1100);
+        let p = rng.gen_range(1usize..600);
+        let mut pram = Pram::new(p, Model::Crew);
+        assert_eq!(coop_lower_bound(&v, &y, &mut pram), lower_bound(&v, &y));
+    });
+}
+
+/// Parallel merge equals sequential merge.
+#[test]
+fn prop_merge() {
+    cases(2, |rng| {
+        let mut a: Vec<i64> = (0..rng.gen_range(0usize..300))
+            .map(|_| rng.gen_range(-500i64..500))
+            .collect();
+        let mut b: Vec<i64> = (0..rng.gen_range(0usize..300))
+            .map(|_| rng.gen_range(-500i64..500))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(merge_par(&a, &b), merge_seq(&a, &b));
-    }
+        assert_eq!(merge_par(&a, &b), merge_seq(&a, &b));
+    });
+}
 
-    /// Parallel prefix sums equal sequential prefix sums.
-    #[test]
-    fn prop_prefix(v in prop::collection::vec(0u64..1000, 0..5000)) {
-        prop_assert_eq!(prefix_sum_par(&v), prefix_sum_seq(&v));
-    }
+/// Parallel prefix sums equal sequential prefix sums.
+#[test]
+fn prop_prefix() {
+    cases(3, |rng| {
+        let v: Vec<u64> = (0..rng.gen_range(0usize..5000))
+            .map(|_| rng.gen_range(0u64..1000))
+            .collect();
+        assert_eq!(prefix_sum_par(&v), prefix_sum_seq(&v));
+    });
+}
 
-    /// Properties 1–3 hold on randomly shaped/sized cascaded trees, for
-    /// both builds.
-    #[test]
-    fn prop_cascade_invariants(seed in 0u64..5000, height in 0u32..7, total in 1usize..3000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+/// Properties 1–3 hold on randomly shaped/sized cascaded trees, for
+/// both builds.
+#[test]
+fn prop_cascade_invariants() {
+    cases(4, |rng| {
+        let height = rng.gen_range(0u32..7);
+        let total = rng.gen_range(1usize..3000);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, rng);
         let down = CascadedTree::build(tree.clone(), 4);
-        prop_assert!(invariants::validate(&invariants::check_all(&down)).is_ok());
+        assert!(invariants::validate(&invariants::check_all(&down)).is_ok());
         let bidir = CascadedTree::build_bidir(tree, 4);
-        prop_assert!(invariants::validate(&invariants::check_all(&bidir)).is_ok());
-    }
+        assert!(invariants::validate(&invariants::check_all(&bidir)).is_ok());
+    });
+}
 
-    /// Cooperative explicit search agrees with the naive baseline on
-    /// arbitrary instances, queries, and processor counts.
-    #[test]
-    fn prop_coop_search_agrees(seed in 0u64..5000,
-                               total in 64usize..4000,
-                               p_exp in 0u32..34,
-                               y in -100_000i64..100_000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(7, total, SizeDist::Uniform, &mut rng);
+/// Cooperative explicit search agrees with the naive baseline on
+/// arbitrary instances, queries, and processor counts.
+#[test]
+fn prop_coop_search_agrees() {
+    cases(5, |rng| {
+        let total = rng.gen_range(64usize..4000);
+        let p_exp = rng.gen_range(0u32..34);
+        let y = rng.gen_range(-100_000i64..100_000);
+        let tree = gen::balanced_binary(7, total, SizeDist::Uniform, rng);
         let st = CoopStructure::preprocess(tree, ParamMode::Auto);
-        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let leaf = gen::random_leaf(st.tree(), rng);
         let path = st.tree().path_from_root(leaf);
         let naive = search_path_naive(st.tree(), &path, y, None);
         let mut pram = Pram::new(1usize << p_exp, Model::Crew);
         let coop = coop_search_explicit(&st, &path, y, &mut pram);
-        prop_assert_eq!(coop.finds, naive.results);
-        prop_assert_eq!(coop.stats.fallbacks, 0);
-    }
+        assert_eq!(coop.finds, naive.results);
+        assert_eq!(coop.stats.fallbacks, 0);
+    });
+}
 
-    /// The sequential FC search agrees with naive for arbitrary skew.
-    #[test]
-    fn prop_fc_search_agrees(seed in 0u64..5000, heavy in 0.0f64..0.95) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(6, 2000, SizeDist::SingleHeavy(heavy), &mut rng);
+/// The sequential FC search agrees with naive for arbitrary skew.
+#[test]
+fn prop_fc_search_agrees() {
+    cases(6, |rng| {
+        let heavy = rng.gen_range(0.0f64..0.95);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::SingleHeavy(heavy), rng);
         let fc = CascadedTree::build_bidir(tree.clone(), 4);
-        let leaf = gen::random_leaf(&tree, &mut rng);
+        let leaf = gen::random_leaf(&tree, rng);
         let path = tree.path_from_root(leaf);
         for y in [-1i64, 0, 16_000, 31_999, 32_000] {
-            prop_assert_eq!(
+            assert_eq!(
                 search_path_fc(&fc, &path, y, None),
                 search_path_naive(&tree, &path, y, None)
             );
         }
-    }
+    });
+}
 
-    /// Lemma 1: skeleton keys are distinct on the bidirectional structure,
-    /// for arbitrary instances.
-    #[test]
-    fn prop_lemma1_disjoint(seed in 0u64..5000, total in 500usize..8000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(8, total, SizeDist::Uniform, &mut rng);
+/// Lemma 1: skeleton keys are distinct on the bidirectional structure,
+/// for arbitrary instances.
+#[test]
+fn prop_lemma1_disjoint() {
+    cases(7, |rng| {
+        let total = rng.gen_range(500usize..8000);
+        let tree = gen::balanced_binary(8, total, SizeDist::Uniform, rng);
         let st = CoopStructure::preprocess(tree, ParamMode::Auto);
         for sub in st.substructures() {
             let (violations, _) = check_lemma1(sub);
-            prop_assert_eq!(violations, 0);
+            assert_eq!(violations, 0);
         }
-    }
+    });
+}
 
-    /// Point location: both locators equal brute force on arbitrary
-    /// subdivisions and queries.
-    #[test]
-    fn prop_point_location(seed in 0u64..5000,
-                           regions_exp in 2u32..8,
-                           strips in 2usize..24,
-                           stick in 0.0f64..0.9,
-                           qx in -5.0f64..1030.0,
-                           qy in -5.0f64..80.0) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let sub = MonotoneSubdivision::generate(SubdivisionParams {
-            regions: 1 << regions_exp,
-            strips,
-            stick,
-            detach: 0.4,
-        }, &mut rng);
+/// Point location: both locators equal brute force on arbitrary
+/// subdivisions and queries.
+#[test]
+fn prop_point_location() {
+    cases(8, |rng| {
+        let regions_exp = rng.gen_range(2u32..8);
+        let strips = rng.gen_range(2usize..24);
+        let stick = rng.gen_range(0.0f64..0.9);
+        let qx = rng.gen_range(-5.0f64..1030.0);
+        let qy = rng.gen_range(-5.0f64..80.0);
+        let sub = MonotoneSubdivision::generate(
+            SubdivisionParams {
+                regions: 1 << regions_exp,
+                strips,
+                stick,
+                detach: 0.4,
+            },
+            rng,
+        );
         let t = SeparatorTree::build(sub, ParamMode::Auto);
         let want = t.sub.locate_brute(qx, qy);
         let (seq, _) = locate_sequential(&t, qx, qy, None);
-        prop_assert_eq!(seq, want);
+        assert_eq!(seq, want);
         let mut pram = Pram::new(1 << 16, Model::Crew);
         let (coop, _) = locate_coop(&t, qx, qy, &mut pram);
-        prop_assert_eq!(coop, want);
-    }
+        assert_eq!(coop, want);
+    });
+}
 
-    /// Segment intersection reports exactly the brute-force set for
-    /// arbitrary segments and queries.
-    #[test]
-    fn prop_segment_intersection(seed in 0u64..5000,
-                                 n in 1usize..200,
-                                 y in -50i64..1050,
-                                 x_lo in -50i64..1050,
-                                 width in 0i64..1100) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let xs = gen::distinct_sorted_keys(n, 100_000, &mut rng);
-        let segs: Vec<VSegment> = xs.into_iter().map(|x| {
-            let a = rand::Rng::gen_range(&mut rng, 0..1000);
-            let b = rand::Rng::gen_range(&mut rng, 0..1000);
-            VSegment { x, y_lo: a.min(b), y_hi: a.max(b) }
-        }).collect();
+/// Segment intersection reports exactly the brute-force set for
+/// arbitrary segments and queries.
+#[test]
+fn prop_segment_intersection() {
+    cases(9, |rng| {
+        let n = rng.gen_range(1usize..200);
+        let y = rng.gen_range(-50i64..1050);
+        let x_lo = rng.gen_range(-50i64..1050);
+        let width = rng.gen_range(0i64..1100);
+        let xs = gen::distinct_sorted_keys(n, 100_000, rng);
+        let segs: Vec<VSegment> = xs
+            .into_iter()
+            .map(|x| {
+                let a = rng.gen_range(0..1000);
+                let b = rng.gen_range(0..1000);
+                VSegment {
+                    x,
+                    y_lo: a.min(b),
+                    y_hi: a.max(b),
+                }
+            })
+            .collect();
         let si = SegmentIntersection::build(segs, ParamMode::Auto);
-        let q = HQuery { y, x_lo, x_hi: x_lo + width };
+        let q = HQuery {
+            y,
+            x_lo,
+            x_hi: x_lo + width,
+        };
         let mut pram = Pram::new(64, Model::Crew);
         let list = si.query_coop(q, true, &mut pram);
-        prop_assert_eq!(si.collect_ids(&list), si.query_brute(q));
-    }
+        assert_eq!(si.collect_ids(&list), si.query_brute(q));
+    });
+}
 
-    /// The pipelined (ACG) build converges to the direct construction on
-    /// arbitrary instances.
-    #[test]
-    fn prop_pipelined_build(seed in 0u64..5000, height in 0u32..7, total in 1usize..2500) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, &mut rng);
+/// The pipelined (ACG) build converges to the direct construction on
+/// arbitrary instances.
+#[test]
+fn prop_pipelined_build() {
+    cases(10, |rng| {
+        let height = rng.gen_range(0u32..7);
+        let total = rng.gen_range(1usize..2500);
+        let tree = gen::balanced_binary(height, total, SizeDist::Uniform, rng);
         let direct = CascadedTree::build(tree.clone(), 4);
         let (piped, stats) = fc_catalog::pipeline::build_pipelined(tree, 4, None);
         for id in direct.tree().ids() {
-            prop_assert_eq!(direct.keys(id), piped.keys(id));
+            assert_eq!(direct.keys(id), piped.keys(id));
         }
         // Depth bound: 4 * (height + log total + slack).
         let lg = (usize::BITS - total.max(2).leading_zeros()) as u64;
-        prop_assert!(stats.rounds <= 4 * (height as u64 + lg + 8));
-    }
+        assert!(stats.rounds <= 4 * (height as u64 + lg + 8));
+    });
+}
 
-    /// List ranking and Euler depths match their sequential definitions on
-    /// random forests/trees.
-    #[test]
-    fn prop_list_rank(perm_seed in 0u64..5000, n in 1usize..300) {
+/// List ranking matches its sequential definition on random forests.
+#[test]
+fn prop_list_rank() {
+    cases(11, |rng| {
         use fc_pram::listrank::list_rank;
-        let mut rng = SmallRng::seed_from_u64(perm_seed);
+        let n = rng.gen_range(1usize..300);
         // Random forest of lists: each element points to a higher index or
         // itself (guarantees termination).
         let next: Vec<usize> = (0..n)
-            .map(|i| if i + 1 == n || rand::Rng::gen_bool(&mut rng, 0.2) { i } else { rand::Rng::gen_range(&mut rng, i + 1..n) })
+            .map(|i| {
+                if i + 1 == n || rng.gen_bool(0.2) {
+                    i
+                } else {
+                    rng.gen_range(i + 1..n)
+                }
+            })
             .collect();
         let mut pram = Pram::new(n, Model::Erew);
         let ranks = list_rank(&next, &mut pram);
@@ -196,89 +257,110 @@ proptest! {
                 cur = next[cur];
                 d += 1;
             }
-            prop_assert_eq!(rank, d);
+            assert_eq!(rank, d);
         }
-    }
+    });
+}
 
-    /// Euler-tour depths equal stored depths on random catalog trees.
-    #[test]
-    fn prop_euler_depths(seed in 0u64..5000, height in 0u32..8) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(height, 100, SizeDist::Uniform, &mut rng);
+/// Euler-tour depths equal stored depths on random catalog trees.
+#[test]
+fn prop_euler_depths() {
+    cases(12, |rng| {
+        let height = rng.gen_range(0u32..8);
+        let tree = gen::balanced_binary(height, 100, SizeDist::Uniform, rng);
         let mut pram = Pram::new(4 * tree.len(), Model::Erew);
         let depths = tree.depths_parallel(&mut pram);
         for id in tree.ids() {
-            prop_assert_eq!(depths[id.idx()], tree.depth(id));
+            assert_eq!(depths[id.idx()], tree.depth(id));
         }
-    }
+    });
+}
 
-    /// The generic d-dimensional range tree matches brute force for
-    /// d in 1..=3 with arbitrary boxes.
-    #[test]
-    fn prop_range_tree_d(seed in 0u64..5000, d in 1usize..4, n in 1usize..150) {
+/// The generic d-dimensional range tree matches brute force for
+/// d in 1..=3 with arbitrary boxes.
+#[test]
+fn prop_range_tree_d() {
+    cases(13, |rng| {
         use fc_retrieval::ranged::{brute, random_points_d, RangeTreeD};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let pts = random_points_d(n, d, 5000, &mut rng);
+        let d = rng.gen_range(1usize..4);
+        let n = rng.gen_range(1usize..150);
+        let pts = random_points_d(n, d, 5000, rng);
         let t = RangeTreeD::build(&pts);
         for _ in 0..3 {
-            let bounds: Vec<(i64, i64)> = (0..d).map(|_| {
-                let a = rand::Rng::gen_range(&mut rng, -5i64..5005);
-                let b = rand::Rng::gen_range(&mut rng, -5i64..5005);
-                (a.min(b), a.max(b))
-            }).collect();
+            let bounds: Vec<(i64, i64)> = (0..d)
+                .map(|_| {
+                    let a = rng.gen_range(-5i64..5005);
+                    let b = rng.gen_range(-5i64..5005);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
             let mut pram = Pram::new(256, Model::Crew);
-            prop_assert_eq!(t.query(&bounds, &mut pram), brute(&pts, &bounds));
+            assert_eq!(t.query(&bounds, &mut pram), brute(&pts, &bounds));
         }
-    }
+    });
+}
 
-    /// Spatial point location equals brute force for arbitrary complexes.
-    #[test]
-    fn prop_spatial_location(seed in 0u64..5000,
-                             cells_exp in 1u32..6,
-                             coincide in 0.0f64..0.9,
-                             qz in -2.0f64..80.0) {
-        use fc_geom::spatial::{locate_spatial_coop, SpatialComplex, SpatialLocator, SpatialParams};
+/// Spatial point location equals brute force for arbitrary complexes.
+#[test]
+fn prop_spatial_location() {
+    cases(14, |rng| {
+        use fc_geom::spatial::{
+            locate_spatial_coop, SpatialComplex, SpatialLocator, SpatialParams,
+        };
         use fc_geom::subdivision::SubdivisionParams;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let complex = SpatialComplex::generate(SpatialParams {
-            cells: 1 << cells_exp,
-            footprint: SubdivisionParams { regions: 16, strips: 6, stick: 0.4, detach: 0.4 },
-            coincide,
-        }, &mut rng);
+        let cells_exp = rng.gen_range(1u32..6);
+        let coincide = rng.gen_range(0.0f64..0.9);
+        let qz = rng.gen_range(-2.0f64..80.0);
+        let complex = SpatialComplex::generate(
+            SpatialParams {
+                cells: 1 << cells_exp,
+                footprint: SubdivisionParams {
+                    regions: 16,
+                    strips: 6,
+                    stick: 0.4,
+                    detach: 0.4,
+                },
+                coincide,
+            },
+            rng,
+        );
         let loc = SpatialLocator::build(complex, ParamMode::Auto);
-        let (x, y, _) = loc.complex.random_query(&mut rng);
+        let (x, y, _) = loc.complex.random_query(rng);
         let want = loc.complex.locate_brute(x, y, qz);
         let mut pram = Pram::new(1 << 12, Model::Crew);
         let (got, _) = locate_spatial_coop(&loc, x, y, qz, &mut pram);
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Dynamic searches stay exact under arbitrary update sequences.
-    #[test]
-    fn prop_dynamic_updates(seed in 0u64..5000, updates in 0usize..400) {
+/// Dynamic searches stay exact under arbitrary update sequences.
+#[test]
+fn prop_dynamic_updates() {
+    cases(15, |rng| {
         use fc_catalog::NodeId;
         use fc_coop::dynamic::DynamicCoop;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let tree = gen::balanced_binary(5, 600, SizeDist::Uniform, &mut rng);
+        let updates = rng.gen_range(0usize..400);
+        let tree = gen::balanced_binary(5, 600, SizeDist::Uniform, rng);
         let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
         let mut pram = Pram::new(256, Model::Crew);
         let nodes = dy.structure().tree().len() as u32;
         for _ in 0..updates {
-            let node = NodeId(rand::Rng::gen_range(&mut rng, 0..nodes));
-            let key = rand::Rng::gen_range(&mut rng, 0..10_000i64);
-            if rand::Rng::gen_bool(&mut rng, 0.5) {
+            let node = NodeId(rng.gen_range(0..nodes));
+            let key = rng.gen_range(0..10_000i64);
+            if rng.gen_bool(0.5) {
                 dy.insert(node, key, &mut pram);
             } else {
                 dy.remove(node, key, &mut pram);
             }
         }
-        let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
+        let leaf = gen::random_leaf(dy.structure().tree(), rng);
         let path = dy.structure().tree().path_from_root(leaf);
-        let y = rand::Rng::gen_range(&mut rng, -5..10_005i64);
+        let y = rng.gen_range(-5..10_005i64);
         let got = dy.search(&path, y, &mut pram);
-        let want: Vec<Option<i64>> = path.iter().map(|&node| {
-            dy.logical_catalog(node).into_iter().find(|&k| k >= y)
-        }).collect();
-        prop_assert_eq!(got, want);
-    }
+        let want: Vec<Option<i64>> = path
+            .iter()
+            .map(|&node| dy.logical_catalog(node).into_iter().find(|&k| k >= y))
+            .collect();
+        assert_eq!(got, want);
+    });
 }

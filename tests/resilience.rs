@@ -1,0 +1,248 @@
+//! End-to-end resilience properties: every injected corruption is caught
+//! with non-empty localized blame, the inject → detect → repair round trip
+//! restores `invariants::validate`, checked searches never return silently
+//! wrong answers on tampered structures, and processor deaths mid-search
+//! degrade gracefully.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::invariants;
+use fc_catalog::search::search_path_naive;
+use fc_coop::explicit::{coop_search_explicit, coop_search_explicit_checked};
+use fc_coop::general::binarize;
+use fc_coop::{CoopStructure, ParamMode};
+use fc_pram::{Model, Pram};
+use fc_resilience::{audit, repair, Fault, FaultPlan, FaultSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape sweep every property runs over: balanced binary trees under
+/// all catalog-size distributions, plus binarized d-ary and skewed shapes.
+fn shapes(rng: &mut SmallRng) -> Vec<(&'static str, CoopStructure<i64>)> {
+    let mut out = Vec::new();
+    for (name, dist) in [
+        ("uniform", SizeDist::Uniform),
+        ("single-heavy", SizeDist::SingleHeavy(0.5)),
+        ("root-heavy", SizeDist::RootHeavy),
+        ("leaf-heavy", SizeDist::LeafHeavy),
+    ] {
+        let tree = gen::balanced_binary(7, 4000, dist, rng);
+        out.push((name, CoopStructure::preprocess(tree, ParamMode::Auto)));
+    }
+    let dary = gen::dary(3, 4, 3000, rng);
+    let bin = binarize(&dary);
+    out.push((
+        "binarized-3ary",
+        CoopStructure::preprocess(bin.tree, ParamMode::Auto),
+    ));
+    let cat = gen::caterpillar(24, 2000, rng);
+    out.push((
+        "caterpillar",
+        CoopStructure::preprocess(cat, ParamMode::Auto),
+    ));
+    out
+}
+
+/// Property: every structural fault the injector places is detected by the
+/// audit with non-empty blame — no false negatives, across shapes and seeds.
+#[test]
+fn every_injected_corruption_is_blamed() {
+    let mut rng = SmallRng::seed_from_u64(3001);
+    for (name, st) in shapes(&mut rng) {
+        assert!(audit(&st).is_clean(), "{name}: clean structure flagged");
+        let spec = FaultSpec::one_of_each();
+        for seed in 0..10u64 {
+            let plan = FaultPlan::generate(&st, &spec, seed);
+            assert!(
+                plan.structural_len() > 0,
+                "{name} seed {seed}: injector found no feasible site"
+            );
+            let mut tampered = st.clone();
+            plan.apply(&mut tampered);
+            let report = audit(&tampered);
+            assert!(
+                !report.findings.is_empty(),
+                "{name} seed {seed}: plan {plan:?} escaped the audit"
+            );
+        }
+    }
+}
+
+/// Property: inject → detect → repair → re-validate. After repair the audit
+/// is clean and the cascade invariants validate, on every shape.
+#[test]
+fn corruption_round_trip_repairs_clean() {
+    let mut rng = SmallRng::seed_from_u64(3007);
+    for (name, st) in shapes(&mut rng) {
+        for seed in 0..5u64 {
+            let mut tampered = st.clone();
+            let plan = FaultPlan::generate(&tampered, &FaultSpec::one_of_each(), 100 + seed);
+            plan.apply(&mut tampered);
+            let report = audit(&tampered);
+            assert!(!report.is_clean(), "{name} seed {seed}");
+            let stats = repair(&mut tampered, &report);
+            assert!(
+                audit(&tampered).is_clean(),
+                "{name} seed {seed}: repair left the audit dirty ({stats:?})"
+            );
+            invariants::validate(&invariants::check_all(tampered.cascade())).unwrap_or_else(|e| {
+                panic!("{name} seed {seed}: invariants dirty after repair: {e}")
+            });
+            assert!(
+                stats.repair_ops <= stats.full_rebuild_ops,
+                "{name} seed {seed}: repair cost {} exceeded rebuild {}",
+                stats.repair_ops,
+                stats.full_rebuild_ops
+            );
+        }
+    }
+}
+
+/// Property: single-fault repairs are localized — strictly cheaper than the
+/// full rebuild, without falling back.
+#[test]
+fn single_fault_repair_is_localized() {
+    let mut rng = SmallRng::seed_from_u64(3011);
+    let tree = gen::balanced_binary(8, 8000, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let kinds = [
+        FaultSpec {
+            key_swaps: 1,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            supremum_clobbers: 1,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            bridge_perturbs: 1,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            native_succ_perturbs: 1,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            skeleton_perturbs: 1,
+            ..FaultSpec::default()
+        },
+    ];
+    for (ki, spec) in kinds.iter().enumerate() {
+        for seed in 0..5u64 {
+            let mut tampered = st.clone();
+            let plan = FaultPlan::generate(&tampered, spec, 200 + seed);
+            plan.apply(&mut tampered);
+            let report = audit(&tampered);
+            let stats = repair(&mut tampered, &report);
+            assert!(
+                !stats.fell_back_to_full_rebuild,
+                "kind {ki} seed {seed}: localized repair fell back"
+            );
+            assert!(
+                stats.repair_ops < stats.full_rebuild_ops,
+                "kind {ki} seed {seed}: repair {} not cheaper than rebuild {}",
+                stats.repair_ops,
+                stats.full_rebuild_ops
+            );
+            assert!(audit(&tampered).is_clean(), "kind {ki} seed {seed}");
+        }
+    }
+}
+
+/// Property: on a bridge-tampered structure, the checked explicit search
+/// either returns the exact answer or an `Err` with localized blame — never
+/// a silently wrong answer.
+#[test]
+fn checked_search_never_answers_wrong_on_tampered_structure() {
+    let mut rng = SmallRng::seed_from_u64(3019);
+    let tree = gen::balanced_binary(8, 8000, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let n = 8000i64;
+    let mut flagged = 0usize;
+    for seed in 0..10u64 {
+        let mut tampered = st.clone();
+        let plan = FaultPlan::generate(
+            &tampered,
+            &FaultSpec {
+                bridge_perturbs: 12,
+                ..FaultSpec::default()
+            },
+            300 + seed,
+        );
+        plan.apply(&mut tampered);
+        for _ in 0..40 {
+            let leaf = gen::random_leaf(tampered.tree(), &mut rng);
+            let path = tampered.tree().path_from_root(leaf);
+            let y = rng.gen_range(0..n * 16);
+            let mut pram = Pram::new(1 << 16, Model::Crew);
+            match coop_search_explicit_checked(&tampered, &path, y, &mut pram) {
+                Ok(out) => {
+                    let truth = search_path_naive(tampered.tree(), &path, y, None);
+                    assert_eq!(
+                        out.finds, truth.results,
+                        "seed {seed}: checked search answered wrong instead of Err"
+                    );
+                }
+                Err(_) => flagged += 1,
+            }
+        }
+    }
+    assert!(flagged > 0, "no query ever crossed a tampered bridge");
+}
+
+/// Property: killing processors mid-search yields the exact answer, and the
+/// step count stays within 2x of a fresh run provisioned at the survivor
+/// count (the degraded-mode guarantee).
+#[test]
+fn mid_search_kills_degrade_gracefully() {
+    let mut rng = SmallRng::seed_from_u64(3023);
+    let tree = gen::balanced_binary(10, 1 << 15, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let p0 = 1usize << 16;
+    let (mut degraded_total, mut fresh_total) = (0u64, 0u64);
+    for _ in 0..25 {
+        let leaf = gen::random_leaf(st.tree(), &mut rng);
+        let path = st.tree().path_from_root(leaf);
+        let y = rng.gen_range(0..(1i64 << 19));
+
+        let mut pram = Pram::new(p0, Model::Crew);
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![Fault::KillProcessors {
+                at_round: 2,
+                count: p0 / 2,
+            }],
+        };
+        plan.arm(&mut pram);
+        let out = coop_search_explicit(&st, &path, y, &mut pram);
+        assert_eq!(pram.processors(), p0 / 2, "kill did not fire");
+
+        let truth = search_path_naive(st.tree(), &path, y, None);
+        assert_eq!(out.finds, truth.results, "degraded search answered wrong");
+
+        let mut fresh = Pram::new(p0 / 2, Model::Crew);
+        let fout = coop_search_explicit(&st, &path, y, &mut fresh);
+        assert_eq!(fout.finds, truth.results);
+
+        degraded_total += pram.steps();
+        fresh_total += fresh.steps();
+    }
+    assert!(
+        degraded_total <= 2 * fresh_total,
+        "degraded steps {degraded_total} exceed 2x fresh-at-p' {fresh_total}"
+    );
+}
+
+/// Property: killing everyone makes the checked search report
+/// `NoProcessors` instead of dividing by zero or spinning.
+#[test]
+fn total_processor_loss_is_an_error_not_a_wrong_answer() {
+    let mut rng = SmallRng::seed_from_u64(3027);
+    let tree = gen::balanced_binary(7, 4000, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+    let leaf = gen::random_leaf(st.tree(), &mut rng);
+    let path = st.tree().path_from_root(leaf);
+    let mut pram = Pram::new(8, Model::Crew);
+    pram.kill(8);
+    let res = coop_search_explicit_checked(&st, &path, 123, &mut pram);
+    assert!(res.is_err(), "search on zero processors must fail loudly");
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no network access to a cargo registry, so the
+//! workspace vendors a sequential shim with the same call surface:
+//! `par_iter`/`into_par_iter`/`par_chunks`/`par_chunks_mut` return ordinary
+//! std iterators (every adaptor — `map`, `zip`, `for_each`, `collect` —
+//! comes for free), and [`join`] runs its closures back to back. The PRAM
+//! cost model in `fc-pram` charges steps analytically, so wall-clock
+//! parallelism is an optimization, not a correctness requirement, anywhere
+//! this shim is used.
+
+#![warn(missing_docs)]
+
+/// Run both closures (sequentially, in order) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads a real pool would use on this host.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `into_par_iter` for owning collections and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Sequential shim: identical to `into_iter`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter` for borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type produced (the std borrowed iterator).
+    type Iter: Iterator;
+    /// Sequential shim: identical to `iter`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut` for mutably borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator type produced (the std mutable iterator).
+    type Iter: Iterator;
+    /// Sequential shim: identical to `iter_mut`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential shim: identical to `chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Chunked traversal of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential shim: identical to `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shims_match_std() {
+        let v = vec![1, 2, 3, 4, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+        let mut out = vec![0u64; 5];
+        out.par_chunks_mut(2)
+            .zip(v.par_chunks(2))
+            .for_each(|(o, i)| o.iter_mut().zip(i).for_each(|(a, b)| *a = *b as u64));
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        let (a, b) = crate::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(crate::current_num_threads() >= 1);
+    }
+}
