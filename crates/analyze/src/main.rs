@@ -1,0 +1,83 @@
+//! `fc-analyze` — replay the repo's algorithms under shadow-memory
+//! EREW/CREW checking and report the discipline evidence.
+//!
+//! ```text
+//! fc-analyze [--gate] [--quick] [--json PATH] [--md PATH]
+//! ```
+//!
+//! * `--gate`  — exit nonzero unless every clean case is clean & bit-matched
+//!   AND every canary violation is detected (CI's discipline job).
+//! * `--quick` — trimmed instance sizes (smoke runs).
+//! * `--json PATH` / `--md PATH` — write machine/human reports.
+
+use fc_analyze::sweep::{evaluate_gate, run_sweep};
+use fc_analyze::{to_json, to_markdown};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut gate = false;
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--quick" => quick = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json requires a path"),
+            },
+            "--md" => match args.next() {
+                Some(p) => md_path = Some(p),
+                None => return usage("--md requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: fc-analyze [--gate] [--quick] [--json PATH] [--md PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let reports = run_sweep(quick);
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, to_json(&reports)) {
+            eprintln!("fc-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let md = to_markdown(&reports);
+    if let Some(path) = &md_path {
+        if let Err(e) = std::fs::write(path, &md) {
+            eprintln!("fc-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("{md}");
+    }
+
+    let verdict = evaluate_gate(&reports);
+    let clean = reports.iter().filter(|r| r.expect_clean).count();
+    let canaries = reports.len() - clean;
+    println!(
+        "fc-analyze: {} cases ({clean} clean-expected, {canaries} canaries) — gate {}",
+        reports.len(),
+        if verdict.ok { "PASS" } else { "FAIL" }
+    );
+    for f in &verdict.failures {
+        eprintln!("fc-analyze: FAIL {f}");
+    }
+    if gate && !verdict.ok {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fc-analyze: {msg}");
+    eprintln!("usage: fc-analyze [--gate] [--quick] [--json PATH] [--md PATH]");
+    ExitCode::FAILURE
+}

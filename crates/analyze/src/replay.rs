@@ -1,0 +1,313 @@
+//! Replay drivers: each runs a production algorithm twice — untraced and
+//! under a live [`ShadowMem`] — asserts bit-identical results and PRAM
+//! charges, and harvests the discipline evidence into a [`CaseReport`].
+
+use crate::{harvest, CaseReport};
+use fc_catalog::cascade::CascadedTree;
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::pipeline::{build_pipelined, build_pipelined_traced};
+use fc_catalog::tree::CatalogTree;
+use fc_coop::explicit::{coop_search_explicit, coop_search_explicit_traced};
+use fc_coop::structure::CoopStructure;
+use fc_coop::ParamMode;
+use fc_geom::cooploc::{locate_coop, locate_coop_traced};
+use fc_geom::septree::SeparatorTree;
+use fc_geom::subdivision::{MonotoneSubdivision, SubdivisionParams};
+use fc_pram::listrank::{list_rank, list_rank_naive_traced, list_rank_traced};
+use fc_pram::{Model, Pram, ShadowMem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A catalog-tree instance of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeShape {
+    /// Tree height.
+    pub height: u32,
+    /// Total catalog size.
+    pub total: usize,
+    /// `Some(frac)` concentrates that fraction of keys in one catalog.
+    pub heavy: Option<f64>,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TreeShape {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self.heavy {
+            Some(f) => format!("balanced h={} n={} heavy({f})", self.height, self.total),
+            None => format!("balanced h={} n={} uniform", self.height, self.total),
+        }
+    }
+
+    /// Generate the instance.
+    pub fn gen(&self) -> CatalogTree<i64> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dist = match self.heavy {
+            Some(f) => SizeDist::SingleHeavy(f),
+            None => SizeDist::Uniform,
+        };
+        gen::balanced_binary(self.height, self.total, dist, &mut rng)
+    }
+}
+
+/// Sampling factor used by every build replay (binary trees: must exceed
+/// the max degree of 2).
+const SAMPLE: usize = 4;
+
+fn keys_match(a: &CascadedTree<i64>, b: &CascadedTree<i64>, tree: &CatalogTree<i64>) -> bool {
+    tree.ids().all(|id| a.keys(id) == b.keys(id))
+}
+
+/// Replay the level-synchronous cascade build (claimed EREW via the
+/// bitonic merge network schedule).
+pub fn replay_build_level(shape: TreeShape, model: Model) -> CaseReport {
+    let tree = shape.gen();
+    let plain = CascadedTree::try_build(tree.clone(), SAMPLE).expect("seed build");
+    let mut sh = ShadowMem::new(model);
+    let traced = CascadedTree::try_build_traced(tree.clone(), SAMPLE, &mut sh).expect("replay");
+    let matched = keys_match(&plain, &traced, &tree);
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "build-level",
+        shape: shape.label(),
+        p: 0,
+        checked: model,
+        claimed: Model::Erew,
+        expect_clean: true,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// Replay the pipelined (Atallah–Cole–Goodrich schedule) cascade build
+/// (claimed EREW via parity double-buffering and the settled hand-off).
+pub fn replay_build_pipelined(shape: TreeShape, model: Model) -> CaseReport {
+    let tree = shape.gen();
+    let (plain, pstats) = build_pipelined(tree.clone(), SAMPLE, None);
+    let mut sh = ShadowMem::new(model);
+    let (traced, tstats) = build_pipelined_traced(tree.clone(), SAMPLE, None, &mut sh);
+    let matched = keys_match(&plain, &traced, &tree) && pstats == tstats;
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "build-pipelined",
+        shape: shape.label(),
+        p: 0,
+        checked: model,
+        claimed: Model::Erew,
+        expect_clean: true,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// Replay the explicit cooperative search over `queries` random queries
+/// (claimed CREW; checking it against EREW is the canary configuration —
+/// pass `expect_clean = false` with `model = Model::Erew`).
+pub fn replay_search(
+    shape: TreeShape,
+    p: usize,
+    model: Model,
+    queries: usize,
+    expect_clean: bool,
+) -> CaseReport {
+    let st = CoopStructure::preprocess(shape.gen(), ParamMode::Auto);
+    let tree = st.tree();
+    let mut rng = SmallRng::seed_from_u64(shape.seed ^ 0x5eaec4);
+    let mut sh = ShadowMem::new(model);
+    let mut matched = true;
+    for _ in 0..queries {
+        let leaf = gen::random_leaf(tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        let y = rng.gen_range(-10..(shape.total as i64 * 16) + 10);
+        let mut pram = Pram::new(p, Model::Crew);
+        let plain = coop_search_explicit(&st, &path, y, &mut pram);
+        let mut pram_t = Pram::new(p, Model::Crew);
+        let traced = coop_search_explicit_traced(&st, &path, y, &mut pram_t, &mut sh);
+        matched &= traced.finds == plain.finds
+            && traced.augs == plain.augs
+            && pram_t.steps() == pram.steps()
+            && pram_t.rounds() == pram.rounds();
+    }
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "search-explicit",
+        shape: shape.label(),
+        p,
+        checked: model,
+        claimed: Model::Crew,
+        expect_clean,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// Replay the explicit search with processors scheduled to die mid-run
+/// (shadow-memory side): dead pids' accesses are dropped, the discipline
+/// must stay clean, and results are still exact.
+pub fn replay_search_degraded(shape: TreeShape, p: usize, queries: usize) -> CaseReport {
+    let st = CoopStructure::preprocess(shape.gen(), ParamMode::Auto);
+    let tree = st.tree();
+    let mut rng = SmallRng::seed_from_u64(shape.seed ^ 0xdead);
+    let mut sh = ShadowMem::new(Model::Crew);
+    for (i, pid) in (0..p).step_by((p / 4).max(1)).enumerate() {
+        sh.schedule_kill(2 + i as u64, pid);
+    }
+    let mut matched = true;
+    for _ in 0..queries {
+        let leaf = gen::random_leaf(tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+        let y = rng.gen_range(-10..(shape.total as i64 * 16) + 10);
+        let mut pram = Pram::new(p, Model::Crew);
+        let plain = coop_search_explicit(&st, &path, y, &mut pram);
+        let mut pram_t = Pram::new(p, Model::Crew);
+        let traced = coop_search_explicit_traced(&st, &path, y, &mut pram_t, &mut sh);
+        matched &= traced.finds == plain.finds && traced.augs == plain.augs;
+    }
+    let dropped_some = sh.dropped_dead_accesses() > 0;
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "search-degraded",
+        shape: shape.label(),
+        p,
+        checked: Model::Crew,
+        claimed: Model::Crew,
+        expect_clean: true,
+        matched: matched && dropped_some,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// A shuffled chain of `n` nodes ending in a self-loop terminal.
+fn shuffled_chain(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    for w in perm.windows(2) {
+        next[w[0]] = w[1];
+    }
+    if let Some(&last) = perm.last() {
+        next[last] = last;
+    }
+    next
+}
+
+/// Replay the double-buffered publish/jump Wyllie list ranking (claimed
+/// EREW).
+pub fn replay_list_rank(n: usize, model: Model) -> CaseReport {
+    let next = shuffled_chain(n, 0x11517 + n as u64);
+    let mut pram = Pram::new(n, Model::Erew);
+    let plain = list_rank(&next, &mut pram);
+    let mut pram_t = Pram::new(n, Model::Erew);
+    let mut sh = ShadowMem::new(model);
+    let traced = list_rank_traced(&next, &mut pram_t, &mut sh);
+    let matched = plain == traced;
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "list-rank",
+        shape: format!("shuffled chain n={n}"),
+        p: n,
+        checked: model,
+        claimed: Model::Erew,
+        expect_clean: true,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// Canary: the naive pointer-jumping schedule reads *live* successor
+/// cells, so EREW checking must report concurrent reads converging at the
+/// terminal — with phase/round/pid blame.
+pub fn replay_list_rank_naive(n: usize) -> CaseReport {
+    let next = shuffled_chain(n, 0x11519 + n as u64);
+    let mut pram = Pram::new(n, Model::Erew);
+    let plain = list_rank(&next, &mut pram);
+    let mut pram_t = Pram::new(n, Model::Erew);
+    let mut sh = ShadowMem::new(Model::Erew);
+    let traced = list_rank_naive_traced(&next, &mut pram_t, &mut sh);
+    let matched = plain == traced;
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "list-rank-naive",
+        shape: format!("shuffled chain n={n}"),
+        p: n,
+        checked: Model::Erew,
+        claimed: Model::Erew,
+        expect_clean: false,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}
+
+/// Replay cooperative point location over `queries` random query points
+/// (claimed CREW, Theorem 4).
+pub fn replay_geometry(
+    regions: usize,
+    strips: usize,
+    p: usize,
+    model: Model,
+    queries: usize,
+    seed: u64,
+) -> CaseReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sub = MonotoneSubdivision::generate(
+        SubdivisionParams {
+            regions,
+            strips,
+            stick: 0.4,
+            detach: 0.4,
+        },
+        &mut rng,
+    );
+    let t = SeparatorTree::build(sub, ParamMode::Auto);
+    let mut sh = ShadowMem::new(model);
+    let mut matched = true;
+    for _ in 0..queries {
+        let (x, y) = t.sub.random_query(&mut rng);
+        let want = t.sub.locate_brute(x, y);
+        let mut pram = Pram::new(p, Model::Crew);
+        let (plain_r, plain_s) = locate_coop(&t, x, y, &mut pram);
+        let mut pram_t = Pram::new(p, Model::Crew);
+        let (traced_r, traced_s) = locate_coop_traced(&t, x, y, &mut pram_t, &mut sh);
+        matched &= traced_r == plain_r
+            && traced_r == want
+            && traced_s == plain_s
+            && pram_t.steps() == pram.steps();
+    }
+    let (clean, violations, blame, phases) = harvest(&mut sh);
+    CaseReport {
+        algorithm: "geometry-locate",
+        shape: format!("monotone f={regions} strips={strips}"),
+        p,
+        checked: model,
+        claimed: Model::Crew,
+        expect_clean: true,
+        matched,
+        clean,
+        violations,
+        blame,
+        phases,
+    }
+}

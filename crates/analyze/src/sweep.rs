@@ -1,0 +1,213 @@
+//! The analyzer sweep: tree shapes × processor counts × models, plus the
+//! canary runs, and the gate verdict CI enforces.
+
+use crate::replay::{
+    replay_build_level, replay_build_pipelined, replay_geometry, replay_list_rank,
+    replay_list_rank_naive, replay_search, replay_search_degraded, TreeShape,
+};
+use crate::CaseReport;
+use fc_pram::Model;
+
+/// Integer square root (processor-count midpoint of the sweep).
+fn isqrt(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r.max(1)
+}
+
+/// Run the full sweep. `quick` trims the instance sizes (used by tests);
+/// CI runs the full sweep.
+pub fn run_sweep(quick: bool) -> Vec<CaseReport> {
+    let mut out = Vec::new();
+
+    let small = TreeShape {
+        height: 4,
+        total: 600,
+        heavy: None,
+        seed: 9001,
+    };
+    let mid = TreeShape {
+        height: 6,
+        total: 2500,
+        heavy: None,
+        seed: 9002,
+    };
+    let heavy = TreeShape {
+        height: 6,
+        total: 2500,
+        heavy: Some(0.8),
+        seed: 9003,
+    };
+    let deep = TreeShape {
+        height: 12,
+        total: 1 << 16,
+        heavy: None,
+        seed: 9004,
+    };
+
+    let build_shapes: &[TreeShape] = if quick {
+        &[small, heavy]
+    } else {
+        &[small, mid, heavy]
+    };
+    for &shape in build_shapes {
+        out.push(replay_build_level(shape, Model::Erew));
+        out.push(replay_build_pipelined(shape, Model::Erew));
+    }
+
+    let search_shapes: &[TreeShape] = if quick {
+        &[small]
+    } else {
+        &[small, mid, heavy]
+    };
+    let queries = if quick { 4 } else { 8 };
+    for &shape in search_shapes {
+        for p in [1, isqrt(shape.total), shape.total] {
+            out.push(replay_search(shape, p, Model::Crew, queries, true));
+        }
+    }
+    // The deep instance engages the hop machinery (Steps 2-4) at large p.
+    out.push(replay_search(deep, 1 << 20, Model::Crew, queries, true));
+    out.push(replay_search_degraded(deep, 1 << 18, queries));
+
+    for n in if quick { [257usize, 0] } else { [257, 1024] } {
+        if n > 0 {
+            out.push(replay_list_rank(n, Model::Erew));
+        }
+    }
+
+    let geo_queries = if quick { 10 } else { 30 };
+    for p in if quick { [1usize, 0] } else { [1, 1 << 14] } {
+        if p > 0 {
+            out.push(replay_geometry(256, 24, p, Model::Crew, geo_queries, 77));
+        }
+    }
+    if !quick {
+        // Large enough that hop selection engages the cooperative locator.
+        out.push(replay_geometry(
+            4096,
+            48,
+            1 << 22,
+            Model::Crew,
+            geo_queries,
+            79,
+        ));
+    }
+
+    // Canaries: the checker must *detect* these, or the gate fails.
+    out.push(replay_list_rank_naive(257));
+    out.push(replay_search(deep, 1 << 20, Model::Erew, 2, false));
+
+    out
+}
+
+/// Gate verdict: every case must meet its expectation, every algorithm
+/// family must be covered, and at least one canary must have fired.
+pub struct Gate {
+    /// Overall pass/fail.
+    pub ok: bool,
+    /// Human-readable failure descriptions (empty when `ok`).
+    pub failures: Vec<String>,
+}
+
+/// Evaluate the gate over a sweep's reports.
+pub fn evaluate_gate(reports: &[CaseReport]) -> Gate {
+    let mut failures = Vec::new();
+    for r in reports {
+        if r.ok() {
+            continue;
+        }
+        let why = if !r.matched {
+            "traced result diverged from untraced"
+        } else if r.expect_clean {
+            "discipline violations detected"
+        } else {
+            "canary violation NOT detected"
+        };
+        failures.push(format!(
+            "{} on {} (p={}, checked {}): {} ({} violations)",
+            r.algorithm,
+            r.shape,
+            r.p,
+            crate::model_name(r.checked),
+            why,
+            r.violations
+        ));
+    }
+    for family in [
+        "build-level",
+        "build-pipelined",
+        "search-explicit",
+        "list-rank",
+        "geometry-locate",
+    ] {
+        if !reports.iter().any(|r| r.algorithm == family) {
+            failures.push(format!("algorithm family {family} was not replayed"));
+        }
+    }
+    if !reports.iter().any(|r| !r.expect_clean && !r.clean) {
+        failures.push("no canary fired: the checker cannot be trusted".to_string());
+    }
+    Gate {
+        ok: failures.is_empty(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_passes_the_gate() {
+        let reports = run_sweep(true);
+        let gate = evaluate_gate(&reports);
+        assert!(gate.ok, "gate failures: {:#?}", gate.failures);
+        // Canary blame is fully populated.
+        let canary = reports
+            .iter()
+            .find(|r| r.algorithm == "list-rank-naive")
+            .expect("canary present");
+        let blame = canary.blame.as_ref().expect("canary blame");
+        assert!(blame.pids.len() >= 2);
+        assert!(blame.phase.starts_with("listrank-naive/"));
+    }
+
+    #[test]
+    fn gate_fails_when_a_clean_case_is_dirty() {
+        let mut reports = run_sweep(true);
+        if let Some(r) = reports.iter_mut().find(|r| r.expect_clean) {
+            r.clean = false;
+            r.violations = 1;
+        }
+        assert!(!evaluate_gate(&reports).ok);
+    }
+
+    #[test]
+    fn gate_fails_when_canaries_go_silent() {
+        let mut reports = run_sweep(true);
+        for r in reports.iter_mut().filter(|r| !r.expect_clean) {
+            r.clean = true;
+            r.violations = 0;
+            r.blame = None;
+        }
+        assert!(!evaluate_gate(&reports).ok);
+    }
+
+    #[test]
+    fn json_and_markdown_render() {
+        let reports = run_sweep(true);
+        let json = crate::to_json(&reports);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"algorithm\": \"build-level\""));
+        assert!(json.contains("\"blame\""));
+        let md = crate::to_markdown(&reports);
+        assert!(md.contains("| algorithm |"));
+        assert!(md.contains("canary"));
+    }
+}

@@ -1220,6 +1220,183 @@ pub fn efault() -> Table {
     t
 }
 
+/// E-discipline — fc-analyze: shadow-memory recording overhead. Each
+/// workload runs the production entry point (whose `Tracer` hooks compile
+/// to nothing on the `NoTrace` fast path) and the identical code under a
+/// live `ShadowMem`, asserting the replay stays violation-free — the same
+/// clean configurations the `fc-analyze --gate` CI job enforces.
+pub fn discipline() -> Table {
+    use fc_catalog::pipeline::{build_pipelined, build_pipelined_traced};
+    use fc_coop::explicit::coop_search_explicit_traced;
+    use fc_geom::cooploc::locate_coop_traced;
+    use fc_pram::listrank::{list_rank, list_rank_traced};
+    use fc_pram::ShadowMem;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E-discipline (fc-analyze): shadow-memory recording overhead, traced vs untraced",
+        &[
+            "workload",
+            "model",
+            "untraced ms",
+            "traced ms",
+            "overhead",
+            "accesses recorded",
+            "violations",
+        ],
+    );
+    let row = |t: &mut Table,
+               name: &str,
+               model: &str,
+               plain_ms: f64,
+               traced_ms: f64,
+               sh: &mut ShadowMem| {
+        let accesses: u64 = sh
+            .phase_stats()
+            .iter()
+            .map(|(_, s)| s.reads + s.writes)
+            .sum();
+        let clean = sh.finish();
+        assert!(clean, "overhead workload `{name}` must replay clean");
+        t.row(vec![
+            name.to_string(),
+            model.to_string(),
+            fmt_f(plain_ms),
+            fmt_f(traced_ms),
+            format!("{:.1}x", traced_ms / plain_ms.max(1e-9)),
+            accesses.to_string(),
+            sh.violations().len().to_string(),
+        ]);
+    };
+
+    let mut rng = SmallRng::seed_from_u64(SEED + 50);
+    let tree = gen::balanced_binary(8, 1 << 13, SizeDist::Uniform, &mut rng);
+
+    let t0 = Instant::now();
+    let _ = CascadedTree::try_build(tree.clone(), 4).expect("seed build");
+    let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut sh = ShadowMem::new(Model::Erew);
+    let t0 = Instant::now();
+    let _ = CascadedTree::try_build_traced(tree.clone(), 4, &mut sh).expect("traced build");
+    row(
+        &mut t,
+        "build-level h=8 n=2^13",
+        "EREW",
+        plain_ms,
+        t0.elapsed().as_secs_f64() * 1e3,
+        &mut sh,
+    );
+
+    let t0 = Instant::now();
+    let _ = build_pipelined(tree.clone(), 4, None);
+    let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut sh = ShadowMem::new(Model::Erew);
+    let t0 = Instant::now();
+    let _ = build_pipelined_traced(tree.clone(), 4, None, &mut sh);
+    row(
+        &mut t,
+        "build-pipelined h=8 n=2^13",
+        "EREW",
+        plain_ms,
+        t0.elapsed().as_secs_f64() * 1e3,
+        &mut sh,
+    );
+
+    let deep = gen::balanced_binary(12, 1 << 16, SizeDist::Uniform, &mut rng);
+    let st = CoopStructure::preprocess(deep, ParamMode::Auto);
+    let p = 1usize << 20;
+    let queries: Vec<(Vec<_>, i64)> = (0..30)
+        .map(|_| {
+            let leaf = gen::random_leaf(st.tree(), &mut rng);
+            (
+                st.tree().path_from_root(leaf),
+                rng.gen_range(0..(1i64 << 20)),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    for (path, y) in &queries {
+        let mut pram = Pram::new(p, Model::Crew);
+        let _ = coop_search_explicit(&st, path, *y, &mut pram);
+    }
+    let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut sh = ShadowMem::new(Model::Crew);
+    let t0 = Instant::now();
+    for (path, y) in &queries {
+        let mut pram = Pram::new(p, Model::Crew);
+        let _ = coop_search_explicit_traced(&st, path, *y, &mut pram, &mut sh);
+    }
+    row(
+        &mut t,
+        "search-explicit n=2^16 p=2^20 (30 queries)",
+        "CREW",
+        plain_ms,
+        t0.elapsed().as_secs_f64() * 1e3,
+        &mut sh,
+    );
+
+    let n = 4096usize;
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    for w in perm.windows(2) {
+        next[w[0]] = w[1];
+    }
+    next[perm[n - 1]] = perm[n - 1];
+    let t0 = Instant::now();
+    let _ = list_rank(&next, &mut Pram::new(n, Model::Erew));
+    let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut sh = ShadowMem::new(Model::Erew);
+    let t0 = Instant::now();
+    let _ = list_rank_traced(&next, &mut Pram::new(n, Model::Erew), &mut sh);
+    row(
+        &mut t,
+        "list-rank n=4096",
+        "EREW",
+        plain_ms,
+        t0.elapsed().as_secs_f64() * 1e3,
+        &mut sh,
+    );
+
+    let sub = MonotoneSubdivision::generate(
+        SubdivisionParams {
+            regions: 1024,
+            strips: 32,
+            stick: 0.4,
+            detach: 0.4,
+        },
+        &mut rng,
+    );
+    let sept = SeparatorTree::build(sub, ParamMode::Auto);
+    let gp = 1usize << 20;
+    let pts: Vec<(f64, f64)> = (0..30).map(|_| sept.sub.random_query(&mut rng)).collect();
+    let t0 = Instant::now();
+    for &(x, y) in &pts {
+        let _ = locate_coop(&sept, x, y, &mut Pram::new(gp, Model::Crew));
+    }
+    let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut sh = ShadowMem::new(Model::Crew);
+    let t0 = Instant::now();
+    for &(x, y) in &pts {
+        let _ = locate_coop_traced(&sept, x, y, &mut Pram::new(gp, Model::Crew), &mut sh);
+    }
+    row(
+        &mut t,
+        "geometry-locate f=1024 p=2^20 (30 queries)",
+        "CREW",
+        plain_ms,
+        t0.elapsed().as_secs_f64() * 1e3,
+        &mut sh,
+    );
+
+    t.note("untraced = production entry point (NoTrace hooks compile out); traced = same code under ShadowMem provenance recording");
+    t.note("all rows must be violation-free; `fc-analyze --gate` enforces the same configurations in CI");
+    t
+}
+
 /// All experiments, in DESIGN.md order.
 pub fn all() -> Vec<(&'static str, fn() -> Table)> {
     vec![
@@ -1248,5 +1425,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("dyn", dynamic),
         ("op3", op3),
         ("fault", efault),
+        ("discipline", discipline),
     ]
 }

@@ -39,6 +39,7 @@ use crate::key::CatalogKey;
 use crate::tree::{CatalogTree, NodeId};
 use fc_pram::cost::Pram;
 use fc_pram::primitives::lower_bound;
+use fc_pram::shadow::Tracer;
 use rayon::prelude::*;
 
 /// Augmented catalog and bridge arrays of one node (structure-of-arrays).
@@ -253,6 +254,152 @@ impl<K: CatalogKey> CascadedTree<K> {
         }
     }
 
+    /// [`CascadedTree::try_build`] replayed under an access tracer: the
+    /// same level-synchronous schedule, executed on the genuinely EREW
+    /// round structure and reporting every logical access to `tr`.
+    ///
+    /// Per level (bottom-up), three phases:
+    ///
+    /// * `build/sample` — one round; each sampled child entry is read by
+    ///   exactly one processor (a child has one parent) and copied to a
+    ///   private staging cell `("stage", node)[i]`, while the native catalog
+    ///   is gathered the same way — all cells distinct, so exclusive;
+    /// * `build/merge` — Batcher bitonic-merge-network rounds over the
+    ///   staging cells: each round is a set of disjoint compare-exchange
+    ///   pairs, each touched by exactly one processor. Merges of different
+    ///   nodes on the same level share rounds (that is the
+    ///   level-synchronous claim). The CREW rank-by-binary-search merge
+    ///   charged by [`CascadedTree::build_cost`] would *not* pass EREW —
+    ///   the network is the exclusive schedule the paper's EREW
+    ///   preprocessing claim (via Atallah–Cole–Goodrich) relies on;
+    /// * `build/publish` — one round; processor `i` reads its own staging
+    ///   cell and writes the node's augmented entry `("aug", node)[i]`, its
+    ///   native successor `("nsucc", node)[i]`, and one bridge cell per
+    ///   child slot (`("bridge", node * (d+1) + slot)[i]`, `d` = max
+    ///   degree) — rank bookkeeping rides along with the merge records.
+    ///
+    /// The returned structure is bit-identical to [`CascadedTree::try_build`].
+    pub fn try_build_traced<Tr: Tracer>(
+        tree: CatalogTree<K>,
+        sample: usize,
+        tr: &mut Tr,
+    ) -> Result<Self, FcError> {
+        assert!(sample >= 2, "sampling factor must be at least 2");
+        assert!(
+            sample > tree.max_degree(),
+            "sampling factor {} must exceed max degree {} for linear size",
+            sample,
+            tree.max_degree()
+        );
+        let slot_span = tree.max_degree() + 1;
+        let mut nodes: Vec<Option<CascadedNode<K>>> = (0..tree.len()).map(|_| None).collect();
+        let levels = tree.levels();
+        for level in levels.iter().rev() {
+            // Compute the level's nodes first; emission replays the access
+            // schedule that produces exactly these results.
+            let mut built: Vec<(NodeId, CascadedNode<K>)> = Vec::with_capacity(level.len());
+            for &id in level {
+                built.push((id, cascade_node(&tree, id, &nodes, sample)?));
+            }
+            if tr.live() {
+                // Phase 1: sample children + gather native, one exclusive
+                // round for the whole level.
+                tr.phase("build/sample");
+                let mut pid = 0usize;
+                for &(id, _) in &built {
+                    let stage = ("stage", id.idx());
+                    let mut cursor = tree.catalog(id).len();
+                    for (i, _) in tree.catalog(id).iter().enumerate() {
+                        tr.read(pid, ("native", id.idx()), i);
+                        tr.write(pid, stage, i);
+                        pid += 1;
+                    }
+                    for &c in tree.children(id) {
+                        let child_len = nodes[c.idx()].as_ref().map(|n| n.keys.len()).unwrap_or(0);
+                        let mut pos = sample - 1;
+                        while pos < child_len {
+                            tr.read(pid, ("aug", c.idx()), pos);
+                            tr.write(pid, stage, cursor);
+                            cursor += 1;
+                            pid += 1;
+                            pos += sample;
+                        }
+                    }
+                }
+                tr.barrier();
+                // Phase 2: bitonic merge networks, level-synchronous — the
+                // r-th rounds of all nodes' networks coincide.
+                tr.phase("build/merge");
+                let schedules: Vec<(usize, MergeRounds)> = built
+                    .iter()
+                    .map(|&(id, _)| {
+                        let mut rounds = Vec::new();
+                        let mut acc = tree.catalog(id).len();
+                        for &c in tree.children(id) {
+                            let child_len =
+                                nodes[c.idx()].as_ref().map(|n| n.keys.len()).unwrap_or(0);
+                            let sampled = if child_len >= sample {
+                                1 + (child_len - sample) / sample
+                            } else {
+                                0
+                            };
+                            if sampled > 0 {
+                                bitonic_merge_rounds(acc + sampled, &mut rounds);
+                                acc += sampled;
+                            }
+                        }
+                        (id.idx(), rounds)
+                    })
+                    .collect();
+                let depth = schedules.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+                for r in 0..depth {
+                    let mut pid = 0usize;
+                    for (idx, rounds) in &schedules {
+                        let stage = ("stage", *idx);
+                        if let Some(pairs) = rounds.get(r) {
+                            for &(a, b) in pairs {
+                                tr.read(pid, stage, a);
+                                tr.read(pid, stage, b);
+                                tr.write(pid, stage, a);
+                                tr.write(pid, stage, b);
+                                pid += 1;
+                            }
+                        }
+                    }
+                    tr.barrier();
+                }
+                // Phase 3: publish — one processor per output entry.
+                tr.phase("build/publish");
+                let mut pid = 0usize;
+                for (id, node) in &built {
+                    let stage = ("stage", id.idx());
+                    for i in 0..node.keys.len() {
+                        tr.read(pid, stage, i);
+                        tr.write(pid, ("aug", id.idx()), i);
+                        tr.write(pid, ("nsucc", id.idx()), i);
+                        for slot in 0..node.bridges.len() {
+                            tr.write(pid, ("bridge", id.idx() * slot_span + slot), i);
+                        }
+                        pid += 1;
+                    }
+                }
+                tr.barrier();
+            }
+            for (id, node) in built {
+                nodes[id.idx()] = Some(node);
+            }
+        }
+        let mut done = Vec::with_capacity(nodes.len());
+        for (idx, n) in nodes.into_iter().enumerate() {
+            done.push(n.ok_or(FcError::UnbuiltNode { node: idx as u32 })?);
+        }
+        Ok(CascadedTree {
+            nodes: done,
+            tree,
+            sample,
+        })
+    }
+
     fn build_inner(
         tree: CatalogTree<K>,
         sample: usize,
@@ -408,14 +555,18 @@ impl<K: CatalogKey> CascadedTree<K> {
         };
         let children = self.tree.children(parent);
         let child = *children.get(slot).ok_or(blame)?;
-        let child_keys = &self.nodes[child.idx()].keys;
-        let bridge_row = self.nodes[parent.idx()].bridges.get(slot).ok_or(blame)?;
+        let child_keys = &self.nodes.get(child.idx()).ok_or(blame)?.keys;
+        let bridge_row = self
+            .nodes
+            .get(parent.idx())
+            .and_then(|n| n.bridges.get(slot))
+            .ok_or(blame)?;
         let mut j = *bridge_row.get(aug_idx).ok_or(blame)? as usize;
         if j >= child_keys.len() {
             return Err(blame);
         }
         let mut walked = 0usize;
-        while j > 0 && child_keys[j - 1] >= y {
+        while j > 0 && child_keys.get(j - 1).is_some_and(|&k| k >= y) {
             j -= 1;
             walked += 1;
             if walked > self.fanout_bound() {
@@ -424,10 +575,10 @@ impl<K: CatalogKey> CascadedTree<K> {
         }
         // Undershoot: the landing key is still below y, so `j` is not the
         // lower bound — `descend` would have silently returned it.
-        if child_keys[j] < y {
-            return Err(blame);
+        match child_keys.get(j) {
+            Some(&k) if k >= y => Ok((j, walked)),
+            _ => Err(blame),
         }
-        Ok((j, walked))
     }
 
     /// Convert an augmented location at `id` into the native `find(y, v)`
@@ -531,6 +682,35 @@ fn cascade_node<K: CatalogKey>(
     })
 }
 
+/// A merge network schedule: each round is a set of pairwise-disjoint
+/// compare-exchange pairs.
+type MergeRounds = Vec<Vec<(usize, usize)>>;
+
+/// Append the rounds of a Batcher bitonic merge network over `len` cells
+/// (padded virtually to a power of two; comparators touching padding are
+/// dropped). Each round is a set of pairwise-disjoint compare-exchange
+/// pairs — the EREW-exclusive merge schedule replayed by
+/// [`CascadedTree::try_build_traced`].
+fn bitonic_merge_rounds(len: usize, rounds: &mut MergeRounds) {
+    if len < 2 {
+        return;
+    }
+    let m = len.next_power_of_two();
+    let mut stride = m / 2;
+    while stride >= 1 {
+        let mut pairs = Vec::new();
+        for i in 0..m {
+            if i & stride == 0 && (i | stride) < len {
+                pairs.push((i, i | stride));
+            }
+        }
+        if !pairs.is_empty() {
+            rounds.push(pairs);
+        }
+        stride /= 2;
+    }
+}
+
 /// Merge `k` sorted lists (small `k`): repeated pairwise merge.
 fn kway_merge<K: CatalogKey>(lists: &[Vec<K>]) -> Vec<K> {
     let mut acc: Vec<K> = Vec::new();
@@ -611,6 +791,47 @@ mod tests {
             assert_eq!(a.keys(id), b.keys(id));
             assert_eq!(a.aug(id).native_succ, b.aug(id).native_succ);
             assert_eq!(a.aug(id).bridges, b.aug(id).bridges);
+        }
+    }
+
+    #[test]
+    fn traced_build_matches_untraced_and_is_erew_clean() {
+        use fc_pram::shadow::ShadowMem;
+        use fc_pram::Model;
+        let mut rng = SmallRng::seed_from_u64(19);
+        for (h, total) in [(4u32, 600usize), (6, 2500)] {
+            let tree = gen::balanced_binary(h, total, SizeDist::Uniform, &mut rng);
+            let plain = CascadedTree::build(tree.clone(), 4);
+            let mut sh = ShadowMem::new(Model::Erew);
+            let traced = CascadedTree::try_build_traced(tree, 4, &mut sh).unwrap();
+            assert!(sh.finish(), "violations: {:?}", &sh.violations()[..1]);
+            for id in plain.tree().ids() {
+                assert_eq!(plain.keys(id), traced.keys(id));
+                assert_eq!(plain.aug(id).native_succ, traced.aug(id).native_succ);
+                assert_eq!(plain.aug(id).bridges, traced.aug(id).bridges);
+            }
+            // Sanity: every claimed phase actually ran.
+            let phases: Vec<&str> = sh.phase_stats().iter().map(|&(p, _)| p).collect();
+            assert!(phases.contains(&"build/sample"));
+            assert!(phases.contains(&"build/merge"));
+            assert!(phases.contains(&"build/publish"));
+        }
+    }
+
+    #[test]
+    fn bitonic_rounds_are_disjoint_within_a_round() {
+        for len in [2usize, 3, 7, 8, 33, 100] {
+            let mut rounds = Vec::new();
+            bitonic_merge_rounds(len, &mut rounds);
+            assert!(!rounds.is_empty());
+            for pairs in &rounds {
+                let mut seen = std::collections::HashSet::new();
+                for &(a, b) in pairs {
+                    assert!(a < len && b < len);
+                    assert!(seen.insert(a), "index {a} reused in a round");
+                    assert!(seen.insert(b), "index {b} reused in a round");
+                }
+            }
         }
     }
 

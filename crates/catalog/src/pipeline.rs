@@ -31,6 +31,7 @@ use crate::key::CatalogKey;
 use crate::tree::CatalogTree;
 use fc_pram::cost::Pram;
 use fc_pram::primitives::merge_seq;
+use fc_pram::shadow::{NoTrace, Tracer};
 
 /// Statistics of one pipelined construction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +54,35 @@ pub struct PipelineStats {
 pub fn build_pipelined<K: CatalogKey>(
     tree: CatalogTree<K>,
     sample: usize,
+    pram: Option<&mut Pram>,
+) -> (CascadedTree<K>, PipelineStats) {
+    build_pipelined_traced(tree, sample, pram, &mut NoTrace)
+}
+
+/// [`build_pipelined`] with every logical access reported to a [`Tracer`].
+///
+/// The pipelined schedule is EREW because of three structural facts, which
+/// the emission makes checkable:
+///
+/// * **parity double-buffering** — round `r` reads every node's exposed
+///   list from the buffer written in round `r − 1` (`("pipe-even", node)`
+///   or `("pipe-odd", node)` by round parity) and writes the other one, so
+///   a round never reads a cell it writes;
+/// * **one parent per child** — a node's exposed list is sampled by its
+///   unique parent only, and each sampled cell is read by one processor;
+/// * **settled hand-off** — every active node also writes its list to a
+///   stable copy `("pipe-final", node)`; once a node settles it stops
+///   writing, and from the next round on its parent samples the stable
+///   copy — reader and writer are never in the same round.
+///
+/// A final `pipe/publish` phase replays the bridge construction exactly as
+/// [`CascadedTree::try_build_traced`]'s publish (one processor per entry).
+/// Results are bit-identical to [`build_pipelined`], including the stats.
+pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
+    tree: CatalogTree<K>,
+    sample: usize,
     mut pram: Option<&mut Pram>,
+    tr: &mut Tr,
 ) -> (CascadedTree<K>, PipelineStats) {
     assert!(sample >= 2 && sample > tree.max_degree());
     let n_nodes = tree.len();
@@ -128,6 +157,58 @@ pub fn build_pipelined<K: CatalogKey>(
             round_ops += growth.max(1);
             next[id.idx()] = Some(acc);
         }
+        if tr.live() {
+            tr.phase("pipe/round");
+            // Parity double-buffer: this round reads the buffer written
+            // last round and writes the other one.
+            let (read_buf, write_buf) = if stats.rounds.is_multiple_of(2) {
+                ("pipe-odd", "pipe-even")
+            } else {
+                ("pipe-even", "pipe-odd")
+            };
+            let mut pid = 0usize;
+            for id in tree.ids() {
+                let Some(list) = next[id.idx()].as_ref() else {
+                    continue;
+                };
+                // Own catalog, stride-sampled: private reads.
+                let st = stride[id.idx()];
+                let native_len = tree.catalog(id).len();
+                let mut pos = st - 1;
+                if st == 1 {
+                    pos = 0;
+                }
+                while pos < native_len {
+                    tr.read(pid, ("native", id.idx()), pos);
+                    pid += 1;
+                    pos += st.max(1);
+                }
+                // Children's exposed lists, 1/s-sampled: the unique parent
+                // is the only reader; settled children are sampled from
+                // their stable copy, which nobody writes anymore.
+                for &c in tree.children(id) {
+                    let region = if settled[c.idx()] {
+                        ("pipe-final", c.idx())
+                    } else {
+                        (read_buf, c.idx())
+                    };
+                    let mut cpos = sample - 1;
+                    while cpos < cur[c.idx()].len() {
+                        tr.read(pid, region, cpos);
+                        pid += 1;
+                        cpos += sample;
+                    }
+                }
+                // Output: one processor per entry, writing the parity
+                // buffer and the stable copy — both exclusively owned.
+                for i in 0..list.len() {
+                    tr.write(pid, (write_buf, id.idx()), i);
+                    tr.write(pid, ("pipe-final", id.idx()), i);
+                    pid += 1;
+                }
+            }
+            tr.barrier();
+        }
         // Commit; update strides and settledness.
         for id in tree.ids() {
             let Some(list) = next[id.idx()].take() else {
@@ -161,6 +242,28 @@ pub fn build_pipelined<K: CatalogKey>(
     if let Some(pram) = pram {
         pram.round(fc.total_aug_size());
     }
+    if tr.live() {
+        // Publish: one processor per augmented entry converts the stable
+        // copy into the final structure (keys, native successors, bridges),
+        // mirroring the level-synchronous build's publish phase.
+        tr.phase("pipe/publish");
+        let slot_span = fc.tree().max_degree() + 1;
+        let mut pid = 0usize;
+        for id in fc.tree().ids() {
+            let entries = fc.keys(id).len();
+            let slots = fc.tree().children(id).len();
+            for i in 0..entries {
+                tr.read(pid, ("pipe-final", id.idx()), i);
+                tr.write(pid, ("aug", id.idx()), i);
+                tr.write(pid, ("nsucc", id.idx()), i);
+                for slot in 0..slots {
+                    tr.write(pid, ("bridge", id.idx() * slot_span + slot), i);
+                }
+                pid += 1;
+            }
+        }
+        tr.barrier();
+    }
     (fc, stats)
 }
 
@@ -187,6 +290,27 @@ mod tests {
                 assert_eq!(direct.keys(id), piped.keys(id), "{dist:?}");
                 assert_eq!(direct.aug(id).bridges, piped.aug(id).bridges);
             }
+        }
+    }
+
+    #[test]
+    fn traced_pipeline_matches_untraced_and_is_erew_clean() {
+        use fc_pram::shadow::ShadowMem;
+        let mut rng = SmallRng::seed_from_u64(919);
+        for dist in [SizeDist::Uniform, SizeDist::SingleHeavy(0.8)] {
+            let tree = gen::balanced_binary(6, 2500, dist, &mut rng);
+            let (plain, plain_stats) = build_pipelined(tree.clone(), 4, None);
+            let mut sh = ShadowMem::new(Model::Erew);
+            let (traced, traced_stats) = build_pipelined_traced(tree, 4, None, &mut sh);
+            assert!(sh.finish(), "{dist:?}: {:?}", &sh.violations()[..1]);
+            assert_eq!(plain_stats, traced_stats);
+            for id in plain.tree().ids() {
+                assert_eq!(plain.keys(id), traced.keys(id));
+                assert_eq!(plain.aug(id).bridges, traced.aug(id).bridges);
+            }
+            let phases: Vec<&str> = sh.phase_stats().iter().map(|&(p, _)| p).collect();
+            assert!(phases.contains(&"pipe/round"));
+            assert!(phases.contains(&"pipe/publish"));
         }
     }
 

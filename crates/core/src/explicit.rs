@@ -27,7 +27,8 @@ use fc_catalog::cascade::Find;
 use fc_catalog::search::search_path_fc;
 use fc_catalog::{CatalogKey, FcError, NodeId};
 use fc_pram::cost::Pram;
-use fc_pram::primitives::coop_lower_bound;
+use fc_pram::primitives::coop_lower_bound_traced;
+use fc_pram::shadow::{NoTrace, Tracer};
 
 /// Counters describing how a cooperative search executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,7 +78,39 @@ pub fn coop_search_explicit<K: CatalogKey>(
     y: K,
     pram: &mut Pram,
 ) -> ExplicitSearchResult {
-    match search_explicit_inner(st, path, y, pram, false) {
+    match search_explicit_inner(st, path, y, pram, false, &mut NoTrace) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unchecked explicit search cannot fail: {e}"),
+    }
+}
+
+/// [`coop_search_explicit`] with every logical access reported to a
+/// [`Tracer`] on the CREW round structure of Section 2.2:
+///
+/// * Step 1 runs the traced cooperative `p`-ary root search (shared reads
+///   of the query cell `("query", 0)` — legal under CREW, the analyzer's
+///   canary under EREW);
+/// * Step 2 (`search/hop-select`) has `min(s, t)` processors share the
+///   position cursor and probe distinct augmented entries, one of them
+///   publishing the selected skeleton tree to `("sel", 0)`;
+/// * Step 3 (`search/hop-windows`) assigns one processor per candidate
+///   window position: shared reads of the query, selection, and skeleton
+///   key cells, private reads of `("aug", node)` at its candidate and left
+///   neighbour (≤ 2 readers per catalog cell), and exactly one winner per
+///   window writing its result cell `("res", 0)[i]` — every write
+///   exclusive, which is the paper's CREW claim (Theorem 1/4);
+/// * the Step 5 tail (`search/tail`) is single-processor bridge walking.
+///
+/// Results are bit-identical to [`coop_search_explicit`], as are the
+/// `pram` charges.
+pub fn coop_search_explicit_traced<K: CatalogKey, Tr: Tracer>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+    tr: &mut Tr,
+) -> ExplicitSearchResult {
+    match search_explicit_inner(st, path, y, pram, false, tr) {
         Ok(out) => out,
         Err(e) => unreachable!("unchecked explicit search cannot fail: {e}"),
     }
@@ -101,15 +134,16 @@ pub fn coop_search_explicit_checked<K: CatalogKey>(
     y: K,
     pram: &mut Pram,
 ) -> Result<ExplicitSearchResult, FcError> {
-    search_explicit_inner(st, path, y, pram, true)
+    search_explicit_inner(st, path, y, pram, true, &mut NoTrace)
 }
 
 /// Verify that `g` is a locally consistent lower-bound position for `y` in
 /// `keys` (used in checked mode after every binary search: on a corrupted,
 /// unsorted catalog a binary search can land anywhere).
 fn audit_locate<K: CatalogKey>(keys: &[K], g: usize, y: K, node: u32) -> Result<(), FcError> {
+    let prev_below = g == 0 || keys.get(g - 1).is_some_and(|&k| k < y);
     match keys.get(g) {
-        Some(&k) if k >= y && (g == 0 || keys[g - 1] < y) => Ok(()),
+        Some(&k) if k >= y && prev_below => Ok(()),
         _ => Err(FcError::CorruptCatalog {
             node,
             entry: g.min(keys.len().saturating_sub(1)),
@@ -117,18 +151,20 @@ fn audit_locate<K: CatalogKey>(keys: &[K], g: usize, y: K, node: u32) -> Result<
     }
 }
 
-fn search_explicit_inner<K: CatalogKey>(
+fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
     st: &CoopStructure<K>,
     path: &[NodeId],
     y: K,
     pram: &mut Pram,
     checked: bool,
+    tr: &mut Tr,
 ) -> Result<ExplicitSearchResult, FcError> {
     assert!(!path.is_empty(), "path must be nonempty");
     assert_eq!(path[0], st.tree().root(), "path must start at the root");
 
     let fc = st.cascade();
     let tree = st.tree();
+    let slot_span = tree.max_degree() + 1;
     if checked && pram.processors() == 0 {
         return Err(FcError::NoProcessors);
     }
@@ -146,14 +182,43 @@ fn search_explicit_inner<K: CatalogKey>(
         if checked {
             audit_locate(fc.keys(path[0]), aug, y, path[0].0)?;
         }
+        if tr.live() {
+            // Single-processor replay: the root binary search's probe
+            // sequence, then one bridge step per level — trivially
+            // exclusive, recorded for the per-phase access counts.
+            tr.phase("search/seq");
+            let keys = fc.keys(path[0]);
+            tr.read(0, ("query", 0), 0);
+            let (mut lo, mut hi) = (0usize, keys.len());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                tr.read(0, ("aug", path[0].idx()), mid);
+                if keys[mid] < y {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            tr.write(0, ("res", 0), 0);
+            tr.barrier();
+        }
         augs.push(aug);
-        for w in path.windows(2) {
+        for (i, w) in path.windows(2).enumerate() {
             let slot = st.tree().child_slot(w[0], w[1]);
-            aug = if checked {
-                fc.checked_descend(w[0], slot, aug, y)?.0
+            let (next, walked) = if checked {
+                fc.checked_descend(w[0], slot, aug, y)?
             } else {
-                fc.descend(w[0], slot, aug, y).0
+                fc.descend(w[0], slot, aug, y)
             };
+            if tr.live() {
+                tr.read(0, ("bridge", w[0].idx() * slot_span + slot), aug);
+                for b in 0..=walked {
+                    tr.read(0, ("aug", w[1].idx()), next + b);
+                }
+                tr.write(0, ("res", 0), i + 1);
+                tr.barrier();
+            }
+            aug = next;
             augs.push(aug);
         }
         return Ok(ExplicitSearchResult {
@@ -173,7 +238,23 @@ fn search_explicit_inner<K: CatalogKey>(
     };
 
     // Step 1: cooperative p-ary search in the root's augmented catalog.
-    let mut aug = coop_lower_bound(fc.keys(path[0]), &y, pram);
+    tr.phase("search/root");
+    let mut aug = coop_lower_bound_traced(
+        fc.keys(path[0]),
+        &y,
+        pram,
+        tr,
+        ("aug", path[0].idx()),
+        ("query", 0),
+    );
+    if tr.live() {
+        // Hand the located position to the hop machinery: one processor
+        // copies the root search's cursor into the hop cursor cell.
+        tr.read(0, ("clb-cursor", path[0].idx()), 0);
+        tr.write(0, ("cursor", 0), 0);
+        tr.write(0, ("res", 0), 0);
+        tr.barrier();
+    }
     if checked {
         audit_locate(fc.keys(path[0]), aug, y, path[0].0)?;
     }
@@ -222,6 +303,16 @@ fn search_explicit_inner<K: CatalogKey>(
                     } else {
                         fc.descend(v, slot, aug, y)
                     };
+                    if tr.live() {
+                        tr.phase("search/tail");
+                        tr.read(0, ("bridge", v.idx() * slot_span + slot), aug);
+                        for b in 0..=walked {
+                            tr.read(0, ("aug", w.idx()), next + b);
+                        }
+                        tr.write(0, ("res", 0), pos + 1);
+                        tr.write(0, ("cursor", 0), 0);
+                        tr.barrier();
+                    }
                     pram.seq(1 + walked);
                     aug = next;
                     finds.push(fc.native_result(w, aug));
@@ -240,13 +331,31 @@ fn search_explicit_inner<K: CatalogKey>(
         // same answer, charged identically.
         let t = fc.keys(v).len();
         let j = (aug / sub.sp.s).min(unit.m as usize - 1);
-        pram.round(sub.sp.s.min(t));
+        let k_sel = sub.sp.s.min(t);
+        if tr.live() {
+            // Step 2 replay: min(s, t) processors share the cursor and
+            // probe distinct entries right of it; the one holding the
+            // sampled entry publishes the selected skeleton tree.
+            tr.phase("search/hop-select");
+            for i in 0..k_sel {
+                tr.read(i, ("cursor", 0), 0);
+                tr.read(i, ("aug", v.idx()), (aug + i).min(t - 1));
+            }
+            let sel_cell = (j * sub.sp.s).min(t - 1);
+            let winner = sel_cell.saturating_sub(aug).min(k_sel - 1);
+            tr.write(winner, ("sel", 0), 0);
+            tr.barrier();
+        }
+        pram.round(k_sel);
 
         // Step 3: one window per path node inside the unit, all scanned in
         // a single synchronous round.
         let mut z = 0usize;
         let mut ops = 0usize;
         let start_pos = pos;
+        tr.phase("search/hop-windows");
+        let mut pid_base = 0usize;
+        let mut cursor_winner: Option<usize> = None;
         while pos + 1 < path.len() {
             let w = path[pos + 1];
             let slot = tree.child_slot(path[pos], w);
@@ -262,6 +371,29 @@ fn search_explicit_inner<K: CatalogKey>(
             let hi = (k + q).min(len - 1);
             ops += hi - lo + 1;
             let g = fc.find_aug(w, y);
+            if tr.live() {
+                // One processor per candidate position: shared reads of
+                // query/selection/skeleton-key cells, private probes of the
+                // candidate and its left neighbour (≤ 2 readers per cell),
+                // and the unique boundary winner writes the result cell.
+                let skel = ("skel", unit.root.idx());
+                for (off, c) in (lo..=hi).enumerate() {
+                    let pid = pid_base + off;
+                    tr.read(pid, ("query", 0), 0);
+                    tr.read(pid, ("sel", 0), 0);
+                    tr.read(pid, skel, j * unit.nodes.len() + cpos as usize);
+                    tr.read(pid, ("aug", w.idx()), c);
+                    if c > 0 {
+                        tr.read(pid, ("aug", w.idx()), c - 1);
+                    }
+                }
+                if (lo..=hi).contains(&g) {
+                    let winner = pid_base + (g - lo);
+                    tr.write(winner, ("res", 0), pos + 1);
+                    cursor_winner = Some(winner);
+                }
+                pid_base += hi - lo + 1;
+            }
             if checked {
                 audit_locate(fc.keys(w), g, y, w.0)?;
             }
@@ -289,6 +421,14 @@ fn search_explicit_inner<K: CatalogKey>(
             z = cpos as usize;
             pos += 1;
         }
+        if tr.live() {
+            // The last window's winner advances the hop cursor; the round
+            // closes with one synchronous barrier covering every window.
+            if let Some(wpid) = cursor_winner {
+                tr.write(wpid, ("cursor", 0), 0);
+            }
+            tr.barrier();
+        }
         stats.window_ops += ops as u64;
         pram.round(ops);
         pram.seq(1); // hop bookkeeping
@@ -308,6 +448,16 @@ fn search_explicit_inner<K: CatalogKey>(
         } else {
             fc.descend(v, slot, aug, y)
         };
+        if tr.live() {
+            tr.phase("search/tail");
+            tr.read(0, ("bridge", v.idx() * slot_span + slot), aug);
+            for b in 0..=walked {
+                tr.read(0, ("aug", w.idx()), next + b);
+            }
+            tr.write(0, ("res", 0), pos + 1);
+            tr.write(0, ("cursor", 0), 0);
+            tr.barrier();
+        }
         pram.seq(1 + walked);
         aug = next;
         finds.push(fc.native_result(w, aug));
@@ -476,6 +626,74 @@ mod tests {
             let coop = coop_search_explicit(&st, &path, y, &mut pram);
             assert_eq!(coop.finds, naive.results, "y {y}");
         }
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_and_is_crew_clean() {
+        use fc_pram::ShadowMem;
+        let st = build(9, 20_000, ParamMode::Auto, 401);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(403);
+        for p in [1usize, 64, 4096, 1 << 16] {
+            for _ in 0..10 {
+                let leaf = gen::random_leaf(tree, &mut rng);
+                let path = tree.path_from_root(leaf);
+                let y = rng.gen_range(-10..(20_000i64 * 16) + 10);
+                let mut pram = Pram::new(p, Model::Crew);
+                let plain = coop_search_explicit(&st, &path, y, &mut pram);
+                let mut pram_t = Pram::new(p, Model::Crew);
+                let mut shadow = ShadowMem::new(Model::Crew);
+                let traced = coop_search_explicit_traced(&st, &path, y, &mut pram_t, &mut shadow);
+                assert_eq!(traced.finds, plain.finds, "p={p} y={y}");
+                assert_eq!(traced.augs, plain.augs, "p={p} y={y}");
+                assert_eq!(traced.stats, plain.stats, "p={p} y={y}");
+                assert_eq!(
+                    pram_t.steps(),
+                    pram.steps(),
+                    "traced replay must not change cost"
+                );
+                assert_eq!(pram_t.rounds(), pram.rounds());
+                assert!(
+                    shadow.finish(),
+                    "CREW violation at p={p} y={y}: {:?}",
+                    shadow.violations().first()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_search_is_the_erew_canary_for_p_above_one() {
+        use fc_pram::ShadowMem;
+        let st = build(12, 64_000, ParamMode::Auto, 409);
+        let tree = st.tree();
+        let mut rng = SmallRng::seed_from_u64(419);
+        let leaf = gen::random_leaf(tree, &mut rng);
+        let path = tree.path_from_root(leaf);
+
+        // p = 1: a single processor breaks no EREW rule.
+        let mut pram = Pram::new(1, Model::Crew);
+        let mut shadow = ShadowMem::new(Model::Erew);
+        coop_search_explicit_traced(&st, &path, 4321, &mut pram, &mut shadow);
+        assert!(shadow.finish(), "sequential search must be EREW-clean");
+
+        // p > 1: the cooperative root search shares the query cell — the
+        // canary violation the analyzer gate requires to be detectable.
+        let mut pram = Pram::new(1 << 20, Model::Crew);
+        let mut shadow = ShadowMem::new(Model::Erew);
+        let out = coop_search_explicit_traced(&st, &path, 4321, &mut pram, &mut shadow);
+        assert!(out.stats.used_h.is_some(), "hop path must engage");
+        assert!(!shadow.finish(), "CREW search must violate EREW");
+        let v = &shadow.violations()[0];
+        assert!(
+            v.phase.starts_with("search/"),
+            "blame must name a search phase, got {}",
+            v.phase
+        );
+        assert!(!v.pairs.is_empty());
+        let repro = shadow.repro().expect("first violation has a repro");
+        assert!(repro.pids.len() >= 2);
+        assert!(!repro.trace.is_empty());
     }
 
     #[test]

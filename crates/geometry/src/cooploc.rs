@@ -26,10 +26,11 @@ use fc_catalog::key::OrdF64;
 use fc_coop::implicit::Branch;
 use fc_coop::skeleton::NO_CHILD;
 use fc_pram::cost::Pram;
-use fc_pram::primitives::coop_lower_bound;
+use fc_pram::primitives::coop_lower_bound_traced;
+use fc_pram::shadow::{NoTrace, Tracer};
 
 /// Statistics from one cooperative point location.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoopLocateStats {
     /// Hops performed.
     pub hops: usize,
@@ -51,9 +52,49 @@ pub type CoopLocator = CoopLocateStats;
 /// Locate `(x, y)` cooperatively with the processor count carried by
 /// `pram`. Returns the 1-indexed region and the hop statistics.
 pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize, CoopLocateStats) {
+    locate_coop_traced(t, x, y, pram, &mut NoTrace)
+}
+
+/// [`locate_coop`] with every logical access reported to a [`Tracer`] on
+/// the CREW round structure of Section 3.1 (Figure 6):
+///
+/// * `loc/root` — traced cooperative root search (shared query-cell reads);
+/// * `loc/select` — skeleton-tree selection, `min(s, t)` processors sharing
+///   the hop cursor;
+/// * `loc/windows` — one processor per candidate window position at every
+///   unit node, unique winners publishing `find(y, ·)` to `("loc-g", 0)`;
+/// * `loc/discriminate` — one processor per unit node geometrically
+///   discriminating the query point (shared `("query-pt", 0)` read);
+/// * `loc/pairs` — one processor per pair of *active* nodes locating the
+///   unique `(σ_L, σ_R)` transition, the winners publishing the window and
+///   `max(e_L)`;
+/// * `loc/branch` — one processor per unit node recomputing its consistent
+///   branch (shared `("loc-maxel", 0)` read);
+/// * `loc/descend` — reading the path off the inorder transition (≤ 2
+///   readers per branch cell), the landing winner advancing the cursor;
+/// * `loc/tail` — single-processor strip-branch bridge walking.
+///
+/// Every write is exclusive — the paper's CREW claim for point location
+/// (Theorem 4). Results and `pram` charges are bit-identical to
+/// [`locate_coop`].
+pub fn locate_coop_traced<Tr: Tracer>(
+    t: &SeparatorTree,
+    x: f64,
+    y: f64,
+    pram: &mut Pram,
+    tr: &mut Tr,
+) -> (usize, CoopLocateStats) {
     let p = pram.processors();
     let Some(sub) = t.st.select(p) else {
         let (r, s) = crate::septree::locate_sequential(t, x, y, Some(pram));
+        if tr.live() {
+            // Single-processor fallback: one exclusive round standing in
+            // for the whole sequential walk (trivially conflict-free).
+            tr.phase("loc/seq");
+            tr.read(0, ("query-pt", 0), 0);
+            tr.write(0, ("res", 0), 0);
+            tr.barrier();
+        }
         return (
             r,
             CoopLocateStats {
@@ -67,6 +108,7 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
     let key = OrdF64::new(y);
     let fc = t.st.cascade();
     let tree = t.st.tree();
+    let slot_span = tree.max_degree() + 1;
     let f = t.sub.f as u32;
     let mut stats = CoopLocateStats {
         window: (0, f),
@@ -78,7 +120,21 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
     let mut max_el = 0u32;
 
     let mut node = tree.root();
-    let mut aug = coop_lower_bound(fc.keys(node), &key, pram);
+    tr.phase("loc/root");
+    let mut aug = coop_lower_bound_traced(
+        fc.keys(node),
+        &key,
+        pram,
+        tr,
+        ("aug", node.idx()),
+        ("query", 0),
+    );
+    if tr.live() {
+        // Hand the located position to the hop machinery.
+        tr.read(0, ("clb-cursor", node.idx()), 0);
+        tr.write(0, ("cursor", 0), 0);
+        tr.barrier();
+    }
 
     // Hops.
     while let NodeKind::Separator(_) = t.kind[node.idx()] {
@@ -94,7 +150,19 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
         // Skeleton tree selection (Step 2 of the explicit search).
         let tcat = fc.keys(node).len();
         let j = (aug / sub.sp.s).min(unit.m as usize - 1);
-        pram.round(sub.sp.s.min(tcat));
+        let k_sel = sub.sp.s.min(tcat);
+        if tr.live() {
+            tr.phase("loc/select");
+            for i in 0..k_sel {
+                tr.read(i, ("cursor", 0), 0);
+                tr.read(i, ("aug", node.idx()), (aug + i).min(tcat - 1));
+            }
+            let sel_cell = (j * sub.sp.s).min(tcat - 1);
+            let winner = sel_cell.saturating_sub(aug).min(k_sel - 1);
+            tr.write(winner, ("sel", 0), 0);
+            tr.barrier();
+        }
+        pram.round(k_sel);
 
         // Hop step 1: find(y, ·) at every unit node via its window.
         let zn = unit.nodes.len();
@@ -102,6 +170,14 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
         let mut g = vec![0usize; zn];
         g[0] = aug;
         let mut ops = 0usize;
+        if tr.live() {
+            // Processor 0 carries the root position over; one processor per
+            // candidate handles every other unit node's window.
+            tr.phase("loc/windows");
+            tr.read(0, ("cursor", 0), 0);
+            tr.write(0, ("loc-g", 0), 0);
+        }
+        let mut pid_base = 1usize;
         for z in 1..zn {
             let w = unit.nodes[z];
             let l = unit.level_of[z] as u32;
@@ -112,11 +188,33 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
             let hi = (k + q_w).min(len - 1);
             ops += hi - lo + 1;
             let gz = fc.find_aug(w, key);
+            if tr.live() {
+                // Shared reads of the query/selection/skeleton-key cells,
+                // ≤ 2 readers per catalog cell, unique winner per window.
+                let skel = ("skel", unit.root.idx());
+                for (off, c) in (lo..=hi).enumerate() {
+                    let pid = pid_base + off;
+                    tr.read(pid, ("query", 0), 0);
+                    tr.read(pid, ("sel", 0), 0);
+                    tr.read(pid, skel, j * zn + z);
+                    tr.read(pid, ("aug", w.idx()), c);
+                    if c > 0 {
+                        tr.read(pid, ("aug", w.idx()), c - 1);
+                    }
+                }
+                if (lo..=hi).contains(&gz) {
+                    tr.write(pid_base + (gz - lo), ("loc-g", 0), z);
+                }
+                pid_base += hi - lo + 1;
+            }
             if gz < lo || gz > hi {
                 stats.fallbacks += 1;
                 pram.seq((usize::BITS - len.leading_zeros()) as usize);
             }
             g[z] = gz;
+        }
+        if tr.live() {
+            tr.barrier();
         }
         pram.round(ops);
 
@@ -132,6 +230,21 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
             }
         }
         stats.active_nodes += activity.iter().flatten().count();
+        if tr.live() {
+            // Hop step 2 replay: processor z reads its node's located
+            // position and the shared query point, probes its separator's
+            // geometry when active, and publishes its activity record.
+            tr.phase("loc/discriminate");
+            for (z, entry) in activity.iter().enumerate() {
+                tr.read(z, ("loc-g", 0), z);
+                tr.read(z, ("query-pt", 0), 0);
+                if entry.is_some() {
+                    tr.read(z, ("geom", unit.nodes[z].idx()), 0);
+                }
+                tr.write(z, ("loc-act", 0), z);
+            }
+            tr.barrier();
+        }
         pram.round(zn);
 
         // Hop steps 3-4: the unique active pair around q (the paper
@@ -139,20 +252,53 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
         pram.round(zn * zn);
         let mut best_right: Option<(u32, u32)> = None; // (c, run_hi) of last right-branching active
         let mut first_left: Option<u32> = None;
-        for entry in activity.iter().flatten() {
-            let (c, e, b) = *entry;
+        let mut right_z: Option<usize> = None;
+        let mut left_z: Option<usize> = None;
+        for (z, entry) in activity.iter().enumerate() {
+            let Some((c, e, b)) = *entry else { continue };
             match b {
                 Branch::Right => {
                     if best_right.is_none_or(|(bc, _)| c > bc) {
                         best_right = Some((c, e.run_hi));
+                        right_z = Some(z);
                     }
                 }
                 Branch::Left => {
                     if first_left.is_none_or(|fc_| c < fc_) {
                         first_left = Some(c);
+                        left_z = Some(z);
                     }
                 }
             }
+        }
+        if tr.live() {
+            // Hop steps 3-4 replay over the *active* set: one processor per
+            // ordered pair reads both activity records (shared reads, CREW);
+            // the transition winners publish the window and max(e_L).
+            tr.phase("loc/pairs");
+            let act_zs: Vec<usize> = (0..zn).filter(|&z| activity[z].is_some()).collect();
+            let na = act_zs.len();
+            for (ai, &za) in act_zs.iter().enumerate() {
+                for (bi, &zb) in act_zs.iter().enumerate() {
+                    let pid = ai * na + bi;
+                    tr.read(pid, ("loc-act", 0), za);
+                    if zb != za {
+                        tr.read(pid, ("loc-act", 0), zb);
+                    }
+                }
+            }
+            if let Some(zr) = right_z {
+                if let Some(pos) = act_zs.iter().position(|&z| z == zr) {
+                    tr.write(pos * na + pos, ("loc-win", 0), 0);
+                    tr.write(pos * na + pos, ("loc-maxel", 0), 0);
+                }
+            }
+            if let Some(zl) = left_z {
+                if let Some(pos) = act_zs.iter().position(|&z| z == zl) {
+                    tr.write(pos * na + pos, ("loc-win", 0), 1);
+                }
+            }
+            tr.barrier();
         }
         if let Some((c, hi)) = best_right {
             stats.window.0 = c;
@@ -187,6 +333,17 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
                 }
             })
             .collect();
+        if tr.live() {
+            // Hop step 5 replay: processor z recomputes its node's branch
+            // from its activity record and the shared max(e_L) cell.
+            tr.phase("loc/branch");
+            for z in 0..zn {
+                tr.read(z, ("loc-act", 0), z);
+                tr.read(z, ("loc-maxel", 0), 0);
+                tr.write(z, ("loc-branch", 0), z);
+            }
+            tr.barrier();
+        }
         pram.round(zn);
         debug_assert!(
             {
@@ -217,6 +374,26 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
             node = unit.nodes[z];
             aug = g[z];
         }
+        if tr.live() {
+            // Hop step 6 replay: processor i reads the branches at inorder
+            // positions i and i+1 (≤ 2 readers per branch cell); the unique
+            // R→L transition owner lands the search, advancing the cursor.
+            tr.phase("loc/descend");
+            for i in 0..zn {
+                tr.read(i, ("loc-branch", 0), unit.inorder[i] as usize);
+                if let Some(&nxt) = unit.inorder.get(i + 1) {
+                    tr.read(i, ("loc-branch", 0), nxt as usize);
+                }
+            }
+            if z != 0 {
+                if let Some(wpos) = unit.inorder.iter().position(|&u| u as usize == z) {
+                    tr.read(wpos, ("loc-g", 0), z);
+                    tr.write(wpos, ("cursor", 0), 0);
+                    tr.write(wpos, ("loc-node", 0), 0);
+                }
+            }
+            tr.barrier();
+        }
         pram.seq(1);
         if z == 0 {
             break;
@@ -230,12 +407,32 @@ pub fn locate_coop(t: &SeparatorTree, x: f64, y: f64, pram: &mut Pram) -> (usize
             NodeKind::Separator(c) => {
                 stats.tail_nodes += 1;
                 let native = fc.native_result(node, aug).native_idx as usize;
-                let branch = match t.classify(node, native, y) {
+                let act = t.classify(node, native, y);
+                let branch = match act {
                     Activity::Active(_) => t.discriminate(c, x, y),
                     Activity::Inactive => t.strip_branch[node.idx()][t.sub.strip_of(y)],
                 };
                 let slot = branch.slot();
                 let (next, walked) = fc.descend(node, slot, aug, key);
+                if tr.live() {
+                    // Single-processor bridge step: geometry or strip-table
+                    // probe, bridge crossing, landing walk — all exclusive.
+                    tr.phase("loc/tail");
+                    tr.read(0, ("query-pt", 0), 0);
+                    tr.read(0, ("aug", node.idx()), aug);
+                    match act {
+                        Activity::Active(_) => tr.read(0, ("geom", node.idx()), 0),
+                        Activity::Inactive => tr.read(0, ("strip", node.idx()), t.sub.strip_of(y)),
+                    }
+                    tr.read(0, ("bridge", node.idx() * slot_span + slot), aug);
+                    let wchild = tree.children(node)[slot];
+                    for b in 0..=walked {
+                        tr.read(0, ("aug", wchild.idx()), next + b);
+                    }
+                    tr.write(0, ("res", 0), stats.tail_nodes);
+                    tr.write(0, ("cursor", 0), 0);
+                    tr.barrier();
+                }
                 pram.seq(2 + walked);
                 node = tree.children(node)[slot];
                 aug = next;
@@ -407,6 +604,72 @@ mod tests {
                 assert_eq!(got, want, "vertex ({x}, {y})");
             }
         }
+    }
+
+    #[test]
+    fn traced_locate_matches_untraced_and_is_crew_clean() {
+        use fc_pram::ShadowMem;
+        let t = build(
+            211,
+            SubdivisionParams {
+                regions: 256,
+                strips: 24,
+                stick: 0.4,
+                detach: 0.4,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(212);
+        for p in [1usize, 256, 1 << 14, 1 << 20] {
+            for _ in 0..25 {
+                let (x, y) = t.sub.random_query(&mut rng);
+                let mut pram = Pram::new(p, Model::Crew);
+                let (plain_r, plain_s) = locate_coop(&t, x, y, &mut pram);
+                let mut pram_t = Pram::new(p, Model::Crew);
+                let mut shadow = ShadowMem::new(Model::Crew);
+                let (traced_r, traced_s) = locate_coop_traced(&t, x, y, &mut pram_t, &mut shadow);
+                assert_eq!(traced_r, plain_r, "p {p} q ({x}, {y})");
+                assert_eq!(traced_s, plain_s, "p {p} q ({x}, {y})");
+                assert_eq!(pram_t.steps(), pram.steps(), "replay must not change cost");
+                assert_eq!(pram_t.rounds(), pram.rounds());
+                assert!(
+                    shadow.finish(),
+                    "CREW violation at p {p} q ({x}, {y}): {:?}",
+                    shadow.violations().first()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_locate_violates_erew_when_cooperative() {
+        use fc_pram::ShadowMem;
+        let t = build(
+            223,
+            SubdivisionParams {
+                regions: 4096,
+                strips: 48,
+                stick: 0.35,
+                detach: 0.45,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(224);
+        let mut saw_violation = false;
+        for _ in 0..10 {
+            let (x, y) = t.sub.random_query(&mut rng);
+            let mut pram = Pram::new(1 << 22, Model::Crew);
+            let mut shadow = ShadowMem::new(Model::Erew);
+            let (_, stats) = locate_coop_traced(&t, x, y, &mut pram, &mut shadow);
+            if stats.hops > 0 && !shadow.finish() {
+                let v = &shadow.violations()[0];
+                assert!(v.phase.starts_with("loc/"), "blame phase {}", v.phase);
+                saw_violation = true;
+                break;
+            }
+        }
+        assert!(
+            saw_violation,
+            "cooperative location must trip EREW checking"
+        );
     }
 
     #[test]

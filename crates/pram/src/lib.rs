@@ -29,11 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod conflict;
 pub mod cost;
 pub mod exec;
 pub mod listrank;
 pub mod primitives;
+pub mod shadow;
 pub mod traced;
 
 pub use cost::{Model, Pram, PramReport};
-pub use primitives::{coop_lower_bound, lower_bound};
+pub use primitives::{coop_lower_bound, coop_lower_bound_traced, lower_bound};
+pub use shadow::{NoTrace, PhaseStats, Region, ShadowMem, ShadowViolation, Tracer};

@@ -15,6 +15,7 @@
 //! in this reproduction — noted in DESIGN.md's dependency table).
 
 use crate::cost::Pram;
+use crate::shadow::Tracer;
 
 /// Rank every element of a successor-linked list: `rank[i]` = number of
 /// links from `i` to the terminal (the element with `next[i] == i`).
@@ -45,6 +46,161 @@ pub fn list_rank(next: &[usize], pram: &mut Pram) -> Vec<u64> {
             nxt[i] = prev_next[prev_next[i]];
         }
         pram.round(n);
+        if !changed {
+            break;
+        }
+    }
+    rank
+}
+
+/// Sentinel for "pointer has reached a terminal" in the EREW schedule.
+const NIL: usize = usize::MAX;
+
+/// EREW-faithful list ranking under an access tracer.
+///
+/// Same result as [`list_rank`], but executed on the genuinely exclusive
+/// schedule the EREW claim needs, with every access reported to `tr`:
+///
+/// * terminal pointers use a NIL convention instead of self-loops, and a
+///   node whose pointer reaches NIL deactivates — so the in-degree of every
+///   *active* pointer stays ≤ 1 (the classical invariant of Wyllie jumping
+///   on a successor list), and no cell ever collects concurrent readers;
+/// * each jump is two sub-rounds: a **publish** round where node `j` copies
+///   its own `(ptr, rank)` into a publish buffer, and a **jump** round where
+///   `j`'s unique predecessor reads the published copies — owner and
+///   predecessor never touch the same cell in the same round.
+///
+/// Logical regions: `("lr-ptr", 0)`, `("lr-rank", 0)` (own state) and
+/// `("lr-pub-ptr", 0)`, `("lr-pub-rank", 0)` (the publish buffer).
+pub fn list_rank_traced<Tr: Tracer>(next: &[usize], pram: &mut Pram, tr: &mut Tr) -> Vec<u64> {
+    let n = next.len();
+    let ptr_r = ("lr-ptr", 0);
+    let rank_r = ("lr-rank", 0);
+    let pub_ptr_r = ("lr-pub-ptr", 0);
+    let pub_rank_r = ("lr-pub-rank", 0);
+
+    // Init round: each node reads its own input link and writes its own
+    // state — exclusive by construction.
+    tr.phase("listrank/init");
+    let mut ptr = vec![NIL; n];
+    let mut rank = vec![0u64; n];
+    for (i, &nx) in next.iter().enumerate() {
+        assert!(nx < n, "successor out of range");
+        if tr.live() {
+            tr.read(i, ("lr-input", 0), i);
+            tr.write(i, ptr_r, i);
+            tr.write(i, rank_r, i);
+        }
+        if nx != i {
+            rank[i] = 1;
+            // Pointing at a terminal deactivates immediately: the terminal's
+            // cells are never read, so converging pointers cannot collide.
+            ptr[i] = if next[nx] == nx { NIL } else { nx };
+        }
+    }
+    pram.round(n);
+    tr.barrier();
+
+    let mut pub_ptr = vec![NIL; n];
+    let mut pub_rank = vec![0u64; n];
+    loop {
+        let active: Vec<usize> = (0..n).filter(|&i| ptr[i] != NIL).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Publish: every node copies its own state into the buffer — a
+        // deactivated node cannot know whether a predecessor still needs
+        // its (final) rank, so all n publish. Own-cell reads and writes
+        // only: exclusive by construction.
+        tr.phase("listrank/publish");
+        for j in 0..n {
+            if tr.live() {
+                tr.read(j, ptr_r, j);
+                tr.read(j, rank_r, j);
+                tr.write(j, pub_ptr_r, j);
+                tr.write(j, pub_rank_r, j);
+            }
+            pub_ptr[j] = ptr[j];
+            pub_rank[j] = rank[j];
+        }
+        pram.round(n);
+        tr.barrier();
+        // Jump: node i reads its unique successor's published copies.
+        tr.phase("listrank/jump");
+        for &i in &active {
+            let j = ptr[i];
+            if tr.live() {
+                tr.read(i, ptr_r, i);
+                tr.read(i, rank_r, i);
+                tr.read(i, pub_ptr_r, j);
+                tr.read(i, pub_rank_r, j);
+                tr.write(i, ptr_r, i);
+                tr.write(i, rank_r, i);
+            }
+            rank[i] += pub_rank[j];
+            ptr[i] = pub_ptr[j];
+        }
+        pram.round(active.len());
+        tr.barrier();
+    }
+    rank
+}
+
+/// The *naive* traced replay of [`list_rank`]: node `i` reads its
+/// successor's live cells directly (no publish buffer, terminals kept as
+/// self-loops, no deactivation). This is the discipline analyzer's seeded
+/// fault: once pointers converge on a terminal, its cells collect many
+/// concurrent readers, so an EREW check must report violations — while the
+/// returned ranks still match [`list_rank`] exactly.
+pub fn list_rank_naive_traced<Tr: Tracer>(
+    next: &[usize],
+    pram: &mut Pram,
+    tr: &mut Tr,
+) -> Vec<u64> {
+    let n = next.len();
+    let ptr_r = ("lr-ptr", 0);
+    let rank_r = ("lr-rank", 0);
+    let mut nxt = next.to_vec();
+    let mut rank = vec![0u64; n];
+    tr.phase("listrank-naive/init");
+    for (i, &nx) in next.iter().enumerate() {
+        assert!(nx < n, "successor out of range");
+        if nx != i {
+            rank[i] = 1;
+        }
+        if tr.live() {
+            tr.write(i, ptr_r, i);
+            tr.write(i, rank_r, i);
+        }
+    }
+    pram.round(n);
+    tr.barrier();
+    tr.phase("listrank-naive/jump");
+    loop {
+        let mut changed = false;
+        let prev_rank = rank.clone();
+        let prev_next = nxt.clone();
+        for i in 0..n {
+            let j = prev_next[i];
+            if tr.live() {
+                tr.read(i, ptr_r, i);
+                tr.read(i, rank_r, i);
+                // Direct read of the successor's live cells — the owner of
+                // `j` reads/writes them too, and converged pointers share
+                // one `j`: illegal under EREW.
+                tr.read(i, ptr_r, j);
+                tr.read(i, rank_r, j);
+                tr.write(i, ptr_r, i);
+                tr.write(i, rank_r, i);
+            }
+            if j != prev_next[j] || j != nxt[i] {
+                changed = true;
+            }
+            rank[i] = prev_rank[i] + prev_rank[j];
+            nxt[i] = prev_next[j];
+        }
+        pram.round(n);
+        tr.barrier();
         if !changed {
             break;
         }
@@ -207,6 +363,42 @@ mod tests {
         let mut pram = Pram::new(8, Model::Erew);
         let rank = list_rank(&next, &mut pram);
         assert_eq!(rank, vec![1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn traced_rank_matches_untraced_and_is_erew_clean() {
+        use crate::shadow::ShadowMem;
+        // A chain, a forest, and a single node.
+        for next in [
+            vec![1usize, 2, 3, 3],
+            vec![1, 1, 3, 4, 4],
+            vec![0],
+            (0..257).map(|i| (i + 1).min(256)).collect::<Vec<_>>(),
+        ] {
+            let mut p1 = Pram::new(next.len(), Model::Erew);
+            let expect = list_rank(&next, &mut p1);
+            let mut p2 = Pram::new(next.len(), Model::Erew);
+            let mut sh = ShadowMem::new(Model::Erew);
+            let got = list_rank_traced(&next, &mut p2, &mut sh);
+            assert_eq!(got, expect);
+            assert!(sh.finish(), "violations: {:?}", sh.violations());
+        }
+    }
+
+    #[test]
+    fn naive_rank_matches_but_violates_erew() {
+        use crate::shadow::ShadowMem;
+        let next: Vec<usize> = (0..64).map(|i| (i + 1).min(63)).collect();
+        let mut p1 = Pram::new(64, Model::Erew);
+        let expect = list_rank(&next, &mut p1);
+        let mut p2 = Pram::new(64, Model::Erew);
+        let mut sh = ShadowMem::new(Model::Erew);
+        let got = list_rank_naive_traced(&next, &mut p2, &mut sh);
+        assert_eq!(got, expect, "naive replay must still compute ranks");
+        assert!(!sh.finish(), "converged terminal reads must be flagged");
+        let v = &sh.violations()[0];
+        assert_eq!(v.phase, "listrank-naive/jump");
+        assert!(!v.pairs.is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! rayon implementation for wall-clock benchmarks.
 
 use crate::cost::Pram;
+use crate::shadow::{NoTrace, Region, Tracer};
 use rayon::prelude::*;
 
 /// Smallest index `i` such that `slice[i] >= y`, or `slice.len()` if none —
@@ -38,20 +39,61 @@ pub fn lower_bound<K: Ord>(slice: &[K], y: &K) -> usize {
 /// The returned index is identical to [`lower_bound`]; `pram` is charged
 /// one `p`-op round per iteration.
 pub fn coop_lower_bound<K: Ord>(slice: &[K], y: &K, pram: &mut Pram) -> usize {
+    coop_lower_bound_traced(slice, y, pram, &mut NoTrace, ("arr", 0), ("query", 0))
+}
+
+/// [`coop_lower_bound`] with every logical access reported to a [`Tracer`].
+///
+/// `arr` names the sorted array's region (cell `i` = `slice[i]`) and
+/// `query` the shared query-key cell (`query[0]`). The replay uses the CREW
+/// round structure of Snir's scheme:
+///
+/// * **probe round** — all `k` processors read the shared query key and
+///   range cursor (concurrent reads: legal under CREW, the canary under
+///   EREW) plus one distinct pivot each, then write a private verdict cell;
+/// * **combine round** — each processor reads its own and its right
+///   neighbour's verdict (≤ 2 readers per cell), and the unique boundary
+///   processor publishes the narrowed range to the cursor cell
+///   (`("clb-cursor", arr_instance)`) — an exclusive write.
+///
+/// Monomorphizes to exactly the untraced search with [`NoTrace`]; `pram`
+/// charges are identical either way.
+pub fn coop_lower_bound_traced<K: Ord, Tr: Tracer>(
+    slice: &[K],
+    y: &K,
+    pram: &mut Pram,
+    tr: &mut Tr,
+    arr: Region,
+    query: Region,
+) -> usize {
     let p = pram.processors();
+    let scratch = ("clb-scratch", arr.1);
+    let cursor = ("clb-cursor", arr.1);
+    let mut first = true;
     let mut lo = 0usize; // invariant: all indices < lo have slice[i] < y
     let mut hi = slice.len(); // invariant: all indices >= hi have slice[i] >= y
     while lo < hi {
         let len = hi - lo;
         if p == 1 {
-            // Degenerates to ordinary binary search, one probe per round.
+            // Degenerates to ordinary binary search, one probe per round —
+            // a single processor is trivially exclusive.
             let mid = lo + len / 2;
+            if tr.live() {
+                if !first {
+                    tr.read(0, cursor, 0);
+                }
+                tr.read(0, query, 0);
+                tr.read(0, arr, mid);
+                tr.write(0, cursor, 0);
+                tr.barrier();
+            }
             pram.round(1);
             if slice[mid] < *y {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
+            first = false;
             continue;
         }
         // k = min(p, len) processors probe the first element of each of k
@@ -60,6 +102,32 @@ pub fn coop_lower_bound<K: Ord>(slice: &[K], y: &K, pram: &mut Pram) -> usize {
         // PRAM locates the boundary between "< y" and ">= y" pivots in O(1),
         // narrowing the range to one segment of length <= ceil(len / k).
         let k = p.min(len);
+        if tr.live() {
+            for j in 0..k {
+                if !first {
+                    tr.read(j, cursor, 0);
+                }
+                tr.read(j, query, 0);
+                tr.read(j, arr, lo + (len * j) / k);
+                tr.write(j, scratch, j);
+            }
+            tr.barrier();
+            // Combine: neighbour reads plus the boundary processor's
+            // exclusive cursor write. O(1) CREW time, already covered by
+            // the single round charged below.
+            let mut boundary = 0usize;
+            for j in 0..k {
+                tr.read(j, scratch, j);
+                if j + 1 < k {
+                    tr.read(j, scratch, j + 1);
+                }
+                if slice[lo + (len * j) / k] < *y {
+                    boundary = j;
+                }
+            }
+            tr.write(boundary, cursor, 0);
+            tr.barrier();
+        }
         pram.round(k);
         let mut new_lo = lo;
         let mut new_hi = hi;
@@ -78,6 +146,7 @@ pub fn coop_lower_bound<K: Ord>(slice: &[K], y: &K, pram: &mut Pram) -> usize {
         debug_assert!(new_hi - new_lo < hi - lo, "range must shrink");
         lo = new_lo;
         hi = new_hi;
+        first = false;
     }
     lo
 }
@@ -296,6 +365,53 @@ mod tests {
         // log_2(65536) = 16 rounds vs log_257(65536) = 2 rounds.
         assert!(p1.rounds() >= 16);
         assert!(p256.rounds() <= 3, "rounds = {}", p256.rounds());
+    }
+
+    #[test]
+    fn traced_search_is_crew_clean_and_matches() {
+        use crate::shadow::ShadowMem;
+        let slice: Vec<i64> = (0..500).map(|i| i * 3).collect();
+        for p in [1, 4, 23, 512] {
+            for y in [-5, 0, 1, 750, 1497, 5000] {
+                let mut pram = Pram::new(p, Model::Crew);
+                let mut sh = ShadowMem::new(Model::Crew);
+                let got =
+                    coop_lower_bound_traced(&slice, &y, &mut pram, &mut sh, ("arr", 0), ("q", 0));
+                assert_eq!(got, lower_bound(&slice, &y), "p {p} y {y}");
+                assert!(sh.finish(), "p {p} y {y}: {:?}", sh.violations());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_search_violates_erew_when_cooperative() {
+        use crate::shadow::ShadowMem;
+        let slice: Vec<i64> = (0..500).collect();
+        // p > 1: the shared query-key read breaks EREW.
+        let mut pram = Pram::new(8, Model::Crew);
+        let mut sh = ShadowMem::new(Model::Erew);
+        coop_lower_bound_traced(&slice, &250, &mut pram, &mut sh, ("arr", 0), ("q", 0));
+        assert!(!sh.finish(), "shared query read must be flagged");
+        assert!(sh.violations().iter().any(|v| v.cell == ("q", 0, 0)));
+        // p == 1 is trivially exclusive.
+        let mut pram = Pram::new(1, Model::Crew);
+        let mut sh = ShadowMem::new(Model::Erew);
+        coop_lower_bound_traced(&slice, &250, &mut pram, &mut sh, ("arr", 0), ("q", 0));
+        assert!(sh.finish(), "{:?}", sh.violations());
+    }
+
+    #[test]
+    fn traced_search_charges_same_pram_cost() {
+        let slice: Vec<i64> = (0..(1 << 12)).collect();
+        for p in [1, 16, 256] {
+            let mut a = Pram::new(p, Model::Crew);
+            coop_lower_bound(&slice, &1234, &mut a);
+            let mut b = Pram::new(p, Model::Crew);
+            let mut sh = crate::shadow::ShadowMem::new(Model::Crew);
+            coop_lower_bound_traced(&slice, &1234, &mut b, &mut sh, ("arr", 0), ("q", 0));
+            assert_eq!(a.rounds(), b.rounds());
+            assert_eq!(a.steps(), b.steps());
+        }
     }
 
     #[test]

@@ -13,9 +13,18 @@
 //! a round observe the memory as it was at the start of the round; writes
 //! are buffered and committed when the round ends, exactly as on a
 //! synchronous PRAM.
+//!
+//! Conflict detection is shared with [`crate::shadow`] via
+//! [`crate::conflict::RoundLog`], which tracks the full pid *set* per cell:
+//! a cell read by pids {1, 2} and written by pid 2 is flagged as
+//! [`ConflictKind::ReadWrite`] with the offending pair `(1, 2)` — the old
+//! last-pid-wins bookkeeping masked exactly this case.
 
+use crate::conflict::{Conflict, RoundLog};
 use crate::cost::Model;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+pub use crate::conflict::ConflictKind;
 
 /// A single detected violation of an access discipline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,20 +35,10 @@ pub struct Violation {
     pub cell: usize,
     /// Description of the conflict.
     pub kind: ConflictKind,
-}
-
-/// The kind of access conflict detected within a single round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ConflictKind {
-    /// Two or more processors read the same cell (illegal under EREW).
-    ConcurrentRead,
-    /// Two or more processors wrote the same cell (illegal under EREW/CREW).
-    ConcurrentWrite,
-    /// A cell was both read and written in the same round (illegal under
-    /// EREW/CREW; a synchronous PRAM step has a read phase and a write
-    /// phase, so we flag read+write of one cell only when two *different*
-    /// processors touch it, which is the conflict the models forbid).
-    ReadWrite,
+    /// Every conflicting pid pair on this cell this round, sorted. For
+    /// [`ConflictKind::ReadWrite`] a pair is `(reader, writer)`; otherwise
+    /// `(lower pid, higher pid)`.
+    pub pairs: Vec<(usize, usize)>,
 }
 
 /// Shared memory of `T` cells with per-round access tracing.
@@ -65,6 +64,7 @@ pub struct TracedMem<T> {
     round: u64,
     violations: Vec<Violation>,
     dead: HashSet<usize>,
+    pending_kills: Vec<(u64, usize)>,
 }
 
 /// Per-processor handle used inside a round closure. All reads observe the
@@ -103,6 +103,7 @@ impl<T: Clone> TracedMem<T> {
             round: 0,
             violations: Vec::new(),
             dead: HashSet::new(),
+            pending_kills: Vec::new(),
         }
     }
 
@@ -112,6 +113,18 @@ impl<T: Clone> TracedMem<T> {
     /// that round-structured algorithms still commit a consistent state.
     pub fn kill(&mut self, pid: usize) {
         self.dead.insert(pid);
+    }
+
+    /// Schedule `pid` to die at the start of round `at_round` (0-based),
+    /// mirroring `Pram::schedule_failure`: the kill fires before the round
+    /// with that index runs, so resilience tests can assert discipline holds
+    /// in degraded mode, not just full-strength runs.
+    pub fn schedule_kill(&mut self, at_round: u64, pid: usize) {
+        if at_round <= self.round {
+            self.dead.insert(pid);
+        } else {
+            self.pending_kills.push((at_round, pid));
+        }
     }
 
     /// Pids marked dead so far (unordered).
@@ -128,10 +141,19 @@ impl<T: Clone> TracedMem<T> {
     where
         F: FnMut(usize, &mut ProcCtx<'_, T>),
     {
-        let mut read_count: HashMap<usize, usize> = HashMap::new();
-        let mut write_count: HashMap<usize, usize> = HashMap::new();
-        let mut readers: HashMap<usize, usize> = HashMap::new(); // cell -> a pid
-        let mut writers: HashMap<usize, usize> = HashMap::new();
+        // Fire scheduled failures whose round has come, as `Pram` does.
+        let now = self.round;
+        let dead = &mut self.dead;
+        self.pending_kills.retain(|&(at, pid)| {
+            if at <= now {
+                dead.insert(pid);
+                false
+            } else {
+                true
+            }
+        });
+
+        let mut log: RoundLog<usize> = RoundLog::new();
         let mut all_writes: Vec<(usize, usize, T)> = Vec::new(); // (pid, cell, value)
 
         for pid in 0..procs {
@@ -146,49 +168,21 @@ impl<T: Clone> TracedMem<T> {
             };
             body(pid, &mut ctx);
             for r in ctx.reads {
-                *read_count.entry(r).or_insert(0) += 1;
-                readers.insert(r, pid);
+                log.read(pid, r);
             }
             for (c, v) in ctx.writes {
-                *write_count.entry(c).or_insert(0) += 1;
-                writers.insert(c, pid);
+                log.write(pid, c);
                 all_writes.push((pid, c, v));
             }
         }
 
-        // Check discipline.
-        if self.model == Model::Erew {
-            for (&cell, &cnt) in &read_count {
-                if cnt > 1 {
-                    self.violations.push(Violation {
-                        round: self.round,
-                        cell,
-                        kind: ConflictKind::ConcurrentRead,
-                    });
-                }
-            }
-        }
-        if self.model != Model::Crcw {
-            for (&cell, &cnt) in &write_count {
-                if cnt > 1 {
-                    self.violations.push(Violation {
-                        round: self.round,
-                        cell,
-                        kind: ConflictKind::ConcurrentWrite,
-                    });
-                }
-            }
-            for (&cell, &wpid) in &writers {
-                if let Some(&rpid) = readers.get(&cell) {
-                    if rpid != wpid {
-                        self.violations.push(Violation {
-                            round: self.round,
-                            cell,
-                            kind: ConflictKind::ReadWrite,
-                        });
-                    }
-                }
-            }
+        for Conflict { cell, kind, pairs } in log.check(self.model) {
+            self.violations.push(Violation {
+                round: self.round,
+                cell,
+                kind,
+                pairs,
+            });
         }
 
         // Commit writes; highest pid wins on CRCW conflicts (arbitrary rule,
@@ -330,5 +324,54 @@ mod tests {
         assert_eq!(mem.violations()[0].round, 1);
         assert_eq!(mem.violations()[0].cell, 1);
         assert_eq!(mem.rounds(), 2);
+    }
+
+    #[test]
+    fn masked_read_write_conflict_is_detected() {
+        // Regression for the last-pid-wins masking bug: cell 0 read by
+        // pids 1 and 2 and written by pid 2. The old bookkeeping recorded
+        // reader = 2 == writer and reported nothing; pid 1's read conflicts
+        // with pid 2's write.
+        let mut mem = TracedMem::new(vec![0i64; 4], Model::Crew);
+        mem.round(3, |pid, ctx| {
+            if pid >= 1 {
+                let _ = ctx.read(0);
+            }
+            if pid == 2 {
+                ctx.write(0, 7);
+            }
+        });
+        let rw: Vec<&Violation> = mem
+            .violations()
+            .iter()
+            .filter(|v| v.kind == ConflictKind::ReadWrite)
+            .collect();
+        assert_eq!(rw.len(), 1, "{:?}", mem.violations());
+        assert_eq!(rw[0].cell, 0);
+        assert_eq!(rw[0].pairs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn all_conflicting_pairs_are_reported() {
+        let mut mem = TracedMem::new(vec![0i64; 1], Model::Erew);
+        mem.round(4, |_pid, ctx| {
+            let _ = ctx.read(0);
+        });
+        assert_eq!(mem.violations().len(), 1);
+        assert_eq!(
+            mem.violations()[0].pairs,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn scheduled_kill_fires_at_round() {
+        let mut mem = TracedMem::new(vec![0i64; 4], Model::Crew);
+        mem.schedule_kill(1, 3);
+        mem.round(4, |pid, ctx| ctx.write(pid, 1)); // round 0: all alive
+        mem.round(4, |pid, ctx| ctx.write(pid, 2)); // round 1: pid 3 dead
+        assert_eq!(mem.cells(), &[2, 2, 2, 1]);
+        assert_eq!(mem.dead_pids().collect::<Vec<_>>(), vec![3]);
+        assert!(mem.violations().is_empty());
     }
 }

@@ -158,17 +158,17 @@ pub fn audit<K: CatalogKey>(st: &CoopStructure<K>) -> BlameReport {
 
         // 1. Strict order.
         let mut sorted = true;
-        for i in 1..n {
-            if keys[i - 1] >= keys[i] {
+        for (i, (a, b)) in keys.iter().zip(keys.iter().skip(1)).enumerate() {
+            if a >= b {
                 findings.push(Blame::Catalog {
                     node: v.0,
-                    entry: i,
+                    entry: i + 1,
                 });
                 sorted = false;
             }
         }
         // 2. Terminal supremum.
-        if keys[n - 1] != K::SUPREMUM {
+        if keys.last() != Some(&K::SUPREMUM) {
             findings.push(Blame::Catalog {
                 node: v.0,
                 entry: n - 1,
@@ -190,7 +190,7 @@ pub fn audit<K: CatalogKey>(st: &CoopStructure<K>) -> BlameReport {
         //    sample. Neighbor catalogs may themselves be corrupt/unsorted,
         //    so fall back to linear scans when binary search is unsafe.
         let parent_keys = tree.parent(v).map(|p| fc.keys(p));
-        for (i, &k) in keys[..n - 1].iter().enumerate() {
+        for (i, &k) in keys.iter().take(n - 1).enumerate() {
             let mut found = native.binary_search(&k).is_ok();
             if !found {
                 for &c in tree.children(v) {
@@ -220,8 +220,8 @@ pub fn audit<K: CatalogKey>(st: &CoopStructure<K>) -> BlameReport {
                 entry: 0,
             });
         } else {
-            for (i, &stored) in aug.native_succ.iter().enumerate() {
-                let expect = native.partition_point(|x| *x < keys[i]) as u32;
+            for (i, (&stored, &key)) in aug.native_succ.iter().zip(keys.iter()).enumerate() {
+                let expect = native.partition_point(|x| *x < key) as u32;
                 if stored != expect {
                     findings.push(Blame::NativeSucc {
                         node: v.0,
@@ -251,8 +251,8 @@ pub fn audit<K: CatalogKey>(st: &CoopStructure<K>) -> BlameReport {
                 });
                 continue;
             }
-            for (i, &stored) in row.iter().enumerate() {
-                let expect = child_keys.partition_point(|x| *x < keys[i]) as u32;
+            for (i, (&stored, &key)) in row.iter().zip(keys.iter()).enumerate() {
+                let expect = child_keys.partition_point(|x| *x < key) as u32;
                 if stored != expect {
                     findings.push(Blame::Bridge {
                         node: v.0,
@@ -286,14 +286,14 @@ pub fn audit<K: CatalogKey>(st: &CoopStructure<K>) -> BlameReport {
                     findings.push(Blame::Skeleton { sub: si, unit: ui });
                     continue 'units;
                 }
-                for z in 0..zn {
+                for (z, (cps, &wz)) in unit.children_pos.iter().zip(unit.nodes.iter()).enumerate() {
                     let kz = unit.key(j, z) as usize;
-                    for (slot, &cpos) in unit.children_pos[z].iter().enumerate() {
+                    for (slot, &cpos) in cps.iter().enumerate() {
                         if cpos == fc_coop::skeleton::NO_CHILD {
                             continue;
                         }
                         let induced = fc
-                            .aug(unit.nodes[z])
+                            .aug(wz)
                             .bridges
                             .get(slot)
                             .and_then(|row| row.get(kz))

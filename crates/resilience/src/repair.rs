@@ -121,7 +121,9 @@ fn repair_round<K: CatalogKey>(
     // Phase 1: catalogs.
     let node_ids: Vec<fc_catalog::NodeId> = st.tree().ids().collect();
     for &nid in &catalog_nodes {
-        let id = node_ids[nid as usize];
+        let Some(&id) = node_ids.get(nid as usize) else {
+            continue;
+        };
         let native: Vec<K> = st.tree().catalog(id).to_vec();
         let fc = st.cascade_mut_for_fault_injection();
         let keys = &mut fc.aug_mut_for_fault_injection(id).keys;
@@ -129,15 +131,16 @@ fn repair_round<K: CatalogKey>(
 
         // 1a. Sort: a value transposition is undone exactly; otherwise a
         //     no-op on already-ordered keys.
-        if keys.windows(2).any(|w| w[0] > w[1]) {
+        if keys.iter().zip(keys.iter().skip(1)).any(|(a, b)| a > b) {
             keys.sort_unstable();
             touched += keys.len();
         }
         // 1b. Terminal supremum.
-        let n = keys.len();
-        if n > 0 && keys[n - 1] != K::SUPREMUM {
-            keys[n - 1] = K::SUPREMUM;
-            touched += 1;
+        if let Some(last) = keys.last_mut() {
+            if *last != K::SUPREMUM {
+                *last = K::SUPREMUM;
+                touched += 1;
+            }
         }
         // 1c. Missing native keys: place each into the order-compatible
         //     suspect slot (prefer a duplicate — the footprint a clobbered
@@ -154,8 +157,10 @@ fn repair_round<K: CatalogKey>(
             // (keys[i-1] < nv < keys[i] <= keys[i+1]), and when the entry
             // was clobbered to a copy of its successor, this restores the
             // original value exactly.
-            keys[i] = nv;
-            touched += 1;
+            if let Some(slot) = keys.get_mut(i) {
+                *slot = nv;
+                touched += 1;
+            }
         }
         if touched > 0 {
             stats.catalog_entries_fixed += touched;
@@ -170,7 +175,9 @@ fn repair_round<K: CatalogKey>(
     // Phase 2: rows — recompute native_succ and all bridge rows of every
     // flagged/touched node with the builder's exact walks.
     for &nid in &row_nodes {
-        let id = node_ids[nid as usize];
+        let Some(&id) = node_ids.get(nid as usize) else {
+            continue;
+        };
         let tree_keys: Vec<K> = {
             let fc = st.cascade();
             fc.keys(id).to_vec()
@@ -186,7 +193,7 @@ fn repair_round<K: CatalogKey>(
         let mut native_succ = Vec::with_capacity(n);
         let mut j = 0usize;
         for &k in &tree_keys {
-            while j < native.len() && native[j] < k {
+            while native.get(j).is_some_and(|&x| x < k) {
                 j += 1;
             }
             native_succ.push(j as u32);
@@ -196,7 +203,7 @@ fn repair_round<K: CatalogKey>(
             let mut bj = 0usize;
             let mut bv = Vec::with_capacity(n);
             for &k in &tree_keys {
-                while bj < child_keys.len() && child_keys[bj] < k {
+                while child_keys.get(bj).is_some_and(|&x| x < k) {
                     bj += 1;
                 }
                 bv.push((bj as u32).min(child_keys.len().saturating_sub(1) as u32));

@@ -1,0 +1,134 @@
+//! Property tests for the discipline analyzer: the *production* pipelined
+//! build and explicit cooperative search, replayed under shadow memory
+//! across randomized tree shapes and the paper's processor sweep
+//! p ∈ {1, √n, n}, must stay bit-identical to the untraced runs and free
+//! of EREW/CREW violations — and the canary configurations must be caught.
+
+use fc_analyze::replay::{
+    replay_build_level, replay_build_pipelined, replay_search, replay_search_degraded, TreeShape,
+};
+use fc_pram::Model;
+
+fn isqrt(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r.max(1)
+}
+
+fn shapes() -> Vec<TreeShape> {
+    let mut out = Vec::new();
+    for (i, &(height, total, heavy)) in [
+        (3u32, 220usize, None),
+        (4, 700, None),
+        (5, 1300, Some(0.7)),
+        (6, 2600, None),
+        (7, 5200, Some(0.9)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(TreeShape {
+            height,
+            total,
+            heavy,
+            seed: 0x5EED0 + i as u64,
+        });
+    }
+    out
+}
+
+#[test]
+fn pipelined_build_replays_erew_clean_across_random_shapes() {
+    for shape in shapes() {
+        let rep = replay_build_pipelined(shape, Model::Erew);
+        assert!(rep.matched, "{}: traced build diverged", rep.shape);
+        assert!(
+            rep.clean,
+            "{}: EREW violations in pipelined build: {:?}",
+            rep.shape, rep.blame
+        );
+    }
+}
+
+#[test]
+fn level_build_replays_erew_clean_across_random_shapes() {
+    for shape in shapes() {
+        let rep = replay_build_level(shape, Model::Erew);
+        assert!(rep.matched && rep.clean, "{}: {:?}", rep.shape, rep.blame);
+    }
+}
+
+#[test]
+fn explicit_search_replays_crew_clean_across_shapes_and_p() {
+    for shape in shapes() {
+        for p in [1, isqrt(shape.total), shape.total] {
+            let rep = replay_search(shape, p, Model::Crew, 6, true);
+            assert!(
+                rep.matched,
+                "{} p={p}: traced search diverged from untraced",
+                rep.shape
+            );
+            assert!(
+                rep.clean,
+                "{} p={p}: CREW violations: {:?}",
+                rep.shape, rep.blame
+            );
+        }
+    }
+}
+
+/// The hop machinery (Steps 2–4 of Theorem 1) only engages on deep trees
+/// at large p; that configuration must also replay CREW-clean, and the
+/// same run checked against EREW must be *detected* with full blame —
+/// otherwise the checker itself is broken.
+#[test]
+fn deep_search_is_crew_clean_and_an_erew_canary() {
+    let deep = TreeShape {
+        height: 12,
+        total: 1 << 16,
+        heavy: None,
+        seed: 0x5EEDD,
+    };
+    let clean = replay_search(deep, 1 << 20, Model::Crew, 3, true);
+    assert!(clean.matched && clean.clean, "{:?}", clean.blame);
+    assert!(
+        clean
+            .phases
+            .iter()
+            .any(|ph| ph.phase == "search/hop-windows"),
+        "deep configuration must engage the hop machinery"
+    );
+
+    let canary = replay_search(deep, 1 << 20, Model::Erew, 2, false);
+    assert!(canary.matched && !canary.clean);
+    let blame = canary.blame.expect("canary must carry blame");
+    assert!(
+        blame.phase.starts_with("search/"),
+        "phase = {}",
+        blame.phase
+    );
+    assert!(blame.pids.len() >= 2, "pids = {:?}", blame.pids);
+}
+
+/// Scheduled mid-run processor kills: dead pids' accesses are dropped from
+/// the shadow log, discipline stays clean, and results remain exact.
+#[test]
+fn degraded_search_stays_clean_with_scheduled_kills() {
+    let deep = TreeShape {
+        height: 12,
+        total: 1 << 16,
+        heavy: None,
+        seed: 0x5EEDE,
+    };
+    let rep = replay_search_degraded(deep, 1 << 18, 3);
+    assert!(
+        rep.matched,
+        "kills must drop accesses yet keep results exact"
+    );
+    assert!(rep.clean, "{:?}", rep.blame);
+}

@@ -4,7 +4,7 @@
 //! algorithm phases on the traced memory and assert the claimed discipline
 //! is respected.
 
-use fc_pram::traced::TracedMem;
+use fc_pram::traced::{ConflictKind, TracedMem};
 use fc_pram::Model;
 
 /// EREW parallel merge by rank computation: each of the n output slots is
@@ -121,4 +121,72 @@ fn crcw_linkout_round() {
     assert!(winner >= 0, "some non-empty range won the write");
     let (crew_violations, _) = run(Model::Crew);
     assert!(crew_violations > 0, "CREW must flag the concurrent write");
+}
+
+/// Regression for the last-pid-wins masking bug: a cell read by pids
+/// {0, 1} and then written by pid 1 is a read/write conflict against the
+/// *other* reader — the old bookkeeping kept only the most recent pid per
+/// cell, so pid 1's own read overwrote pid 0's and the conflict vanished.
+#[test]
+fn read_write_conflict_is_not_masked_by_a_later_same_pid_read() {
+    let mut mem = TracedMem::new(vec![0i64; 4], Model::Crew);
+    mem.round(2, |pid, ctx| {
+        let v = *ctx.read(0); // pid 0 reads, then pid 1 reads (masking setup)
+        if pid == 1 {
+            ctx.write(0, v + 1); // pid 1 also writes the cell
+        }
+    });
+    let v = mem.violations();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].kind, ConflictKind::ReadWrite);
+    assert!(
+        v[0].pairs.contains(&(0, 1)),
+        "the foreign reader/writer pair must be reported: {:?}",
+        v[0].pairs
+    );
+}
+
+/// All conflicting pairs on a cell are reported, not just one: four EREW
+/// readers of one cell yield all C(4,2) = 6 pairs.
+#[test]
+fn every_conflicting_pair_is_reported() {
+    let mut mem = TracedMem::new(vec![7i64; 2], Model::Erew);
+    mem.round(4, |_pid, ctx| {
+        let _ = *ctx.read(0);
+    });
+    let v = mem.violations();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].kind, ConflictKind::ConcurrentRead);
+    assert_eq!(
+        v[0].pairs,
+        vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    );
+}
+
+/// Scheduled kills fire at the start of the named round: the dead pid's
+/// body never runs, so a conflict it would have caused cannot appear, and
+/// surviving pids keep the discipline clean.
+#[test]
+fn scheduled_kill_prevents_the_dead_pid_conflict() {
+    let run = |kill: bool| {
+        let mut mem = TracedMem::new(vec![0i64; 4], Model::Erew);
+        if kill {
+            mem.schedule_kill(1, 1);
+        }
+        for _ in 0..2 {
+            // Round body: pids 0 and 1 both read cell 0 — an EREW conflict
+            // unless one of them is dead.
+            mem.round(2, |pid, ctx| {
+                let v = *ctx.read(0);
+                ctx.write(2 + pid, v);
+            });
+        }
+        mem.violations().len()
+    };
+    assert_eq!(run(false), 2, "both rounds conflict while pid 1 lives");
+    assert_eq!(
+        run(true),
+        1,
+        "after the round-1 kill only round 0 conflicts"
+    );
 }
