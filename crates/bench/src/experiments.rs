@@ -1397,6 +1397,140 @@ pub fn discipline() -> Table {
     t
 }
 
+/// E-serve — fc-serve under load: clean serving vs static faults vs
+/// dynamic-buffer faults vs processor-kill chaos, one fresh service per
+/// row. Every answer is verified against the sequential oracle on the
+/// generation that served it; the `wrong` column must stay 0.
+pub fn eserve() -> Table {
+    use fc_resilience::{Fault, FaultPlan, FaultSpec};
+    use fc_serve::{ServeConfig, Service};
+    use std::time::Duration;
+
+    #[derive(Clone, Copy)]
+    enum Chaos {
+        None,
+        Static,
+        Dynamic,
+        Kills,
+    }
+    let scenarios: [(&str, Chaos); 4] = [
+        ("clean", Chaos::None),
+        ("static faults", Chaos::Static),
+        ("dynamic faults", Chaos::Dynamic),
+        ("kill schedules", Chaos::Kills),
+    ];
+
+    let mut t = Table::new(
+        "E-serve (fc-serve): 400 verified queries per scenario, n = 3000, height 6, p = 2^10",
+        &[
+            "scenario",
+            "exact",
+            "degraded",
+            "typed errors",
+            "wrong",
+            "corruption det.",
+            "audits dirty",
+            "repairs",
+            "gens",
+        ],
+    );
+
+    for (row_seed, (name, chaos)) in scenarios.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(SEED + 60 + row_seed as u64);
+        let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            default_deadline: Duration::from_secs(30),
+            audit_interval: Duration::from_millis(10),
+            processors: 1 << 10,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(tree, ParamMode::Auto, cfg);
+        let leaves = svc.snapshot().st.tree().leaves();
+        let (mut exact, mut degraded, mut errors, mut wrong) = (0u64, 0u64, 0u64, 0u64);
+        for q in 0..400usize {
+            match chaos {
+                Chaos::Static if q % 100 == 50 => {
+                    svc.inject(&FaultSpec::one_of_each(), rng.gen());
+                }
+                Chaos::Dynamic if q % 100 == 50 => {
+                    svc.inject(&FaultSpec::one_of_each_dynamic(), rng.gen());
+                }
+                // A deterministic synchronous audit sweep partway through
+                // each injection window: buffer-only corruption never
+                // perturbs a query, so without this the background auditor
+                // may not wake before the (fast) scenario completes.
+                Chaos::Static | Chaos::Dynamic if q % 100 == 80 => {
+                    svc.audit_blocking();
+                }
+                Chaos::Kills if q % 40 == 20 => {
+                    svc.arm_kills(FaultPlan {
+                        seed: q as u64,
+                        faults: vec![Fault::KillProcessors {
+                            at_round: rng.gen_range(0..3),
+                            count: 1 << 9,
+                        }],
+                    });
+                }
+                _ => {}
+            }
+            if q % 25 == 10 {
+                let node =
+                    fc_catalog::NodeId(rng.gen_range(0..svc.snapshot().st.tree().len()) as u32);
+                svc.update(fc_coop::dynamic::UpdateOp::Insert(
+                    node,
+                    rng.gen_range(10_000_000..20_000_000i64),
+                ));
+            }
+            let leaf = leaves[rng.gen_range(0..leaves.len())];
+            let y = rng.gen_range(-5..20_000_005i64);
+            match svc.query_blocking(leaf, y, None) {
+                Ok(ok) => {
+                    let oracle: Vec<Option<i64>> = ok
+                        .path
+                        .iter()
+                        .map(|&node| {
+                            let cat = ok.gen.st.tree().catalog(node);
+                            cat.get(cat.partition_point(|k| *k < y)).copied()
+                        })
+                        .collect();
+                    if ok.answers == oracle {
+                        if ok.degraded {
+                            degraded += 1;
+                        } else {
+                            exact += 1;
+                        }
+                    } else {
+                        wrong += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        let stats = svc.shutdown();
+        assert_eq!(
+            wrong, 0,
+            "scenario `{name}` produced a silently wrong answer"
+        );
+        t.row(vec![
+            name.to_string(),
+            exact.to_string(),
+            degraded.to_string(),
+            errors.to_string(),
+            wrong.to_string(),
+            stats.corruption_detected.to_string(),
+            stats.audits_dirty.to_string(),
+            stats.repairs.to_string(),
+            stats.generations_published.to_string(),
+        ]);
+    }
+    t.note("every Ok answer is re-checked against the sequential oracle on the generation that served it (QueryOk::gen)");
+    t.note("faulted rows trade latency (degraded reads, retries, audits) for correctness — `wrong` stays 0 by contract");
+    t.note("kill schedules are absorbed by the search's surviving processors (wider per-processor windows), so they cost steps, not answers");
+    t
+}
+
 /// All experiments, in DESIGN.md order.
 pub fn all() -> Vec<(&'static str, fn() -> Table)> {
     vec![
@@ -1426,5 +1560,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("op3", op3),
         ("fault", efault),
         ("discipline", discipline),
+        ("serve", eserve),
     ]
 }

@@ -55,6 +55,10 @@ pub enum FcError {
     },
     /// Every processor was marked dead before the search completed.
     NoProcessors,
+    /// The search was cancelled cooperatively (deadline exceeded or an
+    /// explicit cancel) before it completed. Partial results are discarded;
+    /// the caller decides whether to retry, degrade, or surface a timeout.
+    Cancelled,
 }
 
 impl fmt::Display for FcError {
@@ -75,6 +79,7 @@ impl fmt::Display for FcError {
                 write!(f, "corrupt augmented catalog at node {node}, entry {entry}")
             }
             FcError::NoProcessors => write!(f, "all processors died before the search completed"),
+            FcError::Cancelled => write!(f, "search cancelled before completion"),
         }
     }
 }

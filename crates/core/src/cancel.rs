@@ -1,0 +1,110 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] combines an explicit cancel flag (shared, thread-safe)
+//! with an optional wall-clock deadline. Search loops poll it at descent
+//! granularity — once per hop and once per sequential tail step — so a
+//! cancelled query unwinds within `O(1)` descent steps instead of running
+//! to completion. Cancellation surfaces as [`FcError::Cancelled`], never as
+//! a partial or silently wrong answer.
+//!
+//! The deadline check calls [`Instant::now`] at most once per poll; with
+//! path lengths of `O(log n)` the overhead is a few dozen clock reads per
+//! query, which the serving layer (`fc-serve`) amortizes against its
+//! per-query bookkeeping anyway.
+
+use fc_catalog::FcError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation handle: explicit flag + optional deadline.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same flag, so a
+/// service can hand one clone to the worker running the query and keep one
+/// to cancel from the outside.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (cancel explicitly via
+    /// [`CancelToken::cancel`]).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token that fires `budget` from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self::with_deadline(Instant::now() + budget)
+    }
+
+    /// Request cancellation: every clone observes it on its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once the flag is set or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Poll helper for search loops: `Err(FcError::Cancelled)` once fired.
+    #[inline]
+    pub fn check(&self) -> Result<(), FcError> {
+        if self.is_cancelled() {
+            Err(FcError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(FcError::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

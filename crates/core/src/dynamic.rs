@@ -23,9 +23,78 @@
 use crate::explicit::coop_search_explicit;
 use crate::params::ParamMode;
 use crate::structure::CoopStructure;
-use fc_catalog::{CatalogKey, CatalogTree, NodeId};
+use fc_catalog::{invariants, CatalogKey, CatalogTree, NodeId};
 use fc_pram::cost::Pram;
 use std::collections::BTreeSet;
+
+/// One buffered update, for [`DynamicCoop::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp<K> {
+    /// Insert `key` into `node`'s catalog.
+    Insert(NodeId, K),
+    /// Delete `key` from `node`'s catalog.
+    Remove(NodeId, K),
+}
+
+/// Snapshot of the rebuild/generation counters, for the serving layer's
+/// epoch bookkeeping and the amortisation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Monotone generation id: bumped by exactly 1 on every rebuild. The
+    /// static structure returned by [`DynamicCoop::structure`] is the one
+    /// produced by generation `generation`.
+    pub generation: u64,
+    /// Total rebuilds performed (same as `generation`; kept for clarity).
+    pub rebuilds: u64,
+    /// Buffered changes drained into the logical catalogs by the most
+    /// recent rebuild.
+    pub last_drained: usize,
+    /// Buffered changes drained across all rebuilds.
+    pub total_drained: usize,
+    /// Changes buffered since the last rebuild.
+    pub pending: usize,
+    /// Rebuilds whose post-rebuild structural self-audit failed (must stay
+    /// 0 — a nonzero value means the rebuild itself produced an invalid
+    /// structure).
+    pub audit_failures: u64,
+}
+
+/// A buffer-consistency violation found by [`DynamicCoop::audit_buffers`].
+///
+/// The insert/delete buffers are *authoritative* state (like the native
+/// catalogs), but they obey invariants the update path maintains by
+/// construction; a violated invariant means the buffers were corrupted
+/// behind the API's back (fault injection, memory error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferBlame {
+    /// `ins[node]` contains a key that is already present in the static
+    /// catalog ([`DynamicCoop::insert`] never buffers such a key).
+    InsDuplicatesStatic {
+        /// Arena index of the node.
+        node: u32,
+    },
+    /// `del[node]` contains a key absent from the static catalog
+    /// ([`DynamicCoop::remove`] only buffers statically present keys).
+    DelPhantom {
+        /// Arena index of the node.
+        node: u32,
+    },
+    /// `ins[node]` and `del[node]` overlap (the update path always removes
+    /// from one before inserting into the other).
+    InsDelOverlap {
+        /// Arena index of the node.
+        node: u32,
+    },
+    /// The change counter is inconsistent with the buffer sizes: every
+    /// buffered op changes exactly one buffer element, so
+    /// `changes >= Σ|ins| + Σ|del|` and both sides have equal parity.
+    CounterMismatch {
+        /// The stored counter.
+        changes: usize,
+        /// Total buffered elements.
+        buffered: usize,
+    },
+}
 
 /// A dynamic wrapper over the cooperative structure.
 pub struct DynamicCoop<K: CatalogKey> {
@@ -39,6 +108,7 @@ pub struct DynamicCoop<K: CatalogKey> {
     rebuild_min: usize,
     /// Number of rebuilds performed (for the amortisation experiment).
     pub rebuilds: u64,
+    gen: GenStats,
 }
 
 impl<K: CatalogKey> DynamicCoop<K> {
@@ -57,6 +127,7 @@ impl<K: CatalogKey> DynamicCoop<K> {
             frac,
             rebuild_min: 64,
             rebuilds: 0,
+            gen: GenStats::default(),
         }
     }
 
@@ -70,14 +141,50 @@ impl<K: CatalogKey> DynamicCoop<K> {
         self.changes
     }
 
+    /// The buffered (not yet drained) insertions at `node`.
+    pub fn buffered_inserts(&self, node: NodeId) -> &BTreeSet<K> {
+        &self.ins[node.idx()]
+    }
+
+    /// The buffered (not yet drained) deletions at `node`.
+    pub fn buffered_deletes(&self, node: NodeId) -> &BTreeSet<K> {
+        &self.del[node.idx()]
+    }
+
     /// Insert `key` into `node`'s catalog. No-op if the key is already
     /// logically present.
     pub fn insert(&mut self, node: NodeId, key: K, pram: &mut Pram) {
+        self.buffer_insert(node, key, pram);
+        self.maybe_rebuild(pram);
+    }
+
+    /// Delete `key` from `node`'s catalog. No-op if absent.
+    pub fn remove(&mut self, node: NodeId, key: K, pram: &mut Pram) {
+        self.buffer_remove(node, key, pram);
+        self.maybe_rebuild(pram);
+    }
+
+    /// Apply a batch of updates **atomically with respect to rebuilds**: no
+    /// rebuild can fire while the batch is partially applied, so a rebuild
+    /// (and hence any generation published from it by the serving layer)
+    /// observes either none or all of the batch. The rebuild check runs
+    /// once, after the last op. Returns `true` if that check rebuilt.
+    pub fn apply_batch(&mut self, ops: &[UpdateOp<K>], pram: &mut Pram) -> bool {
+        for &op in ops {
+            match op {
+                UpdateOp::Insert(node, key) => self.buffer_insert(node, key, pram),
+                UpdateOp::Remove(node, key) => self.buffer_remove(node, key, pram),
+            }
+        }
+        self.maybe_rebuild(pram)
+    }
+
+    /// Buffer an insert without checking the rebuild threshold.
+    fn buffer_insert(&mut self, node: NodeId, key: K, pram: &mut Pram) {
         debug_assert!(key < K::SUPREMUM);
         pram.seq(1);
         if self.del[node.idx()].remove(&key) {
             self.changes += 1;
-            self.maybe_rebuild(pram);
             return;
         }
         if self.st.tree().catalog(node).binary_search(&key).is_ok() {
@@ -85,23 +192,20 @@ impl<K: CatalogKey> DynamicCoop<K> {
         }
         if self.ins[node.idx()].insert(key) {
             self.changes += 1;
-            self.maybe_rebuild(pram);
         }
     }
 
-    /// Delete `key` from `node`'s catalog. No-op if absent.
-    pub fn remove(&mut self, node: NodeId, key: K, pram: &mut Pram) {
+    /// Buffer a delete without checking the rebuild threshold.
+    fn buffer_remove(&mut self, node: NodeId, key: K, pram: &mut Pram) {
         pram.seq(1);
         if self.ins[node.idx()].remove(&key) {
             self.changes += 1;
-            self.maybe_rebuild(pram);
             return;
         }
         if self.st.tree().catalog(node).binary_search(&key).is_ok()
             && self.del[node.idx()].insert(key)
         {
             self.changes += 1;
-            self.maybe_rebuild(pram);
         }
     }
 
@@ -118,6 +222,11 @@ impl<K: CatalogKey> DynamicCoop<K> {
             .collect();
         out.extend(self.ins[node.idx()].iter().copied());
         out.sort_unstable();
+        // The logical catalog is a set; dedup also keeps a rebuild safe
+        // (no strict-order panic in the tree builder) when the insert
+        // buffer was corrupted with a statically present key and the
+        // rebuild fires before the corruption is audited and repaired.
+        out.dedup();
         out
     }
 
@@ -149,28 +258,112 @@ impl<K: CatalogKey> DynamicCoop<K> {
             .collect()
     }
 
-    fn maybe_rebuild(&mut self, pram: &mut Pram) {
+    fn maybe_rebuild(&mut self, pram: &mut Pram) -> bool {
         let n = self.st.tree().total_catalog_size();
         let threshold = self.rebuild_min.max((n as f64 * self.frac) as usize);
         if self.changes <= threshold {
-            return;
+            return false;
         }
+        self.force_rebuild(pram);
+        true
+    }
+
+    /// Rebuild the static structure from the logical catalogs now,
+    /// regardless of the buffered-change threshold: drain the insert/delete
+    /// buffers into the catalogs **atomically** (the buffers are read once,
+    /// under exclusive access, so no half-applied state is observable), then
+    /// re-assert structural cleanliness of the rebuilt cascade. The serving
+    /// layer calls this to cut a fresh generation on demand.
+    pub fn force_rebuild(&mut self, pram: &mut Pram) {
+        let drained = self.changes;
         // Rebuild from the logical catalogs.
         let tree = self.st.tree();
         let parents: Vec<Option<u32>> = tree.ids().map(|id| tree.parent(id).map(|p| p.0)).collect();
         let catalogs: Vec<Vec<K>> = tree.ids().map(|id| self.logical_catalog(id)).collect();
         let new_tree = CatalogTree::from_parents(parents, catalogs);
-        let new_n = new_tree.total_catalog_size();
         // Charge the parallel preprocessing cost (level-synchronous).
         let mut cost = pram.fork();
         self.st = CoopStructure::preprocess_cost(new_tree, self.mode, &mut cost);
         pram.join_max([cost]);
-        let _ = new_n;
         for s in self.ins.iter_mut().chain(self.del.iter_mut()) {
             s.clear();
         }
         self.changes = 0;
         self.rebuilds += 1;
+        self.gen.generation += 1;
+        self.gen.rebuilds = self.rebuilds;
+        self.gen.last_drained = drained;
+        self.gen.total_drained += drained;
+        // Post-rebuild self-audit: the freshly built cascade must satisfy
+        // every fractional-cascading invariant. A failure here is a builder
+        // bug, not user corruption — it is counted, never panicked on, so
+        // the serving layer can refuse to publish the bad generation.
+        if invariants::validate(&invariants::check_all(self.st.cascade())).is_err() {
+            self.gen.audit_failures += 1;
+        }
+    }
+
+    /// Rebuild/generation counters (see [`GenStats`]).
+    pub fn gen_stats(&self) -> GenStats {
+        GenStats {
+            pending: self.changes,
+            ..self.gen
+        }
+    }
+
+    /// Check the buffer invariants the update path maintains by
+    /// construction (see [`BufferBlame`]). A clean result is `Ok(())`; any
+    /// violation means the buffers were corrupted behind the API (fault
+    /// injection, memory error) and the next rebuild would bake the
+    /// corruption into the catalogs.
+    pub fn audit_buffers(&self) -> Result<(), Vec<BufferBlame>> {
+        let mut blames = Vec::new();
+        let mut buffered = 0usize;
+        for id in self.st.tree().ids() {
+            let i = id.idx();
+            let native = self.st.tree().catalog(id);
+            buffered += self.ins[i].len() + self.del[i].len();
+            if self.ins[i].iter().any(|k| native.binary_search(k).is_ok()) {
+                blames.push(BufferBlame::InsDuplicatesStatic { node: id.0 });
+            }
+            if self.del[i].iter().any(|k| native.binary_search(k).is_err()) {
+                blames.push(BufferBlame::DelPhantom { node: id.0 });
+            }
+            if self.ins[i].intersection(&self.del[i]).next().is_some() {
+                blames.push(BufferBlame::InsDelOverlap { node: id.0 });
+            }
+        }
+        if self.changes < buffered || !(self.changes - buffered).is_multiple_of(2) {
+            blames.push(BufferBlame::CounterMismatch {
+                changes: self.changes,
+                buffered,
+            });
+        }
+        if blames.is_empty() {
+            Ok(())
+        } else {
+            Err(blames)
+        }
+    }
+
+    /// Mutable insert/delete buffers and change counter — a fault-injection
+    /// hook for `fc-resilience` (buffer corruptions must be *detected* by
+    /// [`DynamicCoop::audit_buffers`], never silently baked into a rebuild).
+    /// Not part of the stable API.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn buffers_mut_for_fault_injection(
+        &mut self,
+    ) -> (&mut Vec<BTreeSet<K>>, &mut Vec<BTreeSet<K>>, &mut usize) {
+        (&mut self.ins, &mut self.del, &mut self.changes)
+    }
+
+    /// Mutable static structure — repair hook for the serving layer's
+    /// auditor (quarantine → repair → republish). Not part of the stable
+    /// API.
+    #[doc(hidden)]
+    pub fn structure_mut_for_repair(&mut self) -> &mut CoopStructure<K> {
+        &mut self.st
     }
 }
 
@@ -279,6 +472,109 @@ mod tests {
             per_update < 50.0,
             "amortised steps per update too high: {per_update}"
         );
+    }
+
+    #[test]
+    fn batch_apply_defers_rebuild_to_the_commit_point() {
+        let mut rng = SmallRng::seed_from_u64(811);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let node_count = dy.structure().tree().len() as u32;
+        // A batch big enough to cross the rebuild threshold several times
+        // over must still rebuild at most once — at the commit point — so a
+        // generation can never observe a half-applied batch.
+        let ops: Vec<UpdateOp<i64>> = (0..3000)
+            .map(|_| {
+                let node = NodeId(rng.gen_range(0..node_count));
+                let key = rng.gen_range(0..1_000_000i64);
+                if rng.gen_bool(0.7) {
+                    UpdateOp::Insert(node, key)
+                } else {
+                    UpdateOp::Remove(node, key)
+                }
+            })
+            .collect();
+        let before = dy.rebuilds;
+        let rebuilt = dy.apply_batch(&ops, &mut pram);
+        assert!(rebuilt, "3000 changes must cross the threshold");
+        assert_eq!(dy.rebuilds, before + 1, "exactly one rebuild, at commit");
+        assert_eq!(dy.pending_changes(), 0, "commit drained the buffers");
+        // The drained state matches replaying the same ops one by one.
+        let mut rng2 = SmallRng::seed_from_u64(811);
+        let tree2 = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng2);
+        let mut dy2 = DynamicCoop::new(tree2, ParamMode::Auto, 0.25);
+        let mut pram2 = Pram::new(1 << 12, Model::Crew);
+        for &op in &ops {
+            match op {
+                UpdateOp::Insert(n, k) => dy2.insert(n, k, &mut pram2),
+                UpdateOp::Remove(n, k) => dy2.remove(n, k, &mut pram2),
+            }
+        }
+        for id in dy.structure().tree().ids() {
+            assert_eq!(dy.logical_catalog(id), dy2.logical_catalog(id));
+        }
+    }
+
+    #[test]
+    fn every_rebuild_reaudits_clean_and_bumps_the_generation() {
+        let mut rng = SmallRng::seed_from_u64(813);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.1);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let node_count = dy.structure().tree().len() as u32;
+        for _ in 0..4000 {
+            let node = NodeId(rng.gen_range(0..node_count));
+            dy.insert(node, rng.gen_range(0..1_000_000i64), &mut pram);
+        }
+        let gs = dy.gen_stats();
+        assert!(gs.rebuilds >= 2);
+        assert_eq!(gs.generation, gs.rebuilds);
+        assert_eq!(gs.audit_failures, 0, "rebuilds must re-audit clean");
+        assert!(gs.total_drained > 0);
+        assert!(dy.audit_buffers().is_ok());
+    }
+
+    #[test]
+    fn force_rebuild_drains_pending_changes() {
+        let mut rng = SmallRng::seed_from_u64(815);
+        let tree = gen::balanced_binary(5, 800, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 100.0); // never auto-rebuild
+        let mut pram = Pram::new(64, Model::Crew);
+        let root = dy.structure().tree().root();
+        dy.insert(root, 123_456_789, &mut pram);
+        assert_eq!(dy.pending_changes(), 1);
+        dy.force_rebuild(&mut pram);
+        assert_eq!(dy.pending_changes(), 0);
+        assert_eq!(dy.gen_stats().last_drained, 1);
+        // Drained key is now in the static catalog.
+        assert!(dy
+            .structure()
+            .tree()
+            .catalog(root)
+            .binary_search(&123_456_789)
+            .is_ok());
+    }
+
+    #[test]
+    fn corrupted_buffers_are_blamed() {
+        let mut rng = SmallRng::seed_from_u64(817);
+        let tree = gen::balanced_binary(5, 800, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 100.0);
+        let mut pram = Pram::new(64, Model::Crew);
+        let root = dy.structure().tree().root();
+        dy.insert(root, 77_777_777, &mut pram);
+        assert!(dy.audit_buffers().is_ok());
+        // A statically present key smuggled into the insert buffer.
+        let stat = dy.structure().tree().catalog(root)[0];
+        {
+            let (ins, _, _) = dy.buffers_mut_for_fault_injection();
+            ins[root.idx()].insert(stat);
+        }
+        let blames = dy.audit_buffers().unwrap_err();
+        assert!(blames
+            .iter()
+            .any(|b| matches!(b, BufferBlame::InsDuplicatesStatic { node } if *node == root.0)));
     }
 
     #[test]

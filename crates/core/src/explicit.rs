@@ -21,6 +21,7 @@
 //! in [`SearchStats::fallbacks`] and repaired with a full binary search, so
 //! results are always exact.
 
+use crate::cancel::CancelToken;
 use crate::skeleton::NO_CHILD;
 use crate::structure::CoopStructure;
 use fc_catalog::cascade::Find;
@@ -78,7 +79,7 @@ pub fn coop_search_explicit<K: CatalogKey>(
     y: K,
     pram: &mut Pram,
 ) -> ExplicitSearchResult {
-    match search_explicit_inner(st, path, y, pram, false, &mut NoTrace) {
+    match search_explicit_inner(st, path, y, pram, false, None, &mut NoTrace) {
         Ok(out) => out,
         Err(e) => unreachable!("unchecked explicit search cannot fail: {e}"),
     }
@@ -110,7 +111,7 @@ pub fn coop_search_explicit_traced<K: CatalogKey, Tr: Tracer>(
     pram: &mut Pram,
     tr: &mut Tr,
 ) -> ExplicitSearchResult {
-    match search_explicit_inner(st, path, y, pram, false, tr) {
+    match search_explicit_inner(st, path, y, pram, false, None, tr) {
         Ok(out) => out,
         Err(e) => unreachable!("unchecked explicit search cannot fail: {e}"),
     }
@@ -134,7 +135,24 @@ pub fn coop_search_explicit_checked<K: CatalogKey>(
     y: K,
     pram: &mut Pram,
 ) -> Result<ExplicitSearchResult, FcError> {
-    search_explicit_inner(st, path, y, pram, true, &mut NoTrace)
+    search_explicit_inner(st, path, y, pram, true, None, &mut NoTrace)
+}
+
+/// [`coop_search_explicit_checked`] with cooperative cancellation: the
+/// token is polled once per descent step (root search, every hop, every
+/// sequential tail node), so a query whose deadline passes mid-search
+/// aborts within `O(1)` steps with [`FcError::Cancelled`] instead of
+/// running to completion. All structural guards of the checked search stay
+/// active — the result is never silently wrong, merely absent when
+/// cancelled. This is the entry point `fc-serve` drives.
+pub fn coop_search_explicit_cancellable<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    path: &[NodeId],
+    y: K,
+    pram: &mut Pram,
+    cancel: &CancelToken,
+) -> Result<ExplicitSearchResult, FcError> {
+    search_explicit_inner(st, path, y, pram, true, Some(cancel), &mut NoTrace)
 }
 
 /// Verify that `g` is a locally consistent lower-bound position for `y` in
@@ -157,10 +175,14 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
     y: K,
     pram: &mut Pram,
     checked: bool,
+    cancel: Option<&CancelToken>,
     tr: &mut Tr,
 ) -> Result<ExplicitSearchResult, FcError> {
     assert!(!path.is_empty(), "path must be nonempty");
     assert_eq!(path[0], st.tree().root(), "path must start at the root");
+    if let Some(c) = cancel {
+        c.check()?;
+    }
 
     let fc = st.cascade();
     let tree = st.tree();
@@ -204,6 +226,9 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
         }
         augs.push(aug);
         for (i, w) in path.windows(2).enumerate() {
+            if let Some(c) = cancel {
+                c.check()?;
+            }
             let slot = st.tree().child_slot(w[0], w[1]);
             let (next, walked) = if checked {
                 fc.checked_descend(w[0], slot, aug, y)?
@@ -270,6 +295,9 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
     // forest, so we walk sequentially until the levels line up again.
     let mut realigning = false;
     while pos + 1 < path.len() {
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         // Graceful degradation: processors may have died in the rounds just
         // charged. Re-read the machine size and re-Brent-schedule the rest
         // of the search onto the survivors.
@@ -440,6 +468,9 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
 
     // Step 5: sequential tail through the bridges.
     while pos + 1 < path.len() {
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         let v = path[pos];
         let w = path[pos + 1];
         let slot = tree.child_slot(v, w);

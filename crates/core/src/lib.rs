@@ -42,12 +42,17 @@
 //!   assumption (Section 2.3), with pluggable branch oracles.
 //! * [`general`] — long paths and degree-`d` trees (Section 2.4).
 //! * [`reach`] — `reach(c, U)` computation for the Figure 1/2 experiments.
+//! * [`cancel`] — cooperative cancellation tokens polled at descent steps
+//!   (deadline propagation for the `fc-serve` query service).
+//! * [`dynamic`] — buffered updates + global rebuilding (open problem 4),
+//!   with atomic batch drains and post-rebuild self-audit.
 
 #![warn(missing_docs)]
 // Explicit index loops mirror the one-processor-per-index PRAM semantics.
 #![allow(clippy::needless_range_loop)]
 
 pub mod batch;
+pub mod cancel;
 pub mod dynamic;
 pub mod explicit;
 pub mod general;
@@ -57,7 +62,11 @@ pub mod reach;
 pub mod skeleton;
 pub mod structure;
 
-pub use explicit::{coop_search_explicit, coop_search_explicit_checked, ExplicitSearchResult};
+pub use cancel::CancelToken;
+pub use explicit::{
+    coop_search_explicit, coop_search_explicit_cancellable, coop_search_explicit_checked,
+    ExplicitSearchResult,
+};
 pub use implicit::{coop_search_implicit, Branch, BranchOracle, ConsistentLeafOracle};
 pub use params::{CoopParams, ParamMode};
 pub use structure::CoopStructure;

@@ -24,8 +24,15 @@
 //! * [`Fault::KillProcessors`] schedules processor deaths on the [`Pram`]
 //!   at a chosen round ([`FaultPlan::arm`]); it corrupts no memory and is
 //!   exercised by the degraded-mode search instead of the audit.
+//! * [`Fault::InsBufferCorrupt`] / [`Fault::DelBufferCorrupt`] /
+//!   [`Fault::CounterBump`] corrupt the *dynamic* path — `DynamicCoop`'s
+//!   insert/delete buffers and rebuild-threshold counter — and each
+//!   provably violates a buffer invariant that
+//!   `DynamicCoop::audit_buffers` checks ([`FaultPlan::generate_dynamic`] /
+//!   [`FaultPlan::apply_dynamic`]).
 
 use fc_catalog::{CatalogKey, NodeId};
+use fc_coop::dynamic::DynamicCoop;
 use fc_coop::CoopStructure;
 use fc_pram::cost::Pram;
 use rand::rngs::SmallRng;
@@ -97,6 +104,29 @@ pub enum Fault {
         /// Processors to kill.
         count: usize,
     },
+    /// Dynamic path: smuggle the static catalog key of rank `rank` at
+    /// `node` into the insert buffer — violates the buffer invariant that
+    /// `ins` never duplicates static content, so
+    /// `DynamicCoop::audit_buffers` blames `InsDuplicatesStatic`.
+    InsBufferCorrupt {
+        /// Arena index of the node.
+        node: u32,
+        /// Rank of the duplicated key in the node's static catalog.
+        rank: u32,
+    },
+    /// Dynamic path: copy the `ins_rank`-th buffered insert of `node` into
+    /// the delete buffer — the key is not statically present, violating
+    /// both the `DelPhantom` and `InsDelOverlap` buffer invariants.
+    DelBufferCorrupt {
+        /// Arena index of the node.
+        node: u32,
+        /// Rank of the copied key in the node's insert buffer.
+        ins_rank: u32,
+    },
+    /// Dynamic path: bump the buffered-change counter by 1 — the counter's
+    /// parity no longer matches the buffer sizes (`CounterMismatch`), and
+    /// the rebuild threshold fires early or late.
+    CounterBump,
 }
 
 /// How many faults of each kind [`FaultPlan::generate`] should place.
@@ -114,12 +144,22 @@ pub struct FaultSpec {
     pub native_succ_perturbs: usize,
     /// Skeleton key perturbations.
     pub skeleton_perturbs: usize,
+    /// Insert-buffer corruptions (dynamic path;
+    /// [`FaultPlan::generate_dynamic`] only).
+    pub ins_buffer_corrupts: usize,
+    /// Delete-buffer corruptions (dynamic path;
+    /// [`FaultPlan::generate_dynamic`] only).
+    pub del_buffer_corrupts: usize,
+    /// Change-counter bumps (dynamic path;
+    /// [`FaultPlan::generate_dynamic`] only).
+    pub counter_bumps: usize,
     /// Processor-kill schedule: `(at_round, count)` pairs.
     pub kills: Vec<(u64, usize)>,
 }
 
 impl FaultSpec {
-    /// A spec with one fault of every structural kind (no kills).
+    /// A spec with one fault of every structural kind (no kills, no
+    /// dynamic-path faults).
     pub fn one_of_each() -> Self {
         FaultSpec {
             key_swaps: 1,
@@ -128,11 +168,24 @@ impl FaultSpec {
             bridge_perturbs: 1,
             native_succ_perturbs: 1,
             skeleton_perturbs: 1,
-            kills: Vec::new(),
+            ..FaultSpec::default()
         }
     }
 
-    /// Total number of memory-corrupting faults requested.
+    /// A spec with one fault of every dynamic-path kind (buffer and
+    /// counter corruption; no static-structure faults).
+    pub fn one_of_each_dynamic() -> Self {
+        FaultSpec {
+            ins_buffer_corrupts: 1,
+            del_buffer_corrupts: 1,
+            counter_bumps: 1,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Total number of memory-corrupting faults requested (static
+    /// structure only; dynamic-path faults are counted separately by
+    /// [`FaultSpec::dynamic_total`]).
     pub fn structural_total(&self) -> usize {
         self.key_swaps
             + self.key_clobbers
@@ -140,6 +193,11 @@ impl FaultSpec {
             + self.bridge_perturbs
             + self.native_succ_perturbs
             + self.skeleton_perturbs
+    }
+
+    /// Total number of dynamic-path (buffer/counter) faults requested.
+    pub fn dynamic_total(&self) -> usize {
+        self.ins_buffer_corrupts + self.del_buffer_corrupts + self.counter_bumps
     }
 }
 
@@ -305,6 +363,109 @@ impl FaultPlan {
         FaultPlan { seed, faults }
     }
 
+    /// Resolve `spec` against a *dynamic* structure: the static fault kinds
+    /// are drawn against the wrapped [`CoopStructure`] exactly as
+    /// [`FaultPlan::generate`] does, and the dynamic-path kinds
+    /// (`ins_buffer_corrupts` / `del_buffer_corrupts` / `counter_bumps`)
+    /// are drawn against the current insert/delete buffers. As with the
+    /// static generator, infeasible sites (e.g. a delete-buffer corruption
+    /// when no inserts are buffered anywhere) are dropped, and every
+    /// returned dynamic fault is guaranteed detectable by
+    /// [`DynamicCoop::audit_buffers`].
+    pub fn generate_dynamic<K: CatalogKey>(
+        dy: &DynamicCoop<K>,
+        spec: &FaultSpec,
+        seed: u64,
+    ) -> Self {
+        let mut plan = Self::generate(dy.structure(), spec, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1AA_0001);
+        let tree = dy.structure().tree();
+        let ids: Vec<NodeId> = tree.ids().collect();
+
+        for _ in 0..spec.ins_buffer_corrupts {
+            for _ in 0..SITE_ATTEMPTS {
+                let v = ids[rng.gen_range(0..ids.len())];
+                let native = tree.catalog(v);
+                if native.is_empty() {
+                    continue;
+                }
+                let rank = rng.gen_range(0..native.len());
+                plan.faults.push(Fault::InsBufferCorrupt {
+                    node: v.0,
+                    rank: rank as u32,
+                });
+                break;
+            }
+        }
+
+        for _ in 0..spec.del_buffer_corrupts {
+            // Needs a node with at least one buffered insert.
+            let candidates: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|&v| !dy.buffered_inserts(v).is_empty())
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let v = candidates[rng.gen_range(0..candidates.len())];
+            let n = dy.buffered_inserts(v).len();
+            plan.faults.push(Fault::DelBufferCorrupt {
+                node: v.0,
+                ins_rank: rng.gen_range(0..n) as u32,
+            });
+        }
+
+        for _ in 0..spec.counter_bumps {
+            plan.faults.push(Fault::CounterBump);
+        }
+
+        plan
+    }
+
+    /// Apply the plan to a dynamic structure: static faults go to the
+    /// wrapped [`CoopStructure`], dynamic faults to the buffers and change
+    /// counter. Out-of-date coordinates are skipped, as in
+    /// [`FaultPlan::apply`].
+    pub fn apply_dynamic<K: CatalogKey>(&self, dy: &mut DynamicCoop<K>) {
+        // Stale-coordinate lookups need the tree before the buffers are
+        // mutably borrowed.
+        let ids: Vec<NodeId> = dy.structure().tree().ids().collect();
+        let static_keys: Vec<Vec<K>> = ids
+            .iter()
+            .map(|&id| dy.structure().tree().catalog(id).to_vec())
+            .collect();
+        self.apply(dy.structure_mut_for_repair());
+        let (ins, del, changes) = dy.buffers_mut_for_fault_injection();
+        for &fault in &self.faults {
+            match fault {
+                Fault::InsBufferCorrupt { node, rank } => {
+                    let (Some(&id), Some(cat)) =
+                        (ids.get(node as usize), static_keys.get(node as usize))
+                    else {
+                        continue;
+                    };
+                    if let Some(&k) = cat.get(rank as usize) {
+                        ins[id.idx()].insert(k);
+                    }
+                }
+                Fault::DelBufferCorrupt { node, ins_rank } => {
+                    let Some(&id) = ids.get(node as usize) else {
+                        continue;
+                    };
+                    let key = ins[id.idx()].iter().nth(ins_rank as usize).copied();
+                    if let Some(k) = key {
+                        del[id.idx()].insert(k);
+                    }
+                }
+                Fault::CounterBump => {
+                    *changes += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Apply every structural fault to `st` (processor kills are armed with
     /// [`FaultPlan::arm`] instead). Out-of-date coordinates (e.g. a plan
     /// replayed against a different structure) are skipped rather than
@@ -393,7 +554,10 @@ impl FaultPlan {
                         *cell = new;
                     }
                 }
-                Fault::KillProcessors { .. } => {}
+                Fault::KillProcessors { .. }
+                | Fault::InsBufferCorrupt { .. }
+                | Fault::DelBufferCorrupt { .. }
+                | Fault::CounterBump => {}
             }
         }
     }
@@ -408,11 +572,34 @@ impl FaultPlan {
         }
     }
 
-    /// Number of memory-corrupting faults in the plan.
+    /// Number of static-structure memory-corrupting faults in the plan.
     pub fn structural_len(&self) -> usize {
         self.faults
             .iter()
-            .filter(|f| !matches!(f, Fault::KillProcessors { .. }))
+            .filter(|f| {
+                !matches!(
+                    f,
+                    Fault::KillProcessors { .. }
+                        | Fault::InsBufferCorrupt { .. }
+                        | Fault::DelBufferCorrupt { .. }
+                        | Fault::CounterBump
+                )
+            })
+            .count()
+    }
+
+    /// Number of dynamic-path (buffer/counter) faults in the plan.
+    pub fn dynamic_len(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    Fault::InsBufferCorrupt { .. }
+                        | Fault::DelBufferCorrupt { .. }
+                        | Fault::CounterBump
+                )
+            })
             .count()
     }
 }
@@ -456,6 +643,61 @@ mod tests {
                 "seed {seed}: plan {plan:?} escaped the audit"
             );
         }
+    }
+
+    #[test]
+    fn every_dynamic_fault_is_detected_by_the_buffer_audit() {
+        use fc_coop::ParamMode;
+        use fc_pram::{Model, Pram};
+        let mut rng = SmallRng::seed_from_u64(47);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 100.0); // no auto-rebuild
+        let mut pram = Pram::new(64, Model::Crew);
+        // Buffer some real churn so delete-buffer corruption has sites.
+        let node_count = dy.structure().tree().len() as u32;
+        for _ in 0..200 {
+            let node = fc_catalog::NodeId(rng.gen_range(0..node_count));
+            dy.insert(node, rng.gen_range(2_000_000..3_000_000i64), &mut pram);
+        }
+        assert!(dy.audit_buffers().is_ok());
+        for seed in 0..10u64 {
+            let spec = FaultSpec::one_of_each_dynamic();
+            let plan = FaultPlan::generate_dynamic(&dy, &spec, seed);
+            assert_eq!(plan.dynamic_len(), spec.dynamic_total(), "seed {seed}");
+            assert_eq!(plan.structural_len(), 0);
+            // Apply to a fresh copy of the buffers by replaying churn.
+            let mut rng2 = SmallRng::seed_from_u64(47);
+            let tree2 = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng2);
+            let mut dy2 = DynamicCoop::new(tree2, ParamMode::Auto, 100.0);
+            for _ in 0..200 {
+                let node = fc_catalog::NodeId(rng2.gen_range(0..node_count));
+                dy2.insert(node, rng2.gen_range(2_000_000..3_000_000i64), &mut pram);
+            }
+            plan.apply_dynamic(&mut dy2);
+            assert!(
+                dy2.audit_buffers().is_err(),
+                "seed {seed}: dynamic plan {plan:?} escaped the buffer audit"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_generation_also_places_static_faults() {
+        use fc_coop::ParamMode;
+        let mut rng = SmallRng::seed_from_u64(53);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 100.0);
+        let spec = FaultSpec {
+            bridge_perturbs: 1,
+            counter_bumps: 1,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate_dynamic(&dy, &spec, 9);
+        assert_eq!(plan.structural_len(), 1);
+        assert_eq!(plan.dynamic_len(), 1);
+        plan.apply_dynamic(&mut dy);
+        assert!(!audit(dy.structure()).is_clean());
+        assert!(dy.audit_buffers().is_err());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Retry backoff with decorrelated jitter.
+//!
+//! The classic "exponential backoff + full jitter" family; the
+//! *decorrelated* variant (`sleep = min(cap, uniform(base, 3·prev))`)
+//! spreads retries of competing clients apart even when they failed at the
+//! same instant, while still growing roughly geometrically. Deterministic
+//! per seed (vendored `SmallRng`), so chaos runs replay exactly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Decorrelated-jitter backoff state for one retry loop.
+#[derive(Debug)]
+pub struct DecorrelatedJitter {
+    base_ns: u64,
+    cap_ns: u64,
+    prev_ns: u64,
+    rng: SmallRng,
+}
+
+impl DecorrelatedJitter {
+    /// A backoff starting at `base` and never exceeding `cap` per sleep.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base_ns = base.as_nanos().min(u64::MAX as u128) as u64;
+        let cap_ns = cap.as_nanos().min(u64::MAX as u128) as u64;
+        let base_ns = base_ns.max(1);
+        DecorrelatedJitter {
+            base_ns,
+            cap_ns: cap_ns.max(base_ns),
+            prev_ns: base_ns,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next sleep duration: `min(cap, uniform(base, 3·prev))`.
+    pub fn next_delay(&mut self) -> Duration {
+        let hi = self
+            .prev_ns
+            .saturating_mul(3)
+            .max(self.base_ns + 1)
+            .min(self.cap_ns.max(self.base_ns + 1));
+        let d = self.rng.gen_range(self.base_ns..hi.max(self.base_ns + 1));
+        self.prev_ns = d.min(self.cap_ns);
+        Duration::from_nanos(self.prev_ns)
+    }
+
+    /// Forget the growth history (call after a success).
+    pub fn reset(&mut self) {
+        self.prev_ns = self.base_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_within_base_and_cap() {
+        let base = Duration::from_micros(50);
+        let cap = Duration::from_millis(2);
+        let mut b = DecorrelatedJitter::new(base, cap, 9);
+        for _ in 0..200 {
+            let d = b.next_delay();
+            assert!(d >= base, "{d:?} < base");
+            assert!(d <= cap, "{d:?} > cap");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_grows_on_average() {
+        let mk = |seed| {
+            let mut b =
+                DecorrelatedJitter::new(Duration::from_micros(10), Duration::from_millis(10), seed);
+            (0..10).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+        let seq = mk(3);
+        let early: Duration = seq.iter().take(3).sum();
+        let late: Duration = seq.iter().rev().take(3).sum();
+        assert!(late > early, "backoff should trend upward: {seq:?}");
+    }
+
+    #[test]
+    fn reset_restarts_from_base() {
+        let mut b =
+            DecorrelatedJitter::new(Duration::from_micros(10), Duration::from_millis(10), 4);
+        for _ in 0..8 {
+            b.next_delay();
+        }
+        b.reset();
+        // First post-reset delay is bounded by 3*base.
+        assert!(b.next_delay() <= Duration::from_micros(30));
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded admission queue with load shedding.
+//!
+//! Submission never blocks: a full queue *sheds* the query immediately
+//! ([`PushError::Full`]), on the theory that work which cannot start soon
+//! will miss its deadline anyway — better to fail fast at admission than to
+//! time out after consuming a worker. Workers block on [`AdmissionQueue::pop`]
+//! and drain remaining items after [`AdmissionQueue::close`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected (the item is handed back).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the item was shed.
+    Full(T),
+    /// The queue has been closed — the service is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue (mutex + condvar; contention is one lock per
+/// submit/pop, far below the cost of a cooperative search).
+pub struct AdmissionQueue<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `cap` pending items.
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Capacity (the shed threshold).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Pending items right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).q.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `item`, or shed it without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.q.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        inner.q.push_back(item);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Take the next item, blocking while the queue is open and empty.
+    /// After [`AdmissionQueue::close`], remaining items are still drained;
+    /// `None` means closed-and-empty (worker should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = inner.q.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, new pushes fail,
+    /// and blocked poppers wake up.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sheds_exactly_past_capacity() {
+        let q = AdmissionQueue::new(3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.try_push(4), Err(PushError::Full(4)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(4).is_ok());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = AdmissionQueue::new(8);
+        q.try_push(10).ok();
+        q.close();
+        assert_eq!(q.try_push(11), Err(PushError::Closed(11)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_popper_wakes_on_push_and_close() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..5 {
+            while q.try_push(i).is_err() {
+                thread::yield_now();
+            }
+        }
+        q.close();
+        let got = h.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

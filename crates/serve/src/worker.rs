@@ -1,0 +1,230 @@
+//! The query worker hot path.
+//!
+//! Everything a worker does between popping a job and sending its response
+//! lives here, and is written panic-free: a worker that unwinds would
+//! silently drop its queue share, so this module avoids `unwrap`/`expect`/
+//! `panic!` and direct indexing entirely (enforced by the `xtask lint`
+//! hot-path scope). Mutex poisoning is absorbed with `into_inner` — the
+//! protected values are plans/flags that stay valid across an unwinding
+//! peer.
+//!
+//! Per job: deadline gate → pin generation → quarantine gate (probe or
+//! degrade) → checked cooperative search with retry + decorrelated-jitter
+//! backoff → per-node answer verification against the native catalog →
+//! degraded fallback. Every exit is either a verified-correct answer or a
+//! typed [`ServeError`]; corruption detections wake the auditor.
+
+use crate::backoff::DecorrelatedJitter;
+use crate::error::ServeError;
+use crate::service::{Generation, Job, QueryOk, QueryResult, Shared};
+use fc_catalog::{CatalogKey, FcError, NodeId};
+use fc_coop::{coop_search_explicit_cancellable, CancelToken};
+use fc_pram::{Model, Pram};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Worker thread body: drain the admission queue until it closes.
+pub(crate) fn worker_loop<K: CatalogKey>(shared: Arc<Shared<K>>, slot: usize) {
+    let jitter_seed = shared
+        .cfg
+        .seed
+        .wrapping_add((slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut backoff =
+        DecorrelatedJitter::new(shared.cfg.backoff_base, shared.cfg.backoff_cap, jitter_seed);
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            leaf,
+            y,
+            deadline,
+            resp,
+        } = job;
+        let result = execute(&shared, slot, leaf, y, deadline, &mut backoff);
+        match &result {
+            Ok(ok) if ok.degraded => {
+                shared.stats.completed_degraded.fetch_add(1, SeqCst);
+            }
+            Ok(_) => {
+                shared.stats.completed_exact.fetch_add(1, SeqCst);
+            }
+            Err(ServeError::Timeout { .. }) => {
+                shared.stats.timeouts.fetch_add(1, SeqCst);
+            }
+            Err(ServeError::Quarantined { .. }) => {
+                shared.stats.quarantined_rejects.fetch_add(1, SeqCst);
+            }
+            Err(ServeError::Degraded { .. }) => {
+                shared.stats.structural_failures.fetch_add(1, SeqCst);
+            }
+            Err(_) => {}
+        }
+        // The client may have given up (dropped receiver): not an error.
+        let _ = resp.send(result);
+        backoff.reset();
+    }
+}
+
+fn execute<K: CatalogKey>(
+    shared: &Shared<K>,
+    slot: usize,
+    leaf: NodeId,
+    y: K,
+    deadline: Instant,
+    backoff: &mut DecorrelatedJitter,
+) -> QueryResult<K> {
+    if shared.shutdown.load(SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let cancel = CancelToken::with_deadline(deadline);
+    if cancel.is_cancelled() {
+        // Queued past its deadline: shed late rather than answer late.
+        return Err(timeout(deadline));
+    }
+    let mut gen = shared.epoch.load(slot);
+    let mut path = gen.st.tree().path_from_root(leaf);
+
+    if let Some(node) = shared.quarantine.quarantined_on_path(&path) {
+        if shared.quarantine.take_probe_ticket() {
+            shared.stats.probes.fetch_add(1, SeqCst);
+            match attempt(shared, &gen, &path, y, &cancel) {
+                Ok(answers) => {
+                    shared.quarantine.record_probe_success();
+                    return finish(gen, path, answers, false, 1);
+                }
+                Err(FcError::Cancelled) => return Err(timeout(deadline)),
+                Err(_) => {
+                    shared.stats.probe_failures.fetch_add(1, SeqCst);
+                    shared.quarantine.record_probe_failure();
+                    shared.request_audit();
+                }
+            }
+        }
+        if !shared.cfg.degraded_reads {
+            return Err(ServeError::Quarantined { node });
+        }
+        let answers = degraded_answers(&gen, &path, y, deadline, &cancel)?;
+        return finish(gen, path, answers, true, 1);
+    }
+
+    let mut attempts: u32 = 0;
+    let last_err;
+    loop {
+        attempts += 1;
+        match attempt(shared, &gen, &path, y, &cancel) {
+            Ok(answers) => return finish(gen, path, answers, false, attempts),
+            Err(FcError::Cancelled) => return Err(timeout(deadline)),
+            Err(e) => {
+                shared.stats.corruption_detected.fetch_add(1, SeqCst);
+                shared.request_audit();
+                if attempts > shared.cfg.retries {
+                    last_err = e;
+                    break;
+                }
+            }
+        }
+        shared.stats.retries.fetch_add(1, SeqCst);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(timeout(deadline));
+        }
+        thread::sleep(backoff.next_delay().min(remaining));
+        // A repair/rebuild may have republished meanwhile; retry against
+        // the freshest generation.
+        gen = shared.epoch.load(slot);
+        path = gen.st.tree().path_from_root(leaf);
+    }
+    if shared.cfg.degraded_reads {
+        let answers = degraded_answers(&gen, &path, y, deadline, &cancel)?;
+        finish(gen, path, answers, true, attempts)
+    } else {
+        Err(ServeError::Degraded {
+            error: last_err,
+            attempts,
+        })
+    }
+}
+
+/// One checked, cancellable cooperative search plus per-node answer
+/// verification. Any detected inconsistency — window overrun, bridge
+/// violation, or a verifier mismatch the checked search missed — comes
+/// back as a structural `Err`, never as a wrong answer.
+fn attempt<K: CatalogKey>(
+    shared: &Shared<K>,
+    gen: &Arc<Generation<K>>,
+    path: &[NodeId],
+    y: K,
+    cancel: &CancelToken,
+) -> Result<Vec<Option<K>>, FcError> {
+    let mut pram = Pram::new(shared.cfg.processors.max(1), Model::Crew);
+    let kills = {
+        let mut armed = shared.kill_plan.lock().unwrap_or_else(|p| p.into_inner());
+        armed.take()
+    };
+    if let Some(plan) = kills {
+        plan.arm(&mut pram);
+    }
+    let res = coop_search_explicit_cancellable(&gen.st, path, y, &mut pram, cancel)?;
+    let mut answers = Vec::with_capacity(path.len());
+    for (&node, find) in path.iter().zip(res.finds.iter()) {
+        let cat = gen.st.tree().catalog(node);
+        let ans = cat.get(find.native_idx as usize).copied();
+        if shared.cfg.verify_answers && !verify_one(cat, y, ans) {
+            return Err(FcError::CorruptCatalog {
+                node: node.0,
+                entry: find.native_idx as usize,
+            });
+        }
+        answers.push(ans);
+    }
+    Ok(answers)
+}
+
+/// The smallest native entry `>= y` must equal the reported answer — a
+/// binary-search check against the authoritative catalog.
+fn verify_one<K: CatalogKey>(cat: &[K], y: K, ans: Option<K>) -> bool {
+    cat.get(cat.partition_point(|k| *k < y)).copied() == ans
+}
+
+/// Degraded read: per-node binary search over the native catalogs, which
+/// the fault model treats as authoritative — correct on any generation,
+/// corrupted or not, at `O(path · log)` sequential cost.
+fn degraded_answers<K: CatalogKey>(
+    gen: &Generation<K>,
+    path: &[NodeId],
+    y: K,
+    deadline: Instant,
+    cancel: &CancelToken,
+) -> Result<Vec<Option<K>>, ServeError> {
+    let mut answers = Vec::with_capacity(path.len());
+    for &node in path {
+        if cancel.is_cancelled() {
+            return Err(timeout(deadline));
+        }
+        let cat = gen.st.tree().catalog(node);
+        answers.push(cat.get(cat.partition_point(|k| *k < y)).copied());
+    }
+    Ok(answers)
+}
+
+fn finish<K: CatalogKey>(
+    gen: Arc<Generation<K>>,
+    path: Vec<NodeId>,
+    answers: Vec<Option<K>>,
+    degraded: bool,
+    attempts: u32,
+) -> QueryResult<K> {
+    Ok(QueryOk {
+        answers,
+        path,
+        gen,
+        degraded,
+        attempts,
+    })
+}
+
+fn timeout(deadline: Instant) -> ServeError {
+    ServeError::Timeout {
+        missed_by: Instant::now().saturating_duration_since(deadline),
+    }
+}

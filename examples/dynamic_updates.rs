@@ -69,5 +69,24 @@ fn main() {
             verified
         );
     }
-    println!("\nevery query matched the logical (post-update) catalogs exactly");
+    let gs = dy.gen_stats();
+    println!(
+        "\ngeneration stats: generation {}, {} rebuilds, {} changes drained \
+         total ({} by the last rebuild), {} still pending, {} post-rebuild \
+         audit failures",
+        gs.generation,
+        gs.rebuilds,
+        gs.total_drained,
+        gs.last_drained,
+        gs.pending,
+        gs.audit_failures
+    );
+    assert_eq!(gs.audit_failures, 0, "rebuilds must re-audit clean");
+    // Not every update survives to a drain: an insert annihilated by its
+    // own remove (or a no-op) buffers fewer net changes than updates made.
+    assert!(
+        gs.total_drained + gs.pending <= total_updates,
+        "drained + pending cannot exceed the updates applied"
+    );
+    println!("every query matched the logical (post-update) catalogs exactly");
 }

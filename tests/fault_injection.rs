@@ -6,10 +6,12 @@
 use fc_catalog::gen::{self, SizeDist};
 use fc_catalog::invariants;
 use fc_catalog::search::search_path_naive;
-use fc_catalog::CascadedTree;
+use fc_catalog::{CascadedTree, NodeId};
+use fc_coop::dynamic::{BufferBlame, DynamicCoop};
 use fc_coop::explicit::coop_search_explicit;
 use fc_coop::{CoopStructure, ParamMode};
 use fc_pram::{Model, Pram};
+use fc_resilience::{Fault, FaultPlan, FaultSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,4 +118,142 @@ fn corrupted_key_breaks_fanout_accounting() {
     }
     let report = invariants::check_all(&fc);
     assert!(invariants::validate(&report).is_err());
+}
+
+/// Build a dynamic structure with buffered churn (no auto-rebuild), so
+/// every dynamic fault kind has injection sites.
+fn churned_dynamic(seed: u64) -> (DynamicCoop<i64>, Pram) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tree = gen::balanced_binary(6, 2500, SizeDist::Uniform, &mut rng);
+    let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 1000.0);
+    let mut pram = Pram::new(1 << 10, Model::Crew);
+    let node_count = dy.structure().tree().len() as u32;
+    for _ in 0..300 {
+        let node = NodeId(rng.gen_range(0..node_count));
+        if rng.gen_bool(0.7) {
+            dy.insert(node, rng.gen_range(5_000_000..6_000_000i64), &mut pram);
+        } else {
+            let cat = dy.structure().tree().catalog(node);
+            if let Some(&k) = cat.first() {
+                dy.remove(node, k, &mut pram);
+            }
+        }
+    }
+    (dy, pram)
+}
+
+/// Every dynamic-path fault kind (insert-buffer smuggle, delete-buffer
+/// phantom, counter bump) is detected by the buffer audit, across seeds —
+/// the dynamic analogue of the static `every_structural_fault_is_detected`.
+#[test]
+fn dynamic_buffer_faults_are_detected_by_the_buffer_audit() {
+    for seed in 0..8u64 {
+        let (mut dy, _) = churned_dynamic(2101);
+        assert!(dy.audit_buffers().is_ok(), "clean before injection");
+        let spec = FaultSpec::one_of_each_dynamic();
+        let plan = FaultPlan::generate_dynamic(&dy, &spec, seed);
+        assert_eq!(plan.dynamic_len(), spec.dynamic_total(), "seed {seed}");
+        plan.apply_dynamic(&mut dy);
+        let blames = dy
+            .audit_buffers()
+            .expect_err("corrupted buffers must be blamed");
+        // Each injected kind leaves its characteristic blame.
+        for fault in &plan.faults {
+            let found = match *fault {
+                Fault::InsBufferCorrupt { node, .. } => blames.iter().any(
+                    |b| matches!(b, BufferBlame::InsDuplicatesStatic { node: n } if *n == node),
+                ),
+                Fault::DelBufferCorrupt { node, .. } => blames.iter().any(|b| {
+                    matches!(b, BufferBlame::DelPhantom { node: n } if *n == node)
+                        || matches!(b, BufferBlame::InsDelOverlap { node: n } if *n == node)
+                }),
+                Fault::CounterBump => blames
+                    .iter()
+                    .any(|b| matches!(b, BufferBlame::CounterMismatch { .. })),
+                _ => continue,
+            };
+            assert!(found, "seed {seed}: {fault:?} left no blame in {blames:?}");
+        }
+    }
+}
+
+/// A combined plan corrupts both layers of a `DynamicCoop`: the static
+/// audit flags the structure, the buffer audit flags the buffers, and the
+/// *dynamic search* on the corrupted structure is never silently wrong —
+/// the buffer corrections are applied over exact static answers, so with
+/// the static answer verified (or repaired) the logical answer matches the
+/// brute-force logical catalog.
+#[test]
+fn dynamic_search_after_buffer_repair_matches_logical_catalogs() {
+    let (mut dy, mut pram) = churned_dynamic(2103);
+    let spec = FaultSpec::one_of_each_dynamic();
+    let plan = FaultPlan::generate_dynamic(&dy, &spec, 5);
+    plan.apply_dynamic(&mut dy);
+    assert!(dy.audit_buffers().is_err());
+
+    // Repair = drop buffer entries that contradict the authoritative
+    // static catalogs (what fc-serve's auditor does), then re-audit.
+    let statics: Vec<Vec<i64>> = {
+        let tree = dy.structure().tree();
+        tree.ids().map(|id| tree.catalog(id).to_vec()).collect()
+    };
+    {
+        let (ins, del, changes) = dy.buffers_mut_for_fault_injection();
+        let mut buffered = 0usize;
+        for ((ins_v, del_v), cat) in ins.iter_mut().zip(del.iter_mut()).zip(&statics) {
+            ins_v.retain(|k| cat.binary_search(k).is_err());
+            del_v.retain(|k| cat.binary_search(k).is_ok());
+            let overlap: Vec<i64> = ins_v.intersection(del_v).copied().collect();
+            for k in &overlap {
+                del_v.remove(k);
+            }
+            buffered += ins_v.len() + del_v.len();
+        }
+        *changes = buffered;
+    }
+    assert!(dy.audit_buffers().is_ok(), "repair restores the invariants");
+
+    let mut rng = SmallRng::seed_from_u64(2104);
+    for _ in 0..50 {
+        let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
+        let path = dy.structure().tree().path_from_root(leaf);
+        let y = rng.gen_range(-5..6_000_005i64);
+        let got = dy.search(&path, y, &mut pram);
+        let expect: Vec<Option<i64>> = path
+            .iter()
+            .map(|&node| dy.logical_catalog(node).into_iter().find(|&k| k >= y))
+            .collect();
+        assert_eq!(got, expect);
+    }
+}
+
+/// A rebuild that fires while the insert buffer holds a smuggled
+/// statically-present key must not panic or bake a duplicate into the
+/// catalogs: the logical catalog is a set, and the post-rebuild self-audit
+/// stays clean.
+#[test]
+fn rebuild_with_corrupted_ins_buffer_stays_sound() {
+    let (mut dy, mut pram) = churned_dynamic(2105);
+    let plan = FaultPlan::generate_dynamic(
+        &dy,
+        &FaultSpec {
+            ins_buffer_corrupts: 2,
+            ..FaultSpec::default()
+        },
+        11,
+    );
+    plan.apply_dynamic(&mut dy);
+    assert!(dy.audit_buffers().is_err());
+    dy.force_rebuild(&mut pram);
+    let gs = dy.gen_stats();
+    assert_eq!(gs.audit_failures, 0, "rebuild must re-audit clean");
+    assert!(dy.audit_buffers().is_ok(), "buffers drained");
+    // No duplicate keys anywhere.
+    for id in dy.structure().tree().ids() {
+        let cat = dy.structure().tree().catalog(id);
+        assert!(
+            cat.windows(2).all(|w| w[0] < w[1]),
+            "node {id:?} not strict"
+        );
+    }
 }
