@@ -29,6 +29,29 @@ fn main() {
         csv_dir = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    // Optional: --snapshot <dir> writes BENCH_serve.json / BENCH_shard.json
+    // (wall-clock serving-stack snapshots; see fc_bench::snapshot). With no
+    // experiment ids, the snapshots run alone.
+    if let Some(pos) = args.iter().position(|a| a == "--snapshot") {
+        if pos + 1 >= args.len() {
+            eprintln!("--snapshot requires a directory argument");
+            std::process::exit(1);
+        }
+        let dir = std::path::PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+        eprintln!(
+            "[harness] writing serving snapshots to {} ...",
+            dir.display()
+        );
+        let (serve, shard) = fc_bench::snapshot::write_snapshots(&dir).expect("write snapshots");
+        eprintln!(
+            "[harness] serve {:.0} q/s, shard (batched) {:.0} q/s on {} cores",
+            serve.throughput_qps, shard.throughput_qps, serve.cores
+        );
+        if args.is_empty() {
+            return;
+        }
+    }
     #[allow(clippy::type_complexity)]
     let selected: Vec<&(&str, fn() -> fc_bench::Table)> = if args.is_empty() {
         all.iter().collect()

@@ -20,6 +20,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod experiments;
+pub mod snapshot;
 pub mod table;
 
 pub use table::Table;

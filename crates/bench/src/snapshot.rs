@@ -1,0 +1,290 @@
+//! Service-level performance snapshots (`BENCH_serve.json` /
+//! `BENCH_shard.json`).
+//!
+//! The paper experiments in [`crate::experiments`] measure PRAM steps; the
+//! snapshots here measure the *systems* layers in wall-clock terms: build
+//! time, sustained throughput, p50/p99 query latency, and shed rate, for
+//! the single `fc_serve::Service` and the sharded `fc_shard::ShardCluster`
+//! batched scatter/gather path over the same uniform workload.
+//!
+//! JSON is hand-rolled (flat number/string fields only) so the snapshot
+//! carries no serialization dependency. Regenerate with:
+//!
+//! ```text
+//! cargo run -p fc-bench --release --bin snapshot -- <out-dir>
+//! # or, alongside the paper tables:
+//! cargo run -p fc-bench --release --bin harness -- --snapshot <out-dir>
+//! ```
+//!
+//! `FC_BENCH_QUERIES` overrides the workload size (default 20 000; CI uses
+//! 100 000). With `FC_BENCH_ASSERT=1` *and* ≥ 4 cores, the shard snapshot
+//! asserts the acceptance bound: batched cluster throughput must be at
+//! least the single-service throughput on the uniform workload.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::{CatalogTree, NodeId};
+use fc_coop::ParamMode;
+use fc_serve::{ServeConfig, Service};
+use fc_shard::{ShardCluster, ShardConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Default workload size when `FC_BENCH_QUERIES` is unset.
+pub const DEFAULT_QUERIES: usize = 20_000;
+/// Queries sampled (blocking, one at a time) for the latency percentiles.
+const LATENCY_SAMPLE: usize = 512;
+/// Benchmark tree: depth and per-tree total key count.
+const TREE_DEPTH: u32 = 6;
+const TREE_KEYS: usize = 6_000;
+/// Key universe the uniform workload draws from.
+const KEY_SPAN: i64 = 140_000;
+
+/// One snapshot of a serving stack's wall-clock behaviour.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Which stack: `"serve"` or `"shard"`.
+    pub name: String,
+    /// Cores visible to the process (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Wall-clock milliseconds to build the stack (preprocessing + spawn).
+    pub build_ms: f64,
+    /// Queries in the throughput workload.
+    pub queries: usize,
+    /// Sustained throughput over the workload, queries/second.
+    pub throughput_qps: f64,
+    /// Median single-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile single-query latency, microseconds.
+    pub p99_us: f64,
+    /// Fraction of workload queries shed or erred (0.0 on a healthy run).
+    pub shed_rate: f64,
+}
+
+impl Snapshot {
+    /// Serialize as a flat JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"cores\": {},\n  \"build_ms\": {:.3},\n  \
+             \"queries\": {},\n  \"throughput_qps\": {:.1},\n  \"p50_us\": {:.2},\n  \
+             \"p99_us\": {:.2},\n  \"shed_rate\": {:.6}\n}}\n",
+            self.name,
+            self.cores,
+            self.build_ms,
+            self.queries,
+            self.throughput_qps,
+            self.p50_us,
+            self.p99_us,
+            self.shed_rate
+        )
+    }
+}
+
+/// Workload size: `FC_BENCH_QUERIES` or [`DEFAULT_QUERIES`].
+pub fn workload_size() -> usize {
+    std::env::var("FC_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_QUERIES)
+        .max(LATENCY_SAMPLE)
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn bench_tree() -> CatalogTree<i64> {
+    let mut rng = SmallRng::seed_from_u64(0xBE_5EED);
+    gen::balanced_binary(TREE_DEPTH, TREE_KEYS, SizeDist::Uniform, &mut rng)
+}
+
+/// The uniform workload: `n` (leaf, key) successor queries.
+fn workload(tree: &CatalogTree<i64>, n: usize) -> Vec<(NodeId, i64)> {
+    let leaves = tree.leaves();
+    let mut rng = SmallRng::seed_from_u64(0x10AD);
+    (0..n)
+        .map(|_| {
+            (
+                leaves[rng.gen_range(0..leaves.len())],
+                rng.gen_range(0..KEY_SPAN),
+            )
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Snapshot the single `fc_serve::Service`: all `n` queries submitted
+/// asynchronously (the worker pool is the parallelism), then drained.
+pub fn measure_serve(n: usize) -> Snapshot {
+    let cores = cores();
+    let tree = bench_tree();
+    let queries = workload(&tree, n);
+    let cfg = ServeConfig {
+        workers: cores,
+        queue_cap: n + LATENCY_SAMPLE,
+        default_deadline: Duration::from_secs(30),
+        audit_interval: Duration::from_secs(3600),
+        processors: 1 << 10,
+        ..ServeConfig::default()
+    };
+    let t0 = Instant::now();
+    let svc = Service::start(tree, ParamMode::Auto, cfg);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Latency sample: blocking queries, one at a time.
+    let mut lat_us: Vec<f64> = Vec::with_capacity(LATENCY_SAMPLE);
+    for &(leaf, y) in queries.iter().take(LATENCY_SAMPLE) {
+        let t = Instant::now();
+        let _ = svc.query_blocking(leaf, y, None);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(f64::total_cmp);
+
+    // Throughput: submit everything, then drain every response channel.
+    let t1 = Instant::now();
+    let mut pending = Vec::with_capacity(n);
+    let mut shed = 0usize;
+    for &(leaf, y) in &queries {
+        match svc.submit(leaf, y, None) {
+            Ok(rx) => pending.push(rx),
+            Err(_) => shed += 1,
+        }
+    }
+    let mut failed = 0usize;
+    for rx in pending {
+        match rx.recv() {
+            Ok(Ok(_)) => {}
+            _ => failed += 1,
+        }
+    }
+    let secs = t1.elapsed().as_secs_f64();
+    svc.shutdown();
+    Snapshot {
+        name: "serve".into(),
+        cores,
+        build_ms,
+        queries: n,
+        throughput_qps: n as f64 / secs.max(1e-9),
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        shed_rate: (shed + failed) as f64 / n as f64,
+    }
+}
+
+/// Snapshot the sharded cluster's batched scatter/gather path: the same
+/// workload goes through [`ShardCluster::query_batch`] in batches sized to
+/// keep every batch thread busy.
+pub fn measure_shard(n: usize) -> Snapshot {
+    let cores = cores();
+    let tree = bench_tree();
+    let queries = workload(&tree, n);
+    let cfg = ShardConfig {
+        shards: 4,
+        replicas: 2,
+        serve: ServeConfig {
+            workers: 1,
+            queue_cap: n + LATENCY_SAMPLE,
+            default_deadline: Duration::from_secs(30),
+            audit_interval: Duration::from_secs(3600),
+            processors: 1 << 10,
+            ..ServeConfig::default()
+        },
+        batch_threads: cores,
+        default_deadline: Duration::from_secs(60),
+        ..ShardConfig::default()
+    };
+    let t0 = Instant::now();
+    let cluster = ShardCluster::start(&tree, ParamMode::Auto, cfg);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut lat_us: Vec<f64> = Vec::with_capacity(LATENCY_SAMPLE);
+    for &(leaf, y) in queries.iter().take(LATENCY_SAMPLE) {
+        let t = Instant::now();
+        let _ = cluster.query_blocking(leaf, y, None);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(f64::total_cmp);
+
+    let batch = (n / cores.max(1)).clamp(1024, 16_384);
+    let t1 = Instant::now();
+    let mut failed = 0usize;
+    for chunk in queries.chunks(batch) {
+        for res in cluster.query_batch(chunk, None) {
+            if res.is_err() {
+                failed += 1;
+            }
+        }
+    }
+    let secs = t1.elapsed().as_secs_f64();
+    cluster.shutdown();
+    Snapshot {
+        name: "shard".into(),
+        cores,
+        build_ms,
+        queries: n,
+        throughput_qps: n as f64 / secs.max(1e-9),
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        shed_rate: failed as f64 / n as f64,
+    }
+}
+
+/// Run both snapshots, write `BENCH_serve.json` and `BENCH_shard.json`
+/// into `dir`, and (when `FC_BENCH_ASSERT=1` on a ≥ 4-core machine)
+/// enforce the acceptance bound. Returns the two snapshots.
+pub fn write_snapshots(dir: &std::path::Path) -> std::io::Result<(Snapshot, Snapshot)> {
+    let n = workload_size();
+    std::fs::create_dir_all(dir)?;
+    let serve = measure_serve(n);
+    std::fs::write(dir.join("BENCH_serve.json"), serve.to_json())?;
+    let shard = measure_shard(n);
+    std::fs::write(dir.join("BENCH_shard.json"), shard.to_json())?;
+    let assert_on = std::env::var("FC_BENCH_ASSERT").is_ok_and(|v| v == "1");
+    if assert_on && serve.cores >= 4 {
+        assert!(
+            shard.throughput_qps >= serve.throughput_qps,
+            "acceptance: batched cluster throughput ({:.0} q/s) must be >= \
+             single-service throughput ({:.0} q/s) on {} cores",
+            shard.throughput_qps,
+            serve.throughput_qps,
+            serve.cores
+        );
+    }
+    Ok((serve, shard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_measure_and_serialize() {
+        // Tiny workload: this is a plumbing test, not a benchmark.
+        let serve = measure_serve(LATENCY_SAMPLE);
+        let shard = measure_shard(LATENCY_SAMPLE);
+        for s in [&serve, &shard] {
+            assert!(s.throughput_qps > 0.0, "{s:?}");
+            assert!(s.p99_us >= s.p50_us, "{s:?}");
+            assert!(s.shed_rate < 0.5, "{s:?}");
+            let json = s.to_json();
+            assert!(json.contains(&format!("\"name\": \"{}\"", s.name)));
+            assert!(json.contains("\"throughput_qps\""));
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert!((percentile(&v, 0.5) - 50.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

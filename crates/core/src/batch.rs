@@ -1,4 +1,4 @@
-//! Batched queries on real cores.
+//! Batched queries on real cores — the public batch API.
 //!
 //! The PRAM cost model measures what the paper bounds; this module is the
 //! physical counterpart for throughput-oriented users: a batch of
@@ -6,11 +6,28 @@
 //! *intra*-query parallelism of the paper targets latency on a PRAM;
 //! inter-query parallelism is what a multicore actually exploits — both
 //! views are reported by the Criterion benches.)
+//!
+//! Three entry points, all re-exported at the crate root:
+//!
+//! * [`explicit_batch`] / [`explicit_batch_seq`] — raw batched descent,
+//!   returning the full [`ExplicitSearchResult`] plus per-query step
+//!   counts (experiment-grade output).
+//! * [`explicit_batch_verified`] — the serving-grade variant used by the
+//!   `fc-shard` scatter/gather router for its per-shard gather leg: every
+//!   query runs the *checked, cancellable* descent and each per-node
+//!   answer is re-verified against the authoritative native catalog, so a
+//!   batch entry is either oracle-correct on the structure it ran against
+//!   or a typed [`FcError`] — never silently wrong.
+//! * [`implicit_batch`] — batched implicit searches with pluggable branch
+//!   oracles.
 
-use crate::explicit::{coop_search_explicit, ExplicitSearchResult};
+use crate::cancel::CancelToken;
+use crate::explicit::{
+    coop_search_explicit, coop_search_explicit_cancellable, ExplicitSearchResult,
+};
 use crate::implicit::{coop_search_implicit, BranchOracle, ImplicitSearchResult};
 use crate::structure::CoopStructure;
-use fc_catalog::{CatalogKey, NodeId};
+use fc_catalog::{CatalogKey, FcError, NodeId};
 use fc_pram::cost::{Model, Pram};
 use rayon::prelude::*;
 
@@ -50,6 +67,61 @@ pub fn explicit_batch_seq<K: CatalogKey>(
             (out, pram.steps())
         })
         .collect()
+}
+
+/// Per-query outcome of [`explicit_batch_verified`]: the smallest native
+/// catalog entry `>= y` at every node of the query's root-to-leaf path
+/// (`None` = `+∞`), or the structural error that was detected.
+pub type VerifiedAnswers<K> = Result<Vec<Option<K>>, FcError>;
+
+/// Run a batch of *checked, verified* explicit searches — the gather-leg
+/// primitive of the `fc-shard` scatter/gather router.
+///
+/// Each query runs [`coop_search_explicit_cancellable`] (all structural
+/// guards active, `cancel` polled at every descent step) and every
+/// per-node answer is then re-verified against the native catalog with an
+/// independent binary search. The contract matches the serving layer's:
+/// an `Ok` entry equals the sequential oracle on `st`, any detected
+/// inconsistency (or cancellation) is a typed [`FcError`] — never a
+/// silently wrong answer.
+///
+/// Queries are `(leaf, y)` pairs; paths are derived from the leaves.
+/// Results are positionally aligned with `queries`.
+pub fn explicit_batch_verified<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    queries: &[(NodeId, K)],
+    p: usize,
+    cancel: &CancelToken,
+) -> Vec<VerifiedAnswers<K>> {
+    queries
+        .par_iter()
+        .map(|&(leaf, y)| verified_one(st, leaf, y, p, cancel))
+        .collect()
+}
+
+fn verified_one<K: CatalogKey>(
+    st: &CoopStructure<K>,
+    leaf: NodeId,
+    y: K,
+    p: usize,
+    cancel: &CancelToken,
+) -> VerifiedAnswers<K> {
+    let path = st.tree().path_from_root(leaf);
+    let mut pram = Pram::new(p.max(1), Model::Crew);
+    let res = coop_search_explicit_cancellable(st, &path, y, &mut pram, cancel)?;
+    let mut answers = Vec::with_capacity(path.len());
+    for (&node, find) in path.iter().zip(res.finds.iter()) {
+        let cat = st.tree().catalog(node);
+        let ans = cat.get(find.native_idx as usize).copied();
+        if cat.get(cat.partition_point(|k| *k < y)).copied() != ans {
+            return Err(FcError::CorruptCatalog {
+                node: node.0,
+                entry: find.native_idx as usize,
+            });
+        }
+        answers.push(ans);
+    }
+    Ok(answers)
 }
 
 /// Run a batch of implicit searches in parallel. The oracle must be
@@ -97,6 +169,94 @@ mod tests {
             assert_eq!(a.finds, b.finds);
             assert_eq!(sa, sb, "step accounting is deterministic");
         }
+    }
+
+    fn oracle(st: &CoopStructure<i64>, leaf: NodeId, y: i64) -> Vec<Option<i64>> {
+        st.tree()
+            .path_from_root(leaf)
+            .iter()
+            .map(|&node| {
+                let cat = st.tree().catalog(node);
+                cat.get(cat.partition_point(|k| *k < y)).copied()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn verified_batch_matches_the_sequential_oracle() {
+        let mut rng = SmallRng::seed_from_u64(709);
+        let tree = gen::balanced_binary(7, 6000, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let queries: Vec<(NodeId, i64)> = (0..150)
+            .map(|_| {
+                (
+                    gen::random_leaf(st.tree(), &mut rng),
+                    rng.gen_range(-5..(6000i64 * 16 + 5)),
+                )
+            })
+            .collect();
+        let cancel = CancelToken::new();
+        let out = explicit_batch_verified(&st, &queries, 1 << 12, &cancel);
+        assert_eq!(out.len(), queries.len());
+        for (res, &(leaf, y)) in out.iter().zip(&queries) {
+            let got = res.as_ref().expect("clean structure must verify");
+            assert_eq!(*got, oracle(&st, leaf, y));
+        }
+    }
+
+    #[test]
+    fn verified_batch_agrees_with_raw_batch_finds() {
+        let mut rng = SmallRng::seed_from_u64(711);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::LeafHeavy, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let queries: Vec<(NodeId, i64)> = (0..60)
+            .map(|_| {
+                (
+                    gen::random_leaf(st.tree(), &mut rng),
+                    rng.gen_range(0..(2000i64 * 16)),
+                )
+            })
+            .collect();
+        let cancel = CancelToken::new();
+        let verified = explicit_batch_verified(&st, &queries, 256, &cancel);
+        let raw = explicit_batch(&st, &queries, 256);
+        for ((v, (r, _)), &(leaf, _)) in verified.iter().zip(&raw).zip(&queries) {
+            let path = st.tree().path_from_root(leaf);
+            let from_raw: Vec<Option<i64>> = path
+                .iter()
+                .zip(&r.finds)
+                .map(|(&node, f)| st.tree().catalog(node).get(f.native_idx as usize).copied())
+                .collect();
+            assert_eq!(v.as_ref().expect("clean"), &from_raw);
+        }
+    }
+
+    #[test]
+    fn verified_batch_cancels_instead_of_answering() {
+        let mut rng = SmallRng::seed_from_u64(713);
+        let tree = gen::balanced_binary(5, 800, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let queries: Vec<(NodeId, i64)> = (0..10)
+            .map(|_| (gen::random_leaf(st.tree(), &mut rng), 5i64))
+            .collect();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = explicit_batch_verified(&st, &queries, 64, &cancel);
+        for res in &out {
+            assert!(
+                matches!(res, Err(fc_catalog::FcError::Cancelled)),
+                "{res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verified_empty_batch() {
+        let mut rng = SmallRng::seed_from_u64(715);
+        let tree = gen::balanced_binary(4, 200, SizeDist::Uniform, &mut rng);
+        let st = CoopStructure::preprocess(tree, ParamMode::Auto);
+        let cancel = CancelToken::new();
+        assert!(explicit_batch_verified(&st, &[], 64, &cancel).is_empty());
     }
 
     #[test]

@@ -194,11 +194,12 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
     let mut p_sel = pram.processors();
     let Some(mut sub) = st.select(p_sel) else {
         // No hop height pays off at this p: sequential fractional cascading
-        // (the p = 1 baseline) is the right algorithm.
-        let out = search_path_fc(fc, path, y, Some(pram));
-        // Recover the augmented positions with a second walk (the sequential
-        // search already paid for it); in checked mode this walk audits the
-        // same bridges the sequential search trusted.
+        // (the p = 1 baseline) is the right algorithm. The augmented walk
+        // below runs FIRST: in checked mode it audits every bridge the
+        // sequential search will trust, so `search_path_fc` (whose descents
+        // are unchecked and may assert on a corrupted structure) only runs
+        // once the path's bridges are certified. The walk costs what the
+        // sequential search charges anyway.
         let mut augs = Vec::with_capacity(path.len());
         let mut aug = fc.find_aug(path[0], y);
         if checked {
@@ -246,6 +247,7 @@ fn search_explicit_inner<K: CatalogKey, Tr: Tracer>(
             aug = next;
             augs.push(aug);
         }
+        let out = search_path_fc(fc, path, y, Some(pram));
         return Ok(ExplicitSearchResult {
             finds: out.results,
             augs,

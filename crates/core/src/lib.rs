@@ -44,6 +44,8 @@
 //! * [`reach`] — `reach(c, U)` computation for the Figure 1/2 experiments.
 //! * [`cancel`] — cooperative cancellation tokens polled at descent steps
 //!   (deadline propagation for the `fc-serve` query service).
+//! * [`batch`] — batched inter-query parallelism, including the verified
+//!   batched descent the `fc-shard` router uses for its gather legs.
 //! * [`dynamic`] — buffered updates + global rebuilding (open problem 4),
 //!   with atomic batch drains and post-rebuild self-audit.
 
@@ -62,6 +64,9 @@ pub mod reach;
 pub mod skeleton;
 pub mod structure;
 
+pub use batch::{
+    explicit_batch, explicit_batch_seq, explicit_batch_verified, implicit_batch, VerifiedAnswers,
+};
 pub use cancel::CancelToken;
 pub use explicit::{
     coop_search_explicit, coop_search_explicit_cancellable, coop_search_explicit_checked,

@@ -83,6 +83,46 @@ mod tests {
     }
 
     #[test]
+    fn long_runs_saturate_at_the_cap_and_never_escape_it() {
+        // Decorrelated growth is multiplicative (up to 3x per step); after
+        // saturation every subsequent delay must still stay in [base, cap]
+        // even over runs long enough to overflow a naive accumulator.
+        let base = Duration::from_nanos(1);
+        let cap = Duration::from_micros(5);
+        let mut b = DecorrelatedJitter::new(base, cap, 21);
+        let mut hit_cap_region = false;
+        for _ in 0..10_000 {
+            let d = b.next_delay();
+            assert!(d >= base && d <= cap, "{d:?} outside [{base:?}, {cap:?}]");
+            if d > cap / 2 {
+                hit_cap_region = true;
+            }
+        }
+        assert!(hit_cap_region, "growth never approached the cap");
+    }
+
+    #[test]
+    fn degenerate_base_equals_cap_pins_every_delay() {
+        let d = Duration::from_millis(1);
+        let mut b = DecorrelatedJitter::new(d, d, 5);
+        for _ in 0..50 {
+            assert_eq!(b.next_delay(), d);
+        }
+        b.reset();
+        assert_eq!(b.next_delay(), d, "reset must not escape the pin");
+    }
+
+    #[test]
+    fn zero_base_is_clamped_to_a_positive_floor() {
+        let mut b = DecorrelatedJitter::new(Duration::ZERO, Duration::from_micros(1), 6);
+        for _ in 0..50 {
+            let d = b.next_delay();
+            assert!(d > Duration::ZERO, "a zero sleep would spin-retry");
+            assert!(d <= Duration::from_micros(1));
+        }
+    }
+
+    #[test]
     fn reset_restarts_from_base() {
         let mut b =
             DecorrelatedJitter::new(Duration::from_micros(10), Duration::from_millis(10), 4);

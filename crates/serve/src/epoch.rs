@@ -181,6 +181,81 @@ mod tests {
     }
 
     #[test]
+    fn aborted_announce_neither_leaks_nor_blocks_reclamation() {
+        // A reader announces an epoch into its slot but aborts (unpins)
+        // before validating/acquiring. The writer must still be able to
+        // reclaim everything: an aborted announcement is indistinguishable
+        // from a quiescent slot once it stores 0, and a *stale* announced
+        // value must never be left behind to pin future retirees.
+        let ep = EpochPtr::new(Arc::new(vec![1u64; 32]), 3);
+        // Slot 2 announces the current epoch, then aborts before the
+        // validate/acquire steps (simulating a reader killed mid-`load`
+        // after step 1 of the protocol, whose unwind resets the slot).
+        ep.slots[2].store(ep.global.load(SeqCst), SeqCst);
+        ep.slots[2].store(0, SeqCst);
+        let weak_gen0 = {
+            let g = ep.load(0);
+            Arc::downgrade(&g)
+        };
+        ep.swap(Arc::new(vec![2u64; 32]));
+        ep.try_reclaim();
+        assert_eq!(
+            ep.retired_count(),
+            0,
+            "aborted announce must not block reclamation"
+        );
+        assert!(
+            weak_gen0.upgrade().is_none(),
+            "retired generation must actually be freed (no leak)"
+        );
+        // Sanity: a slot still *pinned* (announced, never aborted) at an
+        // epoch below the retire epoch does block, until it unpins.
+        ep.slots[2].store(ep.global.load(SeqCst), SeqCst);
+        ep.swap(Arc::new(vec![3u64; 32]));
+        assert_eq!(ep.retired_count(), 1, "live pin must block reclamation");
+        ep.slots[2].store(0, SeqCst);
+        ep.try_reclaim();
+        assert_eq!(ep.retired_count(), 0);
+    }
+
+    #[test]
+    fn reader_churn_reclaims_every_retired_generation() {
+        // Readers pin/unpin in a tight loop while the writer swaps; at the
+        // end every retired generation must have been freed (tracked via
+        // weak refs — `retired_count` alone can't see a strong-count leak).
+        const SWAPS: u64 = 500;
+        let ep = Arc::new(EpochPtr::new(Arc::new(0u64), 4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|slot| {
+                let ep = Arc::clone(&ep);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(SeqCst) {
+                        let g = ep.load(slot);
+                        std::hint::black_box(*g);
+                    }
+                })
+            })
+            .collect();
+        let mut weaks = Vec::with_capacity(SWAPS as usize);
+        for i in 1..=SWAPS {
+            let next = Arc::new(i);
+            weaks.push(Arc::downgrade(&next));
+            ep.swap(next);
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        ep.try_reclaim();
+        assert_eq!(ep.retired_count(), 0, "quiescent slots must drain fully");
+        let live: usize = weaks.iter().filter(|w| w.upgrade().is_some()).count();
+        assert_eq!(live, 1, "only the current generation may remain live");
+        assert_eq!(*ep.load(0), SWAPS);
+    }
+
+    #[test]
     fn concurrent_readers_never_observe_torn_generations() {
         // Payload invariant: both halves equal. A use-after-free or torn
         // publish would (under ASan-less CI, probabilistically) break it.

@@ -40,6 +40,12 @@ pub enum ServeError {
         error: FcError,
         /// Total attempts made (1 + retries).
         attempts: u32,
+        /// Generation ids the attempts ran against, in observation order
+        /// (deduplicated consecutively). A failed query thereby reports
+        /// *which* published generation(s) it saw — the signal the shard
+        /// layer needs to tell a corrupt replica from cross-replica
+        /// divergence.
+        gens: Vec<u64>,
     },
     /// The service is shutting down; the query was not executed.
     ShuttingDown,
@@ -60,8 +66,15 @@ impl fmt::Display for ServeError {
                     "path crosses quarantined node {node} and degraded reads are off"
                 )
             }
-            ServeError::Degraded { error, attempts } => {
-                write!(f, "search failed after {attempts} attempts: {error}")
+            ServeError::Degraded {
+                error,
+                attempts,
+                gens,
+            } => {
+                write!(
+                    f,
+                    "search failed after {attempts} attempts (generations {gens:?}): {error}"
+                )
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -86,8 +99,10 @@ mod tests {
         let e = ServeError::Degraded {
             error: FcError::NoProcessors,
             attempts: 3,
+            gens: vec![4, 5],
         };
         assert!(e.to_string().contains("3 attempts"));
+        assert!(e.to_string().contains("[4, 5]"), "{e}");
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&ServeError::ShuttingDown).is_none());
     }

@@ -47,4 +47,6 @@ pub use epoch::EpochPtr;
 pub use error::ServeError;
 pub use quarantine::{BreakerState, Quarantine};
 pub use queue::{AdmissionQueue, PushError};
-pub use service::{Generation, QueryOk, QueryResult, ServeConfig, ServeStats, Service};
+pub use service::{
+    Generation, QueryOk, QueryResult, ReplicaHealth, ServeConfig, ServeStats, Service,
+};

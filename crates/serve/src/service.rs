@@ -215,6 +215,35 @@ pub struct ServeStats {
     pub quarantine_opens: u64,
 }
 
+/// A point-in-time health snapshot of one service instance, exposed for
+/// cluster-level routing (`fc-shard` replica failover and hot-shard
+/// detection). Cheap: atomic loads plus one queue-length lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Quarantine circuit-breaker state (`Closed` = fully healthy).
+    pub breaker: BreakerState,
+    /// Number of currently quarantined arena nodes.
+    pub quarantined_nodes: usize,
+    /// Queries currently waiting in the admission queue.
+    pub queue_len: usize,
+    /// Admission queue capacity (the shed threshold).
+    pub queue_cap: usize,
+    /// Queries shed at admission so far.
+    pub shed: u64,
+    /// Queries admitted so far.
+    pub submitted: u64,
+    /// Current epoch of the generation pointer (bumped once per publish).
+    pub epoch: u64,
+}
+
+impl ReplicaHealth {
+    /// Saturation of the admission queue in `[0, 1]` — the routing signal
+    /// the shard rebalancer combines with shed counts to find hot shards.
+    pub fn queue_frac(&self) -> f64 {
+        self.queue_len as f64 / self.queue_cap.max(1) as f64
+    }
+}
+
 /// State shared by the service handle, the workers, and the auditor.
 pub(crate) struct Shared<K: CatalogKey> {
     pub(crate) cfg: ServeConfig,
@@ -445,6 +474,34 @@ impl<K: CatalogKey> Service<K> {
         self.shared.quarantine.nodes()
     }
 
+    /// Health snapshot for cluster routing (see [`ReplicaHealth`]).
+    pub fn health(&self) -> ReplicaHealth {
+        ReplicaHealth {
+            breaker: self.shared.quarantine.state(),
+            quarantined_nodes: self.shared.quarantine.nodes().len(),
+            queue_len: self.shared.queue.len(),
+            queue_cap: self.shared.queue.capacity(),
+            shed: self.shared.stats.shed.load(SeqCst),
+            submitted: self.shared.stats.submitted.load(SeqCst),
+            epoch: self.shared.epoch.epoch(),
+        }
+    }
+
+    /// Queries currently waiting in the admission queue (admission hook
+    /// for cluster-level load balancing).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Chaos hook: force-open the quarantine breaker over `nodes` without
+    /// running an audit — models a replica whose entire structure is
+    /// distrusted (e.g. a failed health check). Queries crossing the set
+    /// degrade or reject exactly as with an audit-driven open; the next
+    /// audit cycle repairs and half-opens as usual.
+    pub fn force_quarantine(&self, nodes: impl IntoIterator<Item = u32>) {
+        self.shared.quarantine.open(nodes);
+    }
+
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServeStats {
         let s = &self.shared.stats;
@@ -524,6 +581,12 @@ pub(crate) fn audit_cycle<K: CatalogKey>(
         guard.dy.audit_buffers().is_err()
     };
     if report.is_clean() && !buffers_dirty {
+        // Clean structure but an open breaker: nothing to repair (e.g. a
+        // forced quarantine, or a repair that already republished), so move
+        // to half-open and let probe queries close it.
+        if shared.quarantine.state() == BreakerState::Open {
+            shared.quarantine.half_open();
+        }
         return false;
     }
     shared.stats.audits_dirty.fetch_add(1, SeqCst);

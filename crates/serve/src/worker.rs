@@ -108,6 +108,10 @@ fn execute<K: CatalogKey>(
     }
 
     let mut attempts: u32 = 0;
+    // Which published generations the attempts observed (consecutive
+    // dedup): reported through `ServeError::Degraded` so a failing query
+    // names the generation(s) it saw.
+    let mut gens_seen: Vec<u64> = vec![gen.id];
     let last_err;
     loop {
         attempts += 1;
@@ -133,6 +137,9 @@ fn execute<K: CatalogKey>(
         // the freshest generation.
         gen = shared.epoch.load(slot);
         path = gen.st.tree().path_from_root(leaf);
+        if gens_seen.last() != Some(&gen.id) {
+            gens_seen.push(gen.id);
+        }
     }
     if shared.cfg.degraded_reads {
         let answers = degraded_answers(&gen, &path, y, deadline, &cancel)?;
@@ -141,6 +148,7 @@ fn execute<K: CatalogKey>(
         Err(ServeError::Degraded {
             error: last_err,
             attempts,
+            gens: gens_seen,
         })
     }
 }

@@ -2,8 +2,9 @@
 //! lint pass CI enforces on top of clippy:
 //!
 //! **Rule A — panic-free, bounds-blamed hot paths.** The corruption-checking
-//! paths (`checked_descend` in `fc-catalog`, `audit_locate` in `fc-coop`, and
-//! the whole non-test portion of `fc-resilience`'s `audit.rs`/`repair.rs`)
+//! paths (`checked_descend` in `fc-catalog`, `audit_locate` in `fc-coop`, the
+//! whole non-test portion of `fc-resilience`'s `audit.rs`/`repair.rs`, of
+//! `fc-serve`'s `worker.rs`, and of `fc-shard`'s `partition.rs`/`router.rs`)
 //! must stay free of `.unwrap()`, `.expect()`, panicking macros, and direct
 //! slice indexing: a corrupt structure must surface as a blamed `FcError` /
 //! `Blame` finding, never as a panic. Direct indexing is detected lexically —
@@ -60,6 +61,8 @@ fn run_lint() -> ExitCode {
         ("crates/resilience/src/audit.rs", Scope::UntilTests),
         ("crates/resilience/src/repair.rs", Scope::UntilTests),
         ("crates/serve/src/worker.rs", Scope::UntilTests),
+        ("crates/shard/src/partition.rs", Scope::UntilTests),
+        ("crates/shard/src/router.rs", Scope::UntilTests),
     ];
     for &(rel, scope) in scopes {
         let path = root.join(rel);

@@ -1,0 +1,289 @@
+//! Cluster chaos test (the fc-shard acceptance gate): S=4 shards × R=2
+//! replicas under injected corruption, a forced full-replica quarantine,
+//! and a routing-table split mid-storm. Invariants asserted throughout:
+//!
+//! 1. **Zero silently-wrong answers**: every `Ok` leg equals the
+//!    sequential oracle *on the generation that served it*, and the merged
+//!    answer is the first-`Some` over the legs in ascending shard order.
+//! 2. **Every key range stays answerable**: a fully-quarantined replica
+//!    fails over to its peer (or serves degraded); `ShardError`s are
+//!    allowed mid-storm, wrongness never is — and once the storm settles
+//!    and audits repair, probes of every shard range must answer `Ok`.
+//! 3. **Routing hot-swap**: the split publishes `version + 1` and queries
+//!    keep answering across it.
+
+use fc_catalog::{CatalogKey, NodeId};
+use fc_coop::dynamic::UpdateOp;
+use fc_coop::CoopStructure;
+use fc_resilience::FaultSpec;
+use fc_serve::ServeConfig;
+use fc_shard::{ShardCluster, ShardConfig, ShardedOk};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn oracle<K: CatalogKey>(st: &CoopStructure<K>, path: &[NodeId], y: K) -> Vec<Option<K>> {
+    path.iter()
+        .map(|&node| {
+            let cat = st.tree().catalog(node);
+            cat.get(cat.partition_point(|k| *k < y)).copied()
+        })
+        .collect()
+}
+
+/// Assert invariant 1 on one successful cluster answer.
+fn check_ok(ok: &ShardedOk<i64>, y: i64) {
+    let mut prev_shard = None;
+    let mut merged = vec![None; ok.answers.len()];
+    for leg in &ok.legs {
+        if let Some(p) = prev_shard {
+            assert!(leg.shard > p, "legs must ascend: {:?}", ok.legs);
+        }
+        prev_shard = Some(leg.shard);
+        assert_eq!(
+            leg.answers,
+            oracle(&leg.gen.st, &leg.path, y),
+            "leg on shard {} replica {} (gen {}) diverges from its own \
+             generation's oracle — a silently wrong answer",
+            leg.shard,
+            leg.replica,
+            leg.gen.id
+        );
+        for (slot, ans) in merged.iter_mut().zip(leg.answers.iter()) {
+            if slot.is_none() {
+                *slot = *ans;
+            }
+        }
+    }
+    assert_eq!(
+        ok.answers, merged,
+        "merged answer must be the first-Some over ascending legs"
+    );
+}
+
+fn chaos_cfg() -> ShardConfig {
+    ShardConfig {
+        shards: 4,
+        replicas: 2,
+        serve: ServeConfig {
+            workers: 2,
+            queue_cap: 256,
+            default_deadline: Duration::from_secs(10),
+            audit_interval: Duration::from_millis(40),
+            processors: 1 << 8,
+            // No degraded fallback: a corrupt/quarantined replica must
+            // *error* (typed), so answerability can only come from replica
+            // failover — the property this storm is about.
+            degraded_reads: false,
+            verify_answers: true,
+            ..ServeConfig::default()
+        },
+        batch_threads: 2,
+        escalation_legs: 8,
+        default_deadline: Duration::from_secs(20),
+        ..ShardConfig::default()
+    }
+}
+
+/// One key strictly inside each shard's range, to probe answerability.
+fn shard_probes(cluster: &ShardCluster<i64>) -> Vec<i64> {
+    let state = cluster.state();
+    (0..state.table.shards())
+        .map(|s| {
+            let (lo, hi) = state.table.range_of(s);
+            match (lo, hi) {
+                (Some(&l), Some(&h)) => (l + h) / 2,
+                (None, Some(&h)) => h - 1,
+                (Some(&l), None) => l + 1,
+                (None, None) => 0,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_storm_no_silent_wrongness_and_full_answerability() {
+    let mut rng = SmallRng::seed_from_u64(0x000C_1A05);
+    let tree =
+        fc_catalog::gen::balanced_binary(6, 3000, fc_catalog::gen::SizeDist::Uniform, &mut rng);
+    let cluster = ShardCluster::start(&tree, fc_coop::ParamMode::Auto, chaos_cfg());
+    assert!(cluster.shards() >= 4, "acceptance: S >= 4");
+    let leaves = cluster.leaves();
+    let v0 = cluster.table_version();
+
+    let mut ok_count = 0u64;
+    let mut err_count = 0u64;
+    let mut injected = 0u64;
+    let total_ops = 320;
+    for op in 0..total_ops {
+        // Storm events at fixed points.
+        if op == 80 {
+            assert!(
+                cluster.force_quarantine_replica(2, 0),
+                "full-replica quarantine must address a live replica"
+            );
+        }
+        if op == 160 {
+            let v1 = cluster.split_shard(1).expect("mid-storm split");
+            assert_eq!(v1, v0 + 1, "split publishes version + 1");
+            assert_eq!(cluster.shards(), 5);
+        }
+        match rng.gen_range(0..100) {
+            // Single queries: the bread and butter.
+            0..=44 => {
+                let leaf = leaves[rng.gen_range(0..leaves.len())];
+                let y = rng.gen_range(-500..60_000i64);
+                match cluster.query_blocking(leaf, y, None) {
+                    Ok(ok) => {
+                        check_ok(&ok, y);
+                        ok_count += 1;
+                    }
+                    Err(_typed) => err_count += 1,
+                }
+            }
+            // Batched scatter/gather.
+            45..=64 => {
+                let queries: Vec<(NodeId, i64)> = (0..16)
+                    .map(|_| {
+                        (
+                            leaves[rng.gen_range(0..leaves.len())],
+                            rng.gen_range(-500..60_000i64),
+                        )
+                    })
+                    .collect();
+                for ((_, y), res) in queries.iter().zip(cluster.query_batch(&queries, None)) {
+                    match res {
+                        Ok(ok) => {
+                            check_ok(&ok, *y);
+                            ok_count += 1;
+                        }
+                        Err(_typed) => err_count += 1,
+                    }
+                }
+            }
+            // Update batches, routed by key.
+            65..=79 => {
+                let leaf = leaves[rng.gen_range(0..leaves.len())];
+                let node = *tree.path_from_root(leaf).first().unwrap();
+                let ops: Vec<UpdateOp<i64>> = (0..6)
+                    .map(|_| {
+                        let k = rng.gen_range(0..60_000i64);
+                        if rng.gen_bool(0.7) {
+                            UpdateOp::Insert(node, k)
+                        } else {
+                            UpdateOp::Remove(node, k)
+                        }
+                    })
+                    .collect();
+                cluster.update_batch(&ops);
+            }
+            // Fault injection into a random replica.
+            80..=92 => {
+                let state = cluster.state();
+                let shard = rng.gen_range(0..state.table.shards());
+                let replica = rng.gen_range(0..2);
+                let seed = rng.gen();
+                if cluster
+                    .inject(shard, replica, &FaultSpec::one_of_each(), seed)
+                    .is_some()
+                {
+                    injected += 1;
+                }
+            }
+            // Kick the auditors.
+            _ => cluster.trigger_audit_all(),
+        }
+    }
+    assert!(injected > 0, "the storm must actually inject faults");
+    assert!(ok_count > 0, "the storm must actually answer queries");
+
+    // Settle: repair everything. Audits fix the structures but leave
+    // breakers half-open (they close only after consecutive successful
+    // probe queries), so keep routing settle traffic — the router
+    // shadow-probes recovering replicas — until every breaker closes.
+    while cluster.audit_blocking_all() > 0 {}
+    let leaf = leaves[0];
+    for _ in 0..500 {
+        let healed = cluster
+            .health()
+            .iter()
+            .flatten()
+            .all(|h| h.breaker == fc_serve::BreakerState::Closed);
+        if healed {
+            break;
+        }
+        for probe in shard_probes(&cluster) {
+            let _ = cluster.query_blocking(leaf, probe, None);
+        }
+    }
+    for (s, probe) in shard_probes(&cluster).iter().enumerate() {
+        let ok = cluster
+            .query_blocking(leaf, *probe, None)
+            .unwrap_or_else(|e| panic!("shard {s} range unanswerable after repair: {e}"));
+        check_ok(&ok, *probe);
+    }
+
+    let stats = cluster.shutdown();
+    assert!(
+        stats.failovers > 0,
+        "a fully-quarantined replica must have forced failovers: {stats:?}"
+    );
+    assert_eq!(stats.splits, 1);
+    assert!(
+        err_count < ok_count,
+        "storm errors ({err_count}) should stay below successes ({ok_count})"
+    );
+}
+
+#[test]
+fn concurrent_clients_survive_split_and_quarantine() {
+    let mut rng = SmallRng::seed_from_u64(0x000C_1A07);
+    let tree =
+        fc_catalog::gen::balanced_binary(5, 1500, fc_catalog::gen::SizeDist::LeafHeavy, &mut rng);
+    let cluster = ShardCluster::start(&tree, fc_coop::ParamMode::Auto, chaos_cfg());
+    let leaves = cluster.leaves();
+
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let cluster = &cluster;
+            let leaves = &leaves;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xBEEF + t);
+                for _ in 0..40 {
+                    let leaf = leaves[rng.gen_range(0..leaves.len())];
+                    let y = rng.gen_range(-100..30_000i64);
+                    if let Ok(ok) = cluster.query_blocking(leaf, y, None) {
+                        check_ok(&ok, y);
+                    }
+                }
+            });
+        }
+        // Main thread is the chaos monkey: corrupt, quarantine, split.
+        cluster.inject(0, 1, &FaultSpec::one_of_each(), 99);
+        cluster.force_quarantine_replica(3, 1);
+        let v = cluster.split_shard(0);
+        assert!(v.is_some(), "split under concurrent load");
+    });
+
+    while cluster.audit_blocking_all() > 0 {}
+    let leaf = leaves[0];
+    for _ in 0..500 {
+        let healed = cluster
+            .health()
+            .iter()
+            .flatten()
+            .all(|h| h.breaker == fc_serve::BreakerState::Closed);
+        if healed {
+            break;
+        }
+        for probe in shard_probes(&cluster) {
+            let _ = cluster.query_blocking(leaf, probe, None);
+        }
+    }
+    for probe in shard_probes(&cluster) {
+        let ok = cluster.query_blocking(leaf, probe, None).expect("probe");
+        check_ok(&ok, probe);
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.splits, 1);
+}
