@@ -1,0 +1,158 @@
+//! Bench regression gate: compare committed snapshots against freshly
+//! generated ones and fail (non-zero exit) when a throughput-class metric
+//! regresses by more than `FC_BENCH_TOLERANCE` (fractional, default 0.30).
+//!
+//! ```text
+//! cargo run -p fc-bench --release --bin compare -- <committed-dir> <fresh-dir>
+//! FC_BENCH_TOLERANCE=0.5 cargo run -p fc-bench --release --bin compare -- . bench-out
+//! ```
+//!
+//! Only throughput-class fields gate (`throughput_qps` for serve/shard,
+//! `wal_ops_per_s` for store): they drop when the code slows down and are
+//! robust to core-count skew in the *same* direction as the gate (fewer
+//! cores on the fresh runner only ever makes the gate stricter for the
+//! parallel snapshots, and the tolerance absorbs runner jitter). Latency
+//! percentiles and build times are printed for visibility but not gated.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Minimal parser for the flat `{"k": v, ...}` JSON our snapshots emit:
+/// one object, string keys, numeric or string values, no nesting. Numeric
+/// fields come back in the map; string fields (e.g. `name`) are skipped.
+fn parse_flat_numbers(text: &str) -> Option<BTreeMap<String, f64>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = BTreeMap::new();
+    for pair in split_top_level(body) {
+        let (k, v) = pair.split_once(':')?;
+        let key = k.trim().strip_prefix('"')?.strip_suffix('"')?.to_string();
+        let val = v.trim();
+        if val.starts_with('"') {
+            continue; // string field: not comparable
+        }
+        out.insert(key, val.parse::<f64>().ok()?);
+    }
+    Some(out)
+}
+
+/// Split a flat JSON object body on commas, respecting quoted strings
+/// (our values never contain escaped quotes).
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        parts.push(&body[start..]);
+    }
+    parts
+}
+
+fn load(dir: &Path, file: &str) -> Result<BTreeMap<String, f64>, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_flat_numbers(&text).ok_or_else(|| format!("cannot parse {}", path.display()))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("FC_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| (0.0..1.0).contains(t))
+        .unwrap_or(0.30)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (committed, fresh): (PathBuf, PathBuf) = match (args.next(), args.next()) {
+        (Some(a), Some(b)) => (a.into(), b.into()),
+        _ => {
+            eprintln!("usage: compare <committed-dir> <fresh-dir>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tol = tolerance();
+    // (file, throughput-class field that gates, workload-size field).
+    // Throughput under-measures on a smaller workload (fixed startup
+    // costs amortize over fewer items), so a fresh run with a smaller
+    // workload than the baseline prints a notice instead of failing —
+    // CI generates both sides at the same size, so its gate stays hard.
+    let gates = [
+        ("BENCH_serve.json", "throughput_qps", "queries"),
+        ("BENCH_shard.json", "throughput_qps", "queries"),
+        ("BENCH_store.json", "wal_ops_per_s", "wal_ops"),
+    ];
+    let mut failed = false;
+    for (file, gate_field, size_field) in gates {
+        let (base, cur) = match (load(&committed, file), load(&fresh, file)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for err in [b.err(), c.err()].into_iter().flatten() {
+                    eprintln!("[compare] {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "== {file} (gate: {gate_field}, tolerance {:.0}%)",
+            tol * 100.0
+        );
+        for (k, cur_v) in &cur {
+            match base.get(k) {
+                Some(base_v) if *base_v != 0.0 => {
+                    let ratio = cur_v / base_v;
+                    println!("  {k:<18} {base_v:>14.2} -> {cur_v:>14.2}  ({ratio:>6.2}x)");
+                }
+                _ => println!("  {k:<18} {:>14} -> {cur_v:>14.2}", "-"),
+            }
+        }
+        let undersized = match (base.get(size_field), cur.get(size_field)) {
+            (Some(b), Some(c)) => c < b,
+            _ => false,
+        };
+        if undersized {
+            println!(
+                "  SKIP: fresh {size_field} below the baseline's — \
+                 throughput not comparable, gate not applied"
+            );
+            continue;
+        }
+        match (base.get(gate_field), cur.get(gate_field)) {
+            (Some(b), Some(c)) if *b > 0.0 => {
+                let floor = b * (1.0 - tol);
+                if *c < floor {
+                    eprintln!(
+                        "[compare] FAIL {file}: {gate_field} {c:.0} < floor {floor:.0} \
+                         (committed {b:.0}, tolerance {:.0}%)",
+                        tol * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!("  PASS: {gate_field} {c:.0} >= floor {floor:.0}");
+                }
+            }
+            _ => {
+                eprintln!("[compare] FAIL {file}: {gate_field} missing or zero in baseline");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("[compare] all gates passed");
+        ExitCode::SUCCESS
+    }
+}

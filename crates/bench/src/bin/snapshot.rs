@@ -1,5 +1,6 @@
-//! Write the serving-stack performance snapshots (`BENCH_serve.json`,
-//! `BENCH_shard.json`) into a directory (default: the current one).
+//! Write the serving + durability performance snapshots
+//! (`BENCH_serve.json`, `BENCH_shard.json`, `BENCH_store.json`) into a
+//! directory (default: the current one).
 //!
 //! ```text
 //! cargo run -p fc-bench --release --bin snapshot -- <out-dir>
@@ -13,16 +14,19 @@ fn main() {
     let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
     let n = snapshot::workload_size();
     eprintln!("[snapshot] workload: {n} uniform queries");
-    let (serve, shard) = snapshot::write_snapshots(&dir).expect("write snapshots");
+    let (serve, shard, store) = snapshot::write_snapshots(&dir).expect("write snapshots");
     for s in [&serve, &shard] {
         println!(
             "{:<6} build {:>8.1} ms | {:>10.0} q/s | p50 {:>8.1} us | p99 {:>8.1} us | shed {:.4}",
             s.name, s.build_ms, s.throughput_qps, s.p50_us, s.p99_us, s.shed_rate
         );
     }
+    println!(
+        "store  snap  {:>8.1} ms | {:>10.0} wal-ops/s | recover {:>8.1} ms ({} records)",
+        store.snapshot_ms, store.wal_ops_per_s, store.recover_ms, store.replayed_records
+    );
     eprintln!(
-        "[snapshot] wrote {} and {}",
-        dir.join("BENCH_serve.json").display(),
-        dir.join("BENCH_shard.json").display()
+        "[snapshot] wrote BENCH_serve.json, BENCH_shard.json, BENCH_store.json in {}",
+        dir.display()
     );
 }

@@ -1,11 +1,13 @@
 //! Service-level performance snapshots (`BENCH_serve.json` /
-//! `BENCH_shard.json`).
+//! `BENCH_shard.json` / `BENCH_store.json`).
 //!
 //! The paper experiments in [`crate::experiments`] measure PRAM steps; the
 //! snapshots here measure the *systems* layers in wall-clock terms: build
 //! time, sustained throughput, p50/p99 query latency, and shed rate, for
 //! the single `fc_serve::Service` and the sharded `fc_shard::ShardCluster`
-//! batched scatter/gather path over the same uniform workload.
+//! batched scatter/gather path over the same uniform workload — plus the
+//! durability layer (`fc-store`): snapshot write time, WAL append
+//! throughput, and full crash-recovery time over the same tree.
 //!
 //! JSON is hand-rolled (flat number/string fields only) so the snapshot
 //! carries no serialization dependency. Regenerate with:
@@ -20,6 +22,11 @@
 //! 100 000). With `FC_BENCH_ASSERT=1` *and* ≥ 4 cores, the shard snapshot
 //! asserts the acceptance bound: batched cluster throughput must be at
 //! least the single-service throughput on the uniform workload.
+//!
+//! The committed snapshots at the repo root are the regression baseline:
+//! the `compare` binary fails CI when a regenerated throughput-class
+//! field drops more than `FC_BENCH_TOLERANCE` (default 30%) below the
+//! committed value.
 
 use fc_catalog::gen::{self, SizeDist};
 use fc_catalog::{CatalogTree, NodeId};
@@ -236,16 +243,124 @@ pub fn measure_shard(n: usize) -> Snapshot {
     }
 }
 
-/// Run both snapshots, write `BENCH_serve.json` and `BENCH_shard.json`
-/// into `dir`, and (when `FC_BENCH_ASSERT=1` on a ≥ 4-core machine)
-/// enforce the acceptance bound. Returns the two snapshots.
-pub fn write_snapshots(dir: &std::path::Path) -> std::io::Result<(Snapshot, Snapshot)> {
+/// One snapshot of the durability layer's wall-clock behaviour.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Always `"store"`.
+    pub name: String,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Keys in the benchmark tree the snapshot serializes.
+    pub tree_keys: usize,
+    /// Ops appended through the WAL (and replayed by recovery).
+    pub wal_ops: usize,
+    /// Wall-clock milliseconds to persist one snapshot (encode + write +
+    /// atomic rename; fsync off for determinism across CI disks).
+    pub snapshot_ms: f64,
+    /// Sustained WAL append throughput, ops/second (batches of 64).
+    pub wal_ops_per_s: f64,
+    /// Wall-clock milliseconds for full crash recovery: newest snapshot +
+    /// replay of every logged op + forced rebuild + blame audit.
+    pub recover_ms: f64,
+    /// Records the recovery replayed (sanity: must equal the batches).
+    pub replayed_records: u64,
+}
+
+impl StoreSnapshot {
+    /// Serialize as a flat JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"cores\": {},\n  \"tree_keys\": {},\n  \
+             \"wal_ops\": {},\n  \"snapshot_ms\": {:.3},\n  \"wal_ops_per_s\": {:.1},\n  \
+             \"recover_ms\": {:.3},\n  \"replayed_records\": {}\n}}\n",
+            self.name,
+            self.cores,
+            self.tree_keys,
+            self.wal_ops,
+            self.snapshot_ms,
+            self.wal_ops_per_s,
+            self.recover_ms,
+            self.replayed_records
+        )
+    }
+}
+
+/// Snapshot the durability layer: persist the benchmark tree, stream `n`
+/// update ops through the WAL, then time a full recovery of the lot.
+pub fn measure_store(n: usize) -> StoreSnapshot {
+    use fc_coop::dynamic::UpdateOp;
+    use fc_store::{Store, StoreConfig};
+
+    let cores = cores();
+    let tree = bench_tree();
+    let dir = std::env::temp_dir().join(format!("fc-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = StoreConfig {
+        fsync: false, // measure the write path, not the CI runner's disk
+        ..StoreConfig::default()
+    };
+    let store = Store::<i64>::open(&dir, cfg).expect("open store");
+
+    let t0 = Instant::now();
+    store.persist_snapshot(&tree, 0).expect("persist snapshot");
+    let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // WAL throughput: n ops in batches of 64, mixed insert/remove over
+    // the same key universe the serving workload uses.
+    let nodes = tree.len() as u32;
+    let mut rng = SmallRng::seed_from_u64(0x57_04E);
+    let ops: Vec<UpdateOp<i64>> = (0..n)
+        .map(|_| {
+            let node = NodeId(rng.gen_range(0..nodes));
+            let key = rng.gen_range(0..KEY_SPAN);
+            if rng.gen_bool(0.8) {
+                UpdateOp::Insert(node, key)
+            } else {
+                UpdateOp::Remove(node, key)
+            }
+        })
+        .collect();
+    let t1 = Instant::now();
+    let mut batches = 0u64;
+    for chunk in ops.chunks(64) {
+        store.append_batch(chunk).expect("append batch");
+        batches += 1;
+    }
+    let wal_secs = t1.elapsed().as_secs_f64();
+    drop(store);
+
+    let t2 = Instant::now();
+    let rec = fc_store::recover::<i64>(&dir).expect("recover");
+    let recover_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rec.replayed_records, batches, "recovery replayed the log");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreSnapshot {
+        name: "store".into(),
+        cores,
+        tree_keys: TREE_KEYS,
+        wal_ops: n,
+        snapshot_ms,
+        wal_ops_per_s: n as f64 / wal_secs.max(1e-9),
+        recover_ms,
+        replayed_records: rec.replayed_records,
+    }
+}
+
+/// Run all three snapshots, write `BENCH_serve.json`, `BENCH_shard.json`,
+/// and `BENCH_store.json` into `dir`, and (when `FC_BENCH_ASSERT=1` on a
+/// ≥ 4-core machine) enforce the acceptance bound. Returns the snapshots.
+pub fn write_snapshots(
+    dir: &std::path::Path,
+) -> std::io::Result<(Snapshot, Snapshot, StoreSnapshot)> {
     let n = workload_size();
     std::fs::create_dir_all(dir)?;
     let serve = measure_serve(n);
     std::fs::write(dir.join("BENCH_serve.json"), serve.to_json())?;
     let shard = measure_shard(n);
     std::fs::write(dir.join("BENCH_shard.json"), shard.to_json())?;
+    let store = measure_store(n);
+    std::fs::write(dir.join("BENCH_store.json"), store.to_json())?;
     let assert_on = std::env::var("FC_BENCH_ASSERT").is_ok_and(|v| v == "1");
     if assert_on && serve.cores >= 4 {
         assert!(
@@ -257,7 +372,7 @@ pub fn write_snapshots(dir: &std::path::Path) -> std::io::Result<(Snapshot, Snap
             serve.cores
         );
     }
-    Ok((serve, shard))
+    Ok((serve, shard, store))
 }
 
 #[cfg(test)]
@@ -277,6 +392,13 @@ mod tests {
             assert!(json.contains(&format!("\"name\": \"{}\"", s.name)));
             assert!(json.contains("\"throughput_qps\""));
         }
+        let store = measure_store(LATENCY_SAMPLE);
+        assert!(store.wal_ops_per_s > 0.0, "{store:?}");
+        assert!(store.recover_ms > 0.0, "{store:?}");
+        assert_eq!(store.replayed_records, (LATENCY_SAMPLE as u64).div_ceil(64));
+        let json = store.to_json();
+        assert!(json.contains("\"wal_ops_per_s\""));
+        assert!(json.contains("\"recover_ms\""));
     }
 
     #[test]

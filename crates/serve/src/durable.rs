@@ -1,0 +1,244 @@
+//! [`DurableService`]: a [`Service`] whose updates survive `kill -9`.
+//!
+//! The wrapper pairs one service with one [`fc_store::Store`] directory
+//! and enforces the write-ahead contract:
+//!
+//! * **Create** persists the generation-0 snapshot *before* the service
+//!   starts — an empty store directory can never be mistaken for an empty
+//!   tree.
+//! * **Every update batch** is appended (and fsynced) to the WAL *before*
+//!   the in-memory [`DynamicCoop`](fc_coop::dynamic::DynamicCoop) buffers
+//!   see it, so an acknowledged `update_batch` is durable by the time it
+//!   returns.
+//! * **Every publish** (threshold rebuild or explicit
+//!   [`DurableService::checkpoint`]) persists the newly published
+//!   generation as a snapshot watermarked at the last appended sequence
+//!   number, then prunes snapshots and dead WAL segments.
+//! * **Recovery** ([`DurableService::recover`]) replays
+//!   snapshot + WAL through [`fc_store::recover`], re-persists the
+//!   recovered state as a fresh snapshot (so the next crash recovers from
+//!   one snapshot, not snapshot + long log), and only then starts serving.
+//!
+//! Durability only covers updates routed through this wrapper: calling
+//! [`Service::update_batch`] directly on the inner service bypasses the
+//! log by construction.
+
+use crate::service::{ServeConfig, ServeStats, Service};
+use fc_catalog::{CatalogKey, CatalogTree};
+use fc_coop::dynamic::UpdateOp;
+use fc_coop::ParamMode;
+use fc_store::{KeyCodec, Recovered, Store, StoreConfig, StoreError};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A [`Service`] with snapshot + WAL durability. See the module docs for
+/// the write-ahead contract.
+pub struct DurableService<K: CatalogKey + KeyCodec> {
+    svc: Service<K>,
+    store: Store<K>,
+    /// Serializes durable writers so the WAL order equals the apply order.
+    write_lock: Mutex<()>,
+}
+
+impl<K: CatalogKey + KeyCodec> DurableService<K> {
+    /// Start a fresh durable service over `tree`, persisting the
+    /// generation-0 snapshot to `dir` before serving begins.
+    pub fn create(
+        dir: &Path,
+        tree: CatalogTree<K>,
+        mode: ParamMode,
+        cfg: ServeConfig,
+        store_cfg: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let store = Store::open(dir, store_cfg)?;
+        store.persist_snapshot(&tree, 0)?;
+        let svc = Service::start(tree, mode, cfg);
+        Ok(DurableService {
+            svc,
+            store,
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// Recover from `dir` (newest valid snapshot + WAL replay + audit —
+    /// see [`fc_store::recover`]) and start serving the recovered state.
+    /// Returns the recovery report alongside the running service; refuses
+    /// with a typed [`StoreError`] rather than serve anything the audit
+    /// cannot prove clean.
+    pub fn recover(
+        dir: &Path,
+        mode: ParamMode,
+        cfg: ServeConfig,
+        store_cfg: StoreConfig,
+    ) -> Result<(Self, Recovered<K>), StoreError> {
+        let rec = fc_store::recover::<K>(dir)?;
+        let store = Store::open(dir, store_cfg)?;
+        // Re-persist the recovered state so the next recovery starts from
+        // one snapshot instead of re-replaying the whole log (§12's
+        // WAL-vs-rebuild trade), then drop what that snapshot covers.
+        store.persist_snapshot(&rec.tree, rec.generation)?;
+        store.prune()?;
+        let svc = Service::start(rec.tree.clone(), mode, cfg);
+        Ok((
+            DurableService {
+                svc,
+                store,
+                write_lock: Mutex::new(()),
+            },
+            rec,
+        ))
+    }
+
+    /// Apply one update batch durably: WAL append (fsynced) first, then
+    /// the in-memory apply. Returns `true` when the batch triggered a
+    /// rebuild (the new generation is snapshotted before returning).
+    pub fn update_batch(&self, ops: &[UpdateOp<K>]) -> Result<bool, StoreError> {
+        let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.store.append_batch(ops)?;
+        let rebuilt = self.svc.update_batch(ops);
+        if rebuilt {
+            self.persist_published()?;
+        }
+        Ok(rebuilt)
+    }
+
+    /// Force a rebuild + publish and persist the published generation.
+    /// Returns the new snapshot id.
+    pub fn checkpoint(&self) -> Result<u64, StoreError> {
+        let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.svc.force_publish();
+        self.persist_published()
+    }
+
+    fn persist_published(&self) -> Result<u64, StoreError> {
+        let generation = self.svc.gen_stats().generation;
+        let snapshot = self.svc.snapshot();
+        let id = self
+            .store
+            .persist_snapshot(snapshot.st.tree(), generation)?;
+        self.store.prune()?;
+        Ok(id)
+    }
+
+    /// The inner service (queries, audits, health — everything except
+    /// updates, which must go through [`DurableService::update_batch`] to
+    /// stay durable).
+    pub fn service(&self) -> &Service<K> {
+        &self.svc
+    }
+
+    /// The underlying store (for tests and observability).
+    pub fn store(&self) -> &Store<K> {
+        &self.store
+    }
+
+    /// Stop the service and return its counters. The store files remain
+    /// on disk for the next [`DurableService::recover`].
+    pub fn shutdown(self) -> ServeStats {
+        self.svc.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_catalog::gen::{self, SizeDist};
+    use fc_catalog::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fc-durable-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            audit_interval: Duration::from_millis(50),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn no_fsync() -> StoreConfig {
+        StoreConfig {
+            fsync: false,
+            ..StoreConfig::default()
+        }
+    }
+
+    fn tree(seed: u64) -> CatalogTree<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        gen::balanced_binary(4, 600, SizeDist::Uniform, &mut rng)
+    }
+
+    #[test]
+    fn create_update_shutdown_recover_round_trips() {
+        let dir = tmp("roundtrip");
+        let t = tree(31);
+        let ds = DurableService::create(&dir, t.clone(), ParamMode::Auto, small_cfg(), no_fsync())
+            .unwrap();
+        for i in 0..20i64 {
+            let node = NodeId((i % t.len() as i64) as u32);
+            ds.update_batch(&[UpdateOp::Insert(node, 5_000_000 + i)])
+                .unwrap();
+        }
+        ds.checkpoint().unwrap();
+        let stats = ds.shutdown();
+        assert_eq!(stats.submitted, 0);
+
+        let (ds2, rec) =
+            DurableService::<i64>::recover(&dir, ParamMode::Auto, small_cfg(), no_fsync()).unwrap();
+        assert_eq!(rec.last_seq, 20);
+        assert_eq!(
+            rec.replayed_records, 0,
+            "checkpoint watermarked the whole log"
+        );
+        // Every inserted key is present in the recovered service's
+        // published generation.
+        let snapshot = ds2.service().snapshot();
+        let inserted_node = NodeId(0);
+        assert!(snapshot
+            .st
+            .tree()
+            .catalog(inserted_node)
+            .contains(&5_000_000));
+        // And durable updates continue seamlessly after recovery.
+        ds2.update_batch(&[UpdateOp::Insert(NodeId(1), 6_000_000)])
+            .unwrap();
+        assert_eq!(ds2.store().last_seq(), 21);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_replays_unsnapshotted_tail() {
+        let dir = tmp("tail");
+        let t = tree(33);
+        let ds = DurableService::create(&dir, t, ParamMode::Auto, small_cfg(), no_fsync()).unwrap();
+        // No checkpoint: these live only in the WAL.
+        for i in 0..7i64 {
+            ds.update_batch(&[UpdateOp::Insert(NodeId(2), 7_000_000 + i)])
+                .unwrap();
+        }
+        drop(ds); // simulate an unclean stop: no checkpoint, no shutdown
+        let (ds2, rec) =
+            DurableService::<i64>::recover(&dir, ParamMode::Auto, small_cfg(), no_fsync()).unwrap();
+        assert_eq!(rec.replayed_records, 7);
+        let snapshot = ds2.service().snapshot();
+        for i in 0..7i64 {
+            assert!(
+                snapshot
+                    .st
+                    .tree()
+                    .catalog(NodeId(2))
+                    .contains(&(7_000_000 + i)),
+                "key {i} lost"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod durable;
 pub mod epoch;
 pub mod error;
 pub mod quarantine;
@@ -43,6 +44,7 @@ pub mod service;
 mod worker;
 
 pub use backoff::DecorrelatedJitter;
+pub use durable::DurableService;
 pub use epoch::EpochPtr;
 pub use error::ServeError;
 pub use quarantine::{BreakerState, Quarantine};

@@ -33,13 +33,16 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod error;
 pub mod partition;
 pub mod rebalance;
 pub mod replica;
 pub mod router;
 
+pub use durable::{ColdStartReport, DurableCluster};
 pub use error::ShardError;
+pub use fc_store::{StoreConfig, StoreError};
 pub use partition::RoutingTable;
 pub use rebalance::HeatConfig;
 pub use replica::ReplicaSet;

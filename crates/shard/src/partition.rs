@@ -68,6 +68,30 @@ impl<K: CatalogKey> RoutingTable<K> {
         }
     }
 
+    /// Reconstruct a table at a specific `version` from persisted cuts —
+    /// the cold-start path: a restarted cluster must resume at the version
+    /// it crashed with, not at 1, so staleness detection keeps working
+    /// across restarts. Returns `None` if the cuts are not strictly
+    /// ascending or the version is 0 (versions start at 1).
+    pub fn restore(cuts: Vec<K>, version: u64) -> Option<Self> {
+        if version == 0 {
+            return None;
+        }
+        let ascending = cuts.windows(2).all(|w| match w {
+            [a, b] => a < b,
+            _ => true,
+        });
+        if !ascending {
+            return None;
+        }
+        Some(RoutingTable { version, cuts })
+    }
+
+    /// The interior cut keys (what a cold-start manifest persists).
+    pub fn cuts(&self) -> &[K] {
+        &self.cuts
+    }
+
     /// The table's version; bumped by exactly one per published rebalance.
     pub fn version(&self) -> u64 {
         self.version

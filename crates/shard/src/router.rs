@@ -216,12 +216,25 @@ pub(crate) fn build_group<K: CatalogKey>(
                 .collect()
         })
         .collect();
+    let sub = CatalogTree::from_parents(parents, catalogs);
+    build_group_from_tree(&sub, shard, mode, cfg)
+}
+
+/// Build the replica group for one shard from an *already filtered*
+/// per-shard tree — the cold-start path: a recovered shard snapshot is
+/// the filtered tree itself, so no refiltering against the routing table
+/// is needed (or possible: the full tree no longer exists on disk).
+pub(crate) fn build_group_from_tree<K: CatalogKey>(
+    sub: &CatalogTree<K>,
+    shard: usize,
+    mode: ParamMode,
+    cfg: &ShardConfig,
+) -> ReplicaSet<K> {
     let replicas = (0..cfg.replicas.max(1))
         .map(|r| {
-            let sub = CatalogTree::from_parents(parents.clone(), catalogs.clone());
             let mut scfg = cfg.serve.clone();
             scfg.seed = shard_seed(cfg.serve.seed, shard, r);
-            Service::start(sub, mode, scfg)
+            Service::start(sub.clone(), mode, scfg)
         })
         .collect();
     ReplicaSet::new(replicas)
@@ -262,6 +275,38 @@ impl<K: CatalogKey> ShardCluster<K> {
             mode,
             cfg,
         }
+    }
+
+    /// Start a cluster from a *restored* routing table and one
+    /// already-filtered tree per shard — the cold-start path
+    /// (`fc_store` recovery hands back exactly these). Returns `None`
+    /// when the tree count does not match the table's shard count, which
+    /// a caller must treat as a corrupt manifest, not a servable state.
+    pub fn start_with_table(
+        table: RoutingTable<K>,
+        shard_trees: &[CatalogTree<K>],
+        mode: ParamMode,
+        cfg: ShardConfig,
+    ) -> Option<Self> {
+        if shard_trees.len() != table.shards() {
+            return None;
+        }
+        let groups = shard_trees
+            .iter()
+            .enumerate()
+            .map(|(shard, sub)| Arc::new(build_group_from_tree(sub, shard, mode, &cfg)))
+            .collect();
+        let state = Arc::new(ClusterState { table, groups });
+        let slots = cfg.reader_slots.max(2);
+        Some(ShardCluster {
+            epoch: EpochPtr::new(state, slots),
+            slot_pool: Mutex::new((0..slots).collect()),
+            update_lock: Mutex::new(()),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            mode,
+            cfg,
+        })
     }
 
     /// Pin and return the current routing state (table + groups). The

@@ -1,0 +1,126 @@
+//! Byte-level plumbing shared by every on-disk format: a bounds-checked
+//! cursor for parsing and the temp-file → fsync → atomic-rename write
+//! protocol.
+//!
+//! Nothing here panics or indexes directly — parse failures surface as
+//! `None` so the format modules can map them to their typed
+//! [`StoreError`](crate::StoreError)s with file/offset context.
+
+use crate::error::StoreError;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A forward-only cursor over a byte slice. Every read is bounds-checked;
+/// running off the end yields `None`, never a panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Take the next `n` bytes, advancing the cursor.
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1)?.first().copied()
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, fsync
+/// it, rename it over `path`, then fsync the directory so the rename
+/// itself is durable. A crash at any point leaves either the old file or
+/// the new one — never a half-written mix.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8], fsync: bool) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io("create", &tmp, e))?;
+        f.write_all(bytes)
+            .map_err(|e| StoreError::io("write", &tmp, e))?;
+        if fsync {
+            f.sync_all().map_err(|e| StoreError::io("fsync", &tmp, e))?;
+        }
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io("rename", path, e))?;
+    if fsync {
+        if let Some(dir) = path.parent() {
+            sync_dir(dir);
+        }
+    }
+    Ok(())
+}
+
+/// Fsync a directory so a just-completed rename/create/unlink in it is
+/// durable. Directory fsync is a Linux-ism; on filesystems or platforms
+/// that refuse it the failure is ignored — the data-file fsync already
+/// happened and this is strictly additional hardening.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let buf = [1u8, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), Some(1));
+        assert_eq!(r.pos(), 4);
+        assert_eq!(r.u64(), Some(2));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None, "past the end is None, not a panic");
+        assert_eq!(r.take(1), None);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("fc-store-frame-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.bin");
+        atomic_write(&path, b"first", true).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second-longer", true).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second-longer");
+        // No temp litter left behind.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["x.bin".to_string()], "{names:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,283 @@
+//! The cluster manifest: the single commit point for a durable cluster's
+//! shape.
+//!
+//! `MANIFEST.fcm` records the checkpoint epoch, the routing-table version
+//! and its cut keys. Shard data lives under `epoch-<n>/shard-<i>/`
+//! (each an independent [`crate::Store`] directory); the manifest's atomic
+//! rename is what commits a new epoch — a crash mid-split leaves the old
+//! manifest pointing at the old epoch directory, whose shard stores are
+//! untouched, so a restart never sees a half-split routing table.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic         8B  "FCMANIF1"
+//! format        u32
+//! key_width     u32
+//! epoch         u64  checkpoint epoch directory to load
+//! table_version u64  RoutingTable version to restore
+//! shard_count   u64
+//! cuts          (shard_count − 1) × key_width, strictly ascending
+//! crc           u32  CRC-32 of everything above
+//! ```
+//!
+//! This file is in the `cargo xtask lint` panic-free/index-free scope up
+//! to its tests.
+
+use crate::codec::{crc32, KeyCodec};
+use crate::error::StoreError;
+use crate::frame::{atomic_write, Reader};
+use fc_catalog::CatalogKey;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"FCMANIF1";
+const FORMAT: u32 = 1;
+/// File name of the manifest inside a cluster directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.fcm";
+
+/// A durable cluster's committed shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest<K> {
+    /// Checkpoint epoch; shard stores live under `epoch-<epoch>/shard-<i>/`.
+    pub epoch: u64,
+    /// Routing-table version to restore (queries carry this for staleness
+    /// detection, so it must survive restarts).
+    pub table_version: u64,
+    /// Routing cut keys, strictly ascending; shard `i` owns
+    /// `[cuts[i-1], cuts[i])`.
+    pub cuts: Vec<K>,
+}
+
+impl<K> Manifest<K> {
+    /// Number of shards this manifest describes.
+    pub fn shards(&self) -> usize {
+        self.cuts.len() + 1
+    }
+}
+
+/// Directory of checkpoint epoch `epoch` under `dir`.
+pub fn epoch_dir(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch}"))
+}
+
+/// Store directory of shard `shard` inside an epoch directory.
+pub fn shard_dir(epoch_dir: &Path, shard: usize) -> PathBuf {
+    epoch_dir.join(format!("shard-{shard}"))
+}
+
+/// Serialize a manifest.
+pub fn encode_manifest<K: CatalogKey + KeyCodec>(m: &Manifest<K>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT.to_le_bytes());
+    out.extend_from_slice(&K::WIDTH.to_le_bytes());
+    out.extend_from_slice(&m.epoch.to_le_bytes());
+    out.extend_from_slice(&m.table_version.to_le_bytes());
+    out.extend_from_slice(&(m.shards() as u64).to_le_bytes());
+    for c in &m.cuts {
+        c.encode_key(&mut out);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn invalid(reason: impl Into<String>) -> StoreError {
+    StoreError::ManifestInvalid {
+        reason: reason.into(),
+    }
+}
+
+/// Decode and validate a manifest.
+pub fn decode_manifest<K: CatalogKey + KeyCodec>(
+    path: &Path,
+    bytes: &[u8],
+) -> Result<Manifest<K>, StoreError> {
+    let body_len = match bytes.len().checked_sub(4) {
+        Some(n) => n,
+        None => {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                section: "manifest",
+            })
+        }
+    };
+    let body = bytes.get(..body_len).ok_or_else(|| StoreError::Truncated {
+        path: path.to_path_buf(),
+        section: "manifest",
+    })?;
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8).ok_or_else(|| StoreError::Truncated {
+        path: path.to_path_buf(),
+        section: "manifest",
+    })?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let truncated = || StoreError::Truncated {
+        path: path.to_path_buf(),
+        section: "manifest",
+    };
+    let format = r.u32().ok_or_else(truncated)?;
+    if format != FORMAT {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version: format,
+        });
+    }
+    let width = r.u32().ok_or_else(truncated)?;
+    if width != K::WIDTH {
+        return Err(StoreError::KeyWidthMismatch {
+            path: path.to_path_buf(),
+            expected: K::WIDTH,
+            found: width,
+        });
+    }
+    let epoch = r.u64().ok_or_else(truncated)?;
+    let table_version = r.u64().ok_or_else(truncated)?;
+    let shard_count = r.u64().ok_or_else(truncated)?;
+    if shard_count == 0 {
+        return Err(invalid("zero shards"));
+    }
+    let cut_count = usize::try_from(shard_count - 1)
+        .ok()
+        .ok_or_else(|| invalid("shard count overflows"))?;
+    let mut cuts: Vec<K> = Vec::with_capacity(cut_count);
+    for _ in 0..cut_count {
+        let kb = r.take(K::WIDTH as usize).ok_or_else(truncated)?;
+        let k = K::decode_key(kb).ok_or_else(|| invalid("cut key undecodable"))?;
+        cuts.push(k);
+    }
+    let crc = r.u32().ok_or_else(truncated)?;
+    if r.remaining() != 0 {
+        return Err(invalid("trailing bytes"));
+    }
+    if crc32(body) != crc {
+        return Err(StoreError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            section: "manifest",
+        });
+    }
+    let ascending = cuts.windows(2).all(|w| match w {
+        [a, b] => a < b,
+        _ => true,
+    });
+    if !ascending {
+        return Err(invalid("cuts not strictly ascending"));
+    }
+    Ok(Manifest {
+        epoch,
+        table_version,
+        cuts,
+    })
+}
+
+/// Atomically commit `m` as `dir/MANIFEST.fcm`. This rename is the commit
+/// point for a new epoch.
+pub fn write_manifest<K: CatalogKey + KeyCodec>(
+    dir: &Path,
+    m: &Manifest<K>,
+    fsync: bool,
+) -> Result<(), StoreError> {
+    atomic_write(&dir.join(MANIFEST_FILE), &encode_manifest(m), fsync)
+}
+
+/// Read and validate `dir/MANIFEST.fcm`.
+pub fn read_manifest<K: CatalogKey + KeyCodec>(dir: &Path) -> Result<Manifest<K>, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = fs::read(&path).map_err(|e| StoreError::io("read", &path, e))?;
+    decode_manifest(&path, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fc-store-man-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = tmp("roundtrip");
+        let m = Manifest::<i64> {
+            epoch: 3,
+            table_version: 9,
+            cuts: vec![-5, 100, 10_000],
+        };
+        write_manifest(&dir, &m, true).unwrap();
+        let back = read_manifest::<i64>(&dir).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.shards(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_shard_manifest_has_no_cuts() {
+        let dir = tmp("single");
+        let m = Manifest::<i64> {
+            epoch: 1,
+            table_version: 1,
+            cuts: vec![],
+        };
+        write_manifest(&dir, &m, false).unwrap();
+        assert_eq!(read_manifest::<i64>(&dir).unwrap().shards(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let dir = tmp("corrupt");
+        let m = Manifest::<i64> {
+            epoch: 2,
+            table_version: 4,
+            cuts: vec![10, 20],
+        };
+        write_manifest(&dir, &m, false).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let clean = fs::read(&path).unwrap();
+        // Flip a cut byte: checksum catches it.
+        let mut bad = clean.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0x04;
+        assert!(matches!(
+            decode_manifest::<i64>(&path, &bad).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        // Truncation is typed.
+        assert!(matches!(
+            decode_manifest::<i64>(&path, &clean[..clean.len() - 5]).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        // Descending cuts (with a fixed-up CRC) are structurally invalid.
+        let bad = encode_manifest(&Manifest::<i64> {
+            epoch: 2,
+            table_version: 4,
+            cuts: vec![20, 10],
+        });
+        assert!(matches!(
+            decode_manifest::<i64>(&path, &bad).unwrap_err(),
+            StoreError::ManifestInvalid { .. }
+        ));
+        // Wrong key width is typed.
+        assert!(matches!(
+            decode_manifest::<i32>(&path, &clean).unwrap_err(),
+            StoreError::KeyWidthMismatch { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layout_helpers_compose() {
+        let base = PathBuf::from("/x");
+        let e = epoch_dir(&base, 4);
+        assert_eq!(e, PathBuf::from("/x/epoch-4"));
+        assert_eq!(shard_dir(&e, 2), PathBuf::from("/x/epoch-4/shard-2"));
+    }
+}

@@ -4,7 +4,10 @@
 //! **Rule A — panic-free, bounds-blamed hot paths.** The corruption-checking
 //! paths (`checked_descend` in `fc-catalog`, `audit_locate` in `fc-coop`, the
 //! whole non-test portion of `fc-resilience`'s `audit.rs`/`repair.rs`, of
-//! `fc-serve`'s `worker.rs`, and of `fc-shard`'s `partition.rs`/`router.rs`)
+//! `fc-serve`'s `worker.rs`, of `fc-shard`'s `partition.rs`/`router.rs`, and
+//! of `fc-store`'s `snapshot.rs`/`wal.rs`/`recover.rs`/`manifest.rs` — the
+//! replay/recovery paths that must refuse corrupt bytes with a typed
+//! `StoreError`, never a panic)
 //! must stay free of `.unwrap()`, `.expect()`, panicking macros, and direct
 //! slice indexing: a corrupt structure must surface as a blamed `FcError` /
 //! `Blame` finding, never as a panic. Direct indexing is detected lexically —
@@ -63,6 +66,10 @@ fn run_lint() -> ExitCode {
         ("crates/serve/src/worker.rs", Scope::UntilTests),
         ("crates/shard/src/partition.rs", Scope::UntilTests),
         ("crates/shard/src/router.rs", Scope::UntilTests),
+        ("crates/store/src/snapshot.rs", Scope::UntilTests),
+        ("crates/store/src/wal.rs", Scope::UntilTests),
+        ("crates/store/src/recover.rs", Scope::UntilTests),
+        ("crates/store/src/manifest.rs", Scope::UntilTests),
     ];
     for &(rel, scope) in scopes {
         let path = root.join(rel);

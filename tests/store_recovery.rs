@@ -1,0 +1,368 @@
+//! Crash-recovery gate for the durable cluster (registered under
+//! fc-shard in `crates/shard/Cargo.toml`).
+//!
+//! The centerpiece is the **kill -9 gate**: the parent test re-execs this
+//! very test binary as a child cluster process (filtered to
+//! [`crash_child_driver`]), which builds a durable cluster, splits a
+//! shard, quarantines a replica, streams durable update batches — acking
+//! each on stdout *after* its WAL append returns — and then dies by
+//! `std::process::abort()` (SIGABRT: no destructors, no flushes, the
+//! process-level equivalent of `kill -9`) mid-storm. The parent
+//! cold-starts the same directory and proves:
+//!
+//! * the routing-table version the child last committed is restored;
+//! * every acked update is present — durability of acknowledged writes;
+//! * answers equal the sequential oracle (original tree + acked ops) on
+//!   probes inside **every** recovered shard range.
+//!
+//! Around the gate sit regression tests for the uglier corners: a
+//! quarantined replica plus a WAL caught mid-rotation (duplicated final
+//! record in a fresh segment) must recover cleanly through idempotent
+//! sequence-number replay; fully corrupt snapshots and a missing middle
+//! WAL segment must refuse with *typed* errors — never a panic, never a
+//! silently smaller cluster.
+
+use fc_catalog::gen::{self, SizeDist};
+use fc_catalog::{CatalogTree, NodeId};
+use fc_coop::dynamic::UpdateOp;
+use fc_coop::ParamMode;
+use fc_serve::ServeConfig;
+use fc_shard::{DurableCluster, ShardConfig};
+use fc_store::manifest::{epoch_dir, shard_dir};
+use fc_store::{fault, StoreConfig, StoreError};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fc-store-rec-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(shards: usize, replicas: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        replicas,
+        serve: ServeConfig {
+            workers: 1,
+            audit_interval: Duration::from_secs(3600),
+            default_deadline: Duration::from_secs(5),
+            processors: 1 << 8,
+            ..ServeConfig::default()
+        },
+        batch_threads: 2,
+        default_deadline: Duration::from_secs(10),
+        ..ShardConfig::default()
+    }
+}
+
+fn no_fsync() -> StoreConfig {
+    StoreConfig {
+        fsync: false,
+        ..StoreConfig::default()
+    }
+}
+
+/// The deterministic tree both sides of the kill -9 gate construct.
+fn crash_tree() -> CatalogTree<i64> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(0xC0A5_7A57);
+    gen::balanced_binary(5, 1500, SizeDist::Uniform, &mut rng)
+}
+
+/// The deterministic update stream the child acks from.
+fn crash_ops(tree: &CatalogTree<i64>, leaf: NodeId) -> Vec<(NodeId, i64)> {
+    let path = tree.path_from_root(leaf);
+    (0..400i64)
+        .map(|i| {
+            let node = path[(i as usize) % path.len()];
+            // A full-period stride over the key axis so every shard's
+            // WAL sees traffic (the child splits, so shard count is 4).
+            let key = 100 + (i * 379) % 23_000;
+            (node, key)
+        })
+        .collect()
+}
+
+/// CHILD SIDE of the kill -9 gate. A no-op unless `FC_STORE_CRASH_DIR`
+/// is set (the parent sets it when re-exec'ing this binary). Never
+/// returns normally when driven: it aborts mid-storm.
+#[test]
+fn crash_child_driver() {
+    let Some(dir) = std::env::var_os("FC_STORE_CRASH_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let tree = crash_tree();
+    // fsync on: the child's acks must mean "on disk", exactly the claim
+    // the parent verifies.
+    let dc = DurableCluster::create(
+        &dir,
+        &tree,
+        ParamMode::Auto,
+        cfg(3, 2),
+        StoreConfig::default(),
+    )
+    .expect("child: create");
+    let v = dc
+        .split_durable(1)
+        .expect("child: split io")
+        .expect("child: split refused");
+    println!("TABLE_VERSION {v}");
+    // Chaos: distrust one replica entirely; queries must fail over while
+    // the update stream keeps appending.
+    assert!(dc.cluster().force_quarantine_replica(0, 1));
+    let leaves = dc.cluster().leaves();
+    let leaf = leaves[0];
+    for (i, (node, key)) in crash_ops(&tree, leaf).iter().enumerate() {
+        dc.update_batch(&[UpdateOp::Insert(*node, *key)])
+            .expect("child: durable append");
+        // Acked only after the WAL append (and its fsync) returned.
+        println!("ACKED {} {}", node.0, key);
+        if i % 23 == 0 {
+            // Interleave reads so the storm is not write-only.
+            let _ = dc.cluster().query_blocking(leaf, *key, None);
+        }
+        if i == 317 {
+            // kill -9 equivalent: no destructors, no shutdown, no
+            // checkpoint. Everything after the last ack is torn.
+            std::process::abort();
+        }
+    }
+    unreachable!("child must abort before draining the stream");
+}
+
+/// PARENT SIDE: re-exec this test binary as the child cluster process,
+/// let it die by SIGABRT mid-storm, cold-start the directory it left
+/// behind, and prove the recovery contract (see module docs).
+#[test]
+fn kill9_crash_recovery_gate() {
+    let dir = tmp("kill9");
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .args([
+            "crash_child_driver",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("FC_STORE_CRASH_DIR", &dir)
+        .output()
+        .expect("spawn child");
+    assert!(
+        !out.status.success(),
+        "child must die by abort, not exit cleanly"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut table_version = None;
+    let mut acked: Vec<(u32, i64)> = Vec::new();
+    // The libtest harness prints "test crash_child_driver ... " with no
+    // newline before the test's own output, so match by substring.
+    for line in stdout.lines() {
+        if let Some(at) = line.find("TABLE_VERSION ") {
+            table_version = line[at + "TABLE_VERSION ".len()..]
+                .trim()
+                .parse::<u64>()
+                .ok();
+        } else if let Some(rest) = line.strip_prefix("ACKED ") {
+            let mut it = rest.split_whitespace();
+            let node = it.next().and_then(|s| s.parse::<u32>().ok());
+            let key = it.next().and_then(|s| s.parse::<i64>().ok());
+            if let (Some(n), Some(k)) = (node, key) {
+                acked.push((n, k));
+            }
+        }
+    }
+    let table_version = table_version.unwrap_or_else(|| {
+        panic!(
+            "child printed no table version.\nstdout:\n{stdout}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        )
+    });
+    assert_eq!(acked.len(), 318, "child acked exactly 318 ops then died");
+
+    let (dc, rep) = DurableCluster::<i64>::cold_start(&dir, ParamMode::Auto, cfg(3, 2), no_fsync())
+        .unwrap_or_else(|e| panic!("cold start after kill -9: {e}"));
+    assert_eq!(
+        rep.table_version, table_version,
+        "routing-table version must survive the crash"
+    );
+    assert_eq!(dc.cluster().table_version(), table_version);
+    assert!(
+        rep.replayed_records > 0,
+        "the acked tail lived only in the WALs"
+    );
+
+    // Oracle: the deterministic tree plus every acked insert.
+    let tree = crash_tree();
+    let mut cats: HashMap<u32, Vec<i64>> = tree
+        .ids()
+        .map(|id| (id.0, tree.catalog(id).to_vec()))
+        .collect();
+    for &(node, key) in &acked {
+        cats.entry(node).or_default().push(key);
+    }
+    for keys in cats.values_mut() {
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    let leaf = dc.cluster().leaves()[0];
+    let path = tree.path_from_root(leaf);
+    let oracle = |y: i64| -> Vec<Option<i64>> {
+        path.iter()
+            .map(|n| {
+                let cat = &cats[&n.0];
+                cat.get(cat.partition_point(|k| *k < y)).copied()
+            })
+            .collect()
+    };
+    let check = |y: i64| {
+        let ok = dc
+            .cluster()
+            .query_blocking(leaf, y, None)
+            .unwrap_or_else(|e| panic!("recovered query y={y}: {e}"));
+        assert_eq!(ok.answers, oracle(y), "y={y}");
+    };
+    // (a) Every acked key is durable: its own successor query returns it.
+    for &(node, key) in &acked {
+        let ok = dc.cluster().query_blocking(leaf, key, None).unwrap();
+        let hit = ok
+            .path
+            .iter()
+            .zip(&ok.answers)
+            .any(|(n, a)| n.0 == node && *a == Some(key));
+        assert!(hit, "acked key {key} at node {node} lost by the crash");
+    }
+    // (b) Oracle equality on probes inside *every* recovered shard
+    // range, plus the boundaries around each acked key.
+    let state = dc.cluster().state();
+    for shard in 0..state.table.shards() {
+        let (lo, hi) = state.table.range_of(shard);
+        let lo = lo.copied().unwrap_or(-100);
+        let hi = hi.copied().unwrap_or(50_000);
+        check(lo);
+        check((lo + hi) / 2);
+        check(hi - 1);
+    }
+    drop(state);
+    for &(_, key) in acked.iter().step_by(13) {
+        check(key - 1);
+        check(key + 1);
+    }
+    dc.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Regression: a replica quarantined while a shard's WAL sits
+/// mid-rotation (final record duplicated into a fresh segment — exactly
+/// what a crash between "write new segment" and "advance" leaves) must
+/// cold-start cleanly, with the duplicate skipped by sequence-number
+/// idempotency, not applied twice.
+#[test]
+fn quarantined_replica_and_half_rotated_wal_recover() {
+    let dir = tmp("halfrot");
+    let tree = crash_tree();
+    let dc = DurableCluster::create(&dir, &tree, ParamMode::Auto, cfg(2, 2), no_fsync()).unwrap();
+    let leaf = dc.cluster().leaves()[0];
+    let node = tree.path_from_root(leaf)[1];
+    let keys: Vec<i64> = (0..30).map(|i| 60_000_000 + i * 11).collect();
+    for &k in &keys {
+        dc.update_batch(&[UpdateOp::Insert(node, k)]).unwrap();
+    }
+    // Quarantine a whole replica, then keep writing: the durable log
+    // must not care about serving-side health.
+    assert!(dc.cluster().force_quarantine_replica(0, 0));
+    let extra: Vec<i64> = (0..10).map(|i| 61_000_000 + i * 11).collect();
+    for &k in &extra {
+        dc.update_batch(&[UpdateOp::Insert(node, k)]).unwrap();
+    }
+    drop(dc); // unclean stop: tail lives only in the WALs
+
+    // All high keys route to the last shard: half-rotate its WAL.
+    let state_dir = shard_dir(&epoch_dir(&dir, 1), 1);
+    let rotated = fault::half_rotate_last_segment(&state_dir)
+        .expect("io")
+        .expect("a record to duplicate");
+    assert!(rotated.exists());
+
+    let (dc2, rep) =
+        DurableCluster::<i64>::cold_start(&dir, ParamMode::Auto, cfg(2, 2), no_fsync()).unwrap();
+    assert!(
+        rep.skipped_records >= 1,
+        "duplicated record must be skipped by seq idempotency, got {rep:?}"
+    );
+    for &k in keys.iter().chain(&extra) {
+        let ok = dc2.cluster().query_blocking(leaf, k, None).unwrap();
+        let hit = ok
+            .path
+            .iter()
+            .zip(&ok.answers)
+            .any(|(n, a)| *n == node && *a == Some(k));
+        assert!(hit, "key {k} lost across quarantine + half rotation");
+    }
+    dc2.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every snapshot of one shard corrupted: cold start must refuse with a
+/// typed error — never serve a cluster missing a shard's data.
+#[test]
+fn all_snapshots_corrupt_is_a_typed_refusal() {
+    let dir = tmp("allcorrupt");
+    let tree = crash_tree();
+    let dc = DurableCluster::create(&dir, &tree, ParamMode::Auto, cfg(2, 1), no_fsync()).unwrap();
+    dc.checkpoint().unwrap();
+    drop(dc);
+    let sdir = shard_dir(&epoch_dir(&dir, 1), 0);
+    let snaps = fault::snapshot_files(&sdir).unwrap();
+    assert!(!snaps.is_empty());
+    for snap in snaps {
+        fault::flip_byte(&snap, 40, 0xFF).unwrap();
+    }
+    let res = DurableCluster::<i64>::cold_start(&dir, ParamMode::Auto, cfg(2, 1), no_fsync());
+    // With every candidate corrupt, the newest snapshot's typed error
+    // propagates (checksum here; the flip is inside the CRC'd header).
+    match res {
+        Err(StoreError::ChecksumMismatch { .. }) => {}
+        Err(e) => panic!("wrong error class for corrupt snapshots: {e}"),
+        Ok(_) => panic!("corrupt snapshots must be a typed refusal, not a served cluster"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A WAL segment deleted from the middle of a shard's log: replay must
+/// refuse with `MissingSegment` — applying around a hole would serve a
+/// silently wrong history.
+#[test]
+fn missing_middle_segment_is_typed() {
+    let dir = tmp("gap");
+    let tree = crash_tree();
+    // Tiny segments force many rotations.
+    let store_cfg = StoreConfig {
+        segment_bytes: 128,
+        fsync: false,
+        keep_snapshots: 2,
+    };
+    let dc = DurableCluster::create(&dir, &tree, ParamMode::Auto, cfg(2, 1), store_cfg).unwrap();
+    let leaf = dc.cluster().leaves()[0];
+    let node = tree.path_from_root(leaf)[1];
+    for i in 0..40i64 {
+        dc.update_batch(&[UpdateOp::Insert(node, 70_000_000 + i)])
+            .unwrap();
+    }
+    drop(dc);
+    let sdir = shard_dir(&epoch_dir(&dir, 1), 1);
+    let segs = fault::wal_segments(&sdir).unwrap();
+    assert!(segs.len() >= 3, "need a middle segment, got {}", segs.len());
+    fs::remove_file(&segs[1]).unwrap();
+    let res = DurableCluster::<i64>::cold_start(&dir, ParamMode::Auto, cfg(2, 1), store_cfg);
+    assert!(
+        matches!(res, Err(StoreError::MissingSegment { .. })),
+        "a WAL hole must be a typed refusal"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
