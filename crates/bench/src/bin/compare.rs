@@ -7,12 +7,21 @@
 //! FC_BENCH_TOLERANCE=0.5 cargo run -p fc-bench --release --bin compare -- . bench-out
 //! ```
 //!
-//! Only throughput-class fields gate (`throughput_qps` for serve/shard,
-//! `wal_ops_per_s` for store): they drop when the code slows down and are
-//! robust to core-count skew in the *same* direction as the gate (fewer
-//! cores on the fresh runner only ever makes the gate stricter for the
-//! parallel snapshots, and the tolerance absorbs runner jitter). Latency
-//! percentiles and build times are printed for visibility but not gated.
+//! Two field classes gate, sharing one tolerance:
+//!
+//! * **throughput** (`throughput_qps` for serve/shard, `wal_ops_per_s`
+//!   for store) — fails when the fresh value drops below
+//!   `base * (1 - tol)`;
+//! * **tail latency** (`p99_us` for serve/shard; the store snapshot has
+//!   no latency field) — fails when the fresh value rises above
+//!   `base * (1 + tol)`, so a change that keeps aggregate throughput but
+//!   stalls the p99 (a held lock, an fsync on the query path) still
+//!   fails the gate.
+//!
+//! Both are robust to core-count skew in the same direction as the gate
+//! (fewer cores only ever makes it stricter), and the tolerance absorbs
+//! runner jitter. p50 and build times are printed for visibility but not
+//! gated.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -83,18 +92,28 @@ fn main() -> ExitCode {
         }
     };
     let tol = tolerance();
-    // (file, throughput-class field that gates, workload-size field).
+    // (file, throughput field, workload-size field, p99 latency field).
     // Throughput under-measures on a smaller workload (fixed startup
     // costs amortize over fewer items), so a fresh run with a smaller
     // workload than the baseline prints a notice instead of failing —
     // CI generates both sides at the same size, so its gate stays hard.
     let gates = [
-        ("BENCH_serve.json", "throughput_qps", "queries"),
-        ("BENCH_shard.json", "throughput_qps", "queries"),
-        ("BENCH_store.json", "wal_ops_per_s", "wal_ops"),
+        (
+            "BENCH_serve.json",
+            "throughput_qps",
+            "queries",
+            Some("p99_us"),
+        ),
+        (
+            "BENCH_shard.json",
+            "throughput_qps",
+            "queries",
+            Some("p99_us"),
+        ),
+        ("BENCH_store.json", "wal_ops_per_s", "wal_ops", None),
     ];
     let mut failed = false;
-    for (file, gate_field, size_field) in gates {
+    for (file, gate_field, size_field, lat_field) in gates {
         let (base, cur) = match (load(&committed, file), load(&fresh, file)) {
             (Ok(b), Ok(c)) => (b, c),
             (b, c) => {
@@ -147,6 +166,29 @@ fn main() -> ExitCode {
                 eprintln!("[compare] FAIL {file}: {gate_field} missing or zero in baseline");
                 failed = true;
             }
+        }
+        // Tail-latency gate: p99 regressions fail even when aggregate
+        // throughput holds.
+        let Some(lat_field) = lat_field else {
+            continue;
+        };
+        match (base.get(lat_field), cur.get(lat_field)) {
+            (Some(b), Some(c)) if *b > 0.0 => {
+                let ceiling = b * (1.0 + tol);
+                if *c > ceiling {
+                    eprintln!(
+                        "[compare] FAIL {file}: {lat_field} {c:.2} > ceiling {ceiling:.2} \
+                         (committed {b:.2}, tolerance {:.0}%)",
+                        tol * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!("  PASS: {lat_field} {c:.2} <= ceiling {ceiling:.2}");
+                }
+            }
+            // A side without the field (older snapshot) is a notice, not
+            // a failure: the throughput gate above already ran.
+            _ => println!("  NOTE: {lat_field} missing on one side — latency gate not applied"),
         }
     }
     if failed {

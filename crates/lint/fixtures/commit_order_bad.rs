@@ -1,0 +1,17 @@
+// Canary: `commit-order` must flag each inverted durability ordering.
+
+fn rename_before_fsync(f: &std::fs::File, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    f.write_all(b"snapshot bytes")?;
+    std::fs::rename(tmp, dst)?;
+    f.sync_all()
+}
+
+fn apply_before_append(&self, ops: &[Op]) -> std::io::Result<()> {
+    self.svc.update_batch(ops);
+    self.store.append_batch(ops)
+}
+
+fn manifest_before_persist(&self, dir: &Path) -> std::io::Result<()> {
+    write_manifest(dir, &self.manifest, true)?;
+    persist_epoch(&self.cluster, dir, self.epoch, true)
+}

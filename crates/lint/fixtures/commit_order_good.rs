@@ -1,0 +1,26 @@
+// Canary twin: the three orderings done right, including the gated-fsync
+// shape the real `atomic_write` uses.
+
+fn write_then_sync_then_rename(
+    f: &std::fs::File,
+    tmp: &Path,
+    dst: &Path,
+    fsync: bool,
+) -> std::io::Result<()> {
+    f.write_all(b"snapshot bytes")?;
+    if fsync {
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, dst)
+}
+
+fn append_then_apply(&self, ops: &[Op]) -> std::io::Result<()> {
+    self.store.append_batch(ops)?;
+    self.svc.update_batch(ops);
+    Ok(())
+}
+
+fn persist_then_manifest(&self, dir: &Path) -> std::io::Result<()> {
+    persist_epoch(&self.cluster, dir, self.epoch, true)?;
+    write_manifest(dir, &self.manifest, true)
+}

@@ -1,0 +1,18 @@
+// Canary: `hot-alloc` must flag heap allocation inside descent/probe hot
+// paths — the flat-arena rewrite worklist.
+
+fn descend(starts: &[u32]) -> Vec<u32> {
+    let mut path = Vec::new();
+    for s in starts {
+        path.push(*s);
+    }
+    path
+}
+
+fn probe(keys: &[u32]) -> Vec<u32> {
+    keys.to_vec()
+}
+
+fn trace(level: usize) -> String {
+    format!("level {level}")
+}

@@ -1,0 +1,14 @@
+// Canary twin: the same work written against caller-provided buffers —
+// no heap traffic on the hot path.
+
+fn descend(starts: &[u32], path: &mut [u32]) -> usize {
+    let n = starts.len().min(path.len());
+    path[..n].copy_from_slice(&starts[..n]);
+    n
+}
+
+fn probe(keys: &[u32], out: &mut [u32]) -> usize {
+    let n = keys.len().min(out.len());
+    out[..n].copy_from_slice(&keys[..n]);
+    n
+}

@@ -1,0 +1,11 @@
+// Canary: `hot-path-strict` must flag both direct slice indexing and
+// panicking constructs inside a hot-path scope.
+
+fn checked_descend(keys: &[u32], i: usize) -> u32 {
+    let k = keys[i];
+    k
+}
+
+fn audit_locate(bridges: &[Vec<usize>], level: usize) -> usize {
+    bridges[level].first().copied().unwrap()
+}

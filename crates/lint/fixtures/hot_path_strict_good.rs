@@ -1,0 +1,25 @@
+// Canary twin: the same lookups via `.get(..)` with typed blame, plus
+// bracket shapes the indexing check must NOT fire on (types, attributes,
+// macros).
+
+#[derive(Debug)]
+enum Blame {
+    Bridge(usize),
+}
+
+fn checked_descend(keys: &[u32], i: usize) -> Result<u32, Blame> {
+    keys.get(i).copied().ok_or(Blame::Bridge(i))
+}
+
+fn audit_locate(bridges: &[Vec<usize>], level: usize) -> Result<usize, Blame> {
+    bridges
+        .get(level)
+        .and_then(|b| b.first())
+        .copied()
+        .ok_or(Blame::Bridge(level))
+}
+
+fn shapes(keys: &[u32]) -> [u32; 2] {
+    let v = vec![1u32, 2];
+    [keys.first().copied().unwrap_or(0), v.len() as u32]
+}

@@ -1,0 +1,30 @@
+// Canary: `lock-discipline` must flag guards held across blocking effects
+// (fsync, channel send, epoch publish) and inconsistent pairwise lock
+// order.
+
+fn fsync_under_guard(&self) -> std::io::Result<()> {
+    let inner = self.inner.lock();
+    inner.file.sync_all()
+}
+
+fn send_under_guard(&self, job: Job) {
+    let queue = self.queue.lock();
+    self.tx.send(job);
+    drop(queue);
+}
+
+fn publish_under_guard(&self, gen: u64) {
+    let writer = self.writer.lock();
+    self.epoch.swap(gen);
+    drop(writer);
+}
+
+fn order_ab(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+}
+
+fn order_ba(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+}

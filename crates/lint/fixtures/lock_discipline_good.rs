@@ -1,0 +1,36 @@
+// Canary twin: the same effects with the guard released first, and a
+// consistent pairwise lock order.
+
+fn fsync_after_release(&self) -> std::io::Result<()> {
+    let file = {
+        let inner = self.inner.lock();
+        inner.file.try_clone()?
+    };
+    file.sync_all()
+}
+
+fn send_after_release(&self, job: Job) {
+    let seq = {
+        let queue = self.queue.lock();
+        queue.next_seq()
+    };
+    self.tx.send((seq, job));
+}
+
+fn publish_after_release(&self, gen: u64) {
+    {
+        let writer = self.writer.lock();
+        writer.prepare(gen);
+    }
+    self.epoch.swap(gen);
+}
+
+fn order_ab(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+}
+
+fn order_ab_again(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+}

@@ -1,0 +1,18 @@
+// Canary: `panic-free` must flag every panicking construct in non-test
+// code. This file is data for tests/lint_selftest.rs, never compiled.
+
+fn config_port(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn parse(s: &str) -> u32 {
+    s.parse().expect("caller validated")
+}
+
+fn route(kind: u8) -> &'static str {
+    match kind {
+        0 => "read",
+        1 => "write",
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,23 @@
+// Canary twin: the same shapes written panic-free, plus the places the
+// rule must NOT fire — `unwrap_or*` helpers, strings, comments, tests.
+
+fn config_port(v: Option<u32>) -> u32 {
+    v.unwrap_or(8080)
+}
+
+fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+fn describe() -> &'static str {
+    // A comment saying .unwrap() must not trip the lint.
+    "calling .unwrap() here would panic!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+// Canary: a suppression without the required `-- <reason>` is inert AND
+// is itself a finding, so the original violation still fails the run.
+
+fn config_port(v: Option<u32>) -> u32 {
+    v.unwrap() // fc-lint: allow(panic-free)
+}

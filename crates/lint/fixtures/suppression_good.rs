@@ -1,0 +1,6 @@
+// Canary twin: a reasoned suppression silences exactly its rule on its
+// target line.
+
+fn config_port(v: Option<u32>) -> u32 {
+    v.unwrap() // fc-lint: allow(panic-free) -- fixture: validated by caller, reasoned suppression is legal
+}

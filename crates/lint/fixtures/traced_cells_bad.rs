@@ -1,0 +1,10 @@
+// Canary: `traced-cells` must flag raw shadow-memory access that bypasses
+// the traced read/write API.
+
+fn poke(m: &mut Memory) {
+    m.cells[0] = 1;
+}
+
+fn peek(m: &Memory, i: usize) -> u64 {
+    m.cells[i]
+}

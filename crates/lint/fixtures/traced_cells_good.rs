@@ -1,0 +1,13 @@
+// Canary twin: the traced API and the legal accessor method.
+
+fn poke(m: &mut Memory) {
+    m.write(0, 1);
+}
+
+fn peek(m: &Memory, i: usize) -> u64 {
+    m.read(i)
+}
+
+fn snapshot(m: &Memory) -> usize {
+    m.cells().len()
+}

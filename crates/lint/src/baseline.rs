@@ -1,0 +1,153 @@
+//! The committed-baseline workflow for grandfathered findings.
+//!
+//! Rules that sweep the whole workspace (`panic-free`, `hot-alloc`) land
+//! with pre-existing findings; instead of suppressing hundreds of lines
+//! inline, those are recorded in `lint-baseline.txt` at the repo root. A
+//! finding is *grandfathered* when its `(rule, file, trimmed source line)`
+//! triple matches an unconsumed baseline entry — line-content matching
+//! keeps the baseline stable across unrelated edits that shift line
+//! numbers. New findings (not in the baseline) fail the run; stale entries
+//! (in the baseline but no longer found) are reported so the file gets
+//! regenerated with `xtask lint --all --update-baseline` as the worklist
+//! burns down.
+//!
+//! Format: one entry per line, tab-separated: `rule<TAB>file<TAB>content`.
+//! Lines starting with `#` are comments.
+
+use crate::Finding;
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+/// An in-memory baseline: a multiset of `(rule, file, content)` entries.
+#[derive(Default)]
+pub struct Baseline {
+    entries: HashMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Load from `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let mut bl = Baseline::default();
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(bl),
+            Err(e) => return Err(format!("baseline {}: {e}", path.display())),
+        };
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(file), Some(content)) => {
+                    *bl.entries
+                        .entry((rule.to_owned(), file.to_owned(), content.to_owned()))
+                        .or_insert(0) += 1;
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline {}:{}: expected rule<TAB>file<TAB>content",
+                        path.display(),
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(bl)
+    }
+
+    /// Consume one entry matching the finding; returns whether it was
+    /// grandfathered.
+    pub fn consume(&mut self, f: &Finding) -> bool {
+        let key = (f.rule.to_owned(), f.file.clone(), f.content.clone());
+        match self.entries.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Entries never consumed: the stale part of the baseline.
+    pub fn stale(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|((rule, file, content), n)| format!("{rule}\t{file}\t{content} (x{n})"))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Serialize `findings` (already filtered to baselined rules) as a
+    /// fresh baseline file.
+    pub fn render(findings: &[&Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.rule, f.file, f.content))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# fc-lint baseline: grandfathered findings, one per line\n\
+             # (rule<TAB>file<TAB>trimmed source line). Regenerate with\n\
+             #   cargo run -p xtask -- lint --all --update-baseline\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, content: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line: 1,
+            message: String::new(),
+            content: content.to_owned(),
+        }
+    }
+
+    #[test]
+    fn consume_matches_by_content_multiset() {
+        let f1 = finding("panic-free", "a.rs", "x.unwrap();");
+        let f2 = finding("panic-free", "a.rs", "x.unwrap();");
+        let rendered = Baseline::render(&[&f1]);
+        let dir = std::env::temp_dir().join(format!("fc-lint-bl-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.txt");
+        fs::write(&path, rendered).unwrap();
+        let mut bl = Baseline::load(&path).unwrap();
+        assert!(bl.consume(&f1), "first occurrence grandfathered");
+        assert!(!bl.consume(&f2), "second identical line is a new finding");
+        assert!(bl.stale().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let f = finding("hot-alloc", "b.rs", "v.to_vec()");
+        let dir = std::env::temp_dir().join(format!("fc-lint-bl2-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.txt");
+        fs::write(&path, Baseline::render(&[&f])).unwrap();
+        let bl = Baseline::load(&path).unwrap();
+        assert_eq!(bl.stale().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let bl = Baseline::load(Path::new("/nonexistent/fc-lint-baseline")).unwrap();
+        assert!(bl.stale().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! A lightweight Rust tokenizer over stripped source lines.
+//!
+//! Produces just enough structure for the protocol rules: identifiers and
+//! single-character punctuation, each tagged with its 1-based source line.
+//! Numbers are skipped (no rule matches on them); string/char literals and
+//! comments were already blanked by [`crate::source::strip_noncode`].
+
+/// One token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`{ } ( ) [ ] . ; , = & ...`).
+    Punct(char),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+impl SpannedTok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Tokenize stripped lines (`code` from a
+/// [`SourceFile`](crate::source::SourceFile)), truncated at `end` lines.
+pub fn lex(code: &[String], end: usize) -> Vec<SpannedTok> {
+    let mut out = Vec::new();
+    for (idx, line) in code.iter().enumerate().take(end) {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(line[start..i].to_owned()),
+                    line: idx + 1,
+                });
+            } else if b.is_ascii_digit() {
+                // Skip numeric literals (including suffixed ones like 1u64
+                // and floats; the trailing ident chars are part of them).
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop before a range operator `..` so `0..n` still
+                    // lexes the second bound.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+            } else {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(b as char),
+                    line: idx + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(s: &str) -> Vec<SpannedTok> {
+        let lines: Vec<String> = s.lines().map(str::to_owned).collect();
+        let n = lines.len();
+        lex(&lines, n)
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex_str("let _g = self.write_lock.lock();");
+        let idents: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["let", "_g", "self", "write_lock", "lock"]);
+        assert!(toks.iter().any(|t| t.is(';')));
+    }
+
+    #[test]
+    fn numbers_are_skipped_but_ranges_lex() {
+        let toks = lex_str("for i in 0..count { x += 1u64; }");
+        let idents: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["for", "i", "in", "count", "x"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex_str("a\nb\nc");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Brace-scoped block parsing: locate every `fn` item and its
+//! brace-matched body in a token stream.
+//!
+//! The parser is deliberately shallow — it does not build an AST. A
+//! function is `fn <name> ... {` where the opening brace is the first `{`
+//! at zero paren/bracket depth after the name (so closures, generics, and
+//! where-clauses in the signature do not confuse it), and the body is the
+//! matching brace range. Nested functions are reported both standalone and
+//! inside their parent's range; rules that walk bodies tolerate that.
+
+use crate::lexer::SpannedTok;
+
+/// One function item found in a token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based source line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the body's opening `{`.
+    pub body_start: usize,
+    /// Token index of the body's closing `}` (inclusive range end).
+    pub body_end: usize,
+}
+
+/// Extract every `fn` item (including nested ones) from `toks`.
+pub fn functions(toks: &[SpannedTok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident() == Some("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if let Some(name) = name_tok.ident() {
+                    if let Some((start, end)) = body_range(toks, i + 2) {
+                        out.push(FnItem {
+                            name: name.to_owned(),
+                            line: toks[i].line,
+                            body_start: start,
+                            body_end: end,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From `from`, find the first `{` at zero paren/bracket depth, then its
+/// matching `}`. Returns token indices `(open, close)`.
+fn body_range(toks: &[SpannedTok], from: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut open = None;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        match t {
+            t if t.is('(') => paren += 1,
+            t if t.is(')') => paren -= 1,
+            t if t.is('[') => bracket += 1,
+            t if t.is(']') => bracket -= 1,
+            t if t.is('{') && paren == 0 && bracket == 0 => {
+                open = Some(i);
+                break;
+            }
+            t if t.is(';') && paren == 0 && bracket == 0 => {
+                // Trait method / extern declaration without a body.
+                return None;
+            }
+            _ => {}
+        }
+    }
+    let open = open?;
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is('{') {
+            depth += 1;
+        } else if t.is('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, i));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+        let n = lines.len();
+        functions(&lex(&lines, n))
+    }
+
+    #[test]
+    fn finds_functions_with_tricky_signatures() {
+        let src = "\
+fn plain() { body(); }
+fn generic<K: Key>(xs: &[K]) -> [u32; 4] where K: Ord {
+    inner();
+}
+trait T { fn declared_only(&self); }
+fn with_closure() { let f = |x: u32| { x + 1 }; f(2); }
+";
+        let items = fns(src);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["plain", "generic", "with_closure"]);
+        assert_eq!(items[1].line, 2);
+    }
+
+    #[test]
+    fn body_ranges_are_brace_matched() {
+        let src = "fn a() { if x { y(); } else { z(); } }\nfn b() { c(); }";
+        let items = fns(src);
+        assert_eq!(items.len(), 2);
+        // `a`'s body must not swallow `b`.
+        assert!(items[0].body_end < items[1].body_start);
+    }
+
+    #[test]
+    fn nested_fns_are_reported() {
+        let items = fns("fn outer() { fn inner() { q(); } inner(); }");
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Source loading: comment/string stripping, test-module truncation, and
+//! the `// fc-lint: allow(<rule>) -- <reason>` suppression grammar.
+//!
+//! Every rule sees the same preprocessed view of a file:
+//!
+//! * `raw` — the file exactly as read (suppression comments live here);
+//! * `code` — one stripped line per raw line, comments and string/char
+//!   literal *contents* replaced by spaces so lexical checks only ever
+//!   match real code;
+//! * `code_end` — the first line of the trailing `#[cfg(test)]` module
+//!   (workspace convention: test modules close every file), so rules skip
+//!   test code without parsing `cfg` attributes.
+
+use std::fs;
+use std::path::Path;
+
+/// One suppression comment, parsed from the raw source.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The line the suppression *applies to* (1-based): its own line for a
+    /// trailing comment, the next code line for a standalone comment line.
+    pub target_line: usize,
+    /// Line the comment itself sits on (1-based), for diagnostics.
+    pub at_line: usize,
+    /// Whether a non-empty `-- <reason>` was given. Reason-less
+    /// suppressions are themselves findings: the grammar requires a why.
+    pub has_reason: bool,
+}
+
+/// A loaded, preprocessed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Raw lines as read.
+    pub raw: Vec<String>,
+    /// Stripped lines: comments gone, literal contents blanked.
+    pub code: Vec<String>,
+    /// Exclusive end of non-test code (index into `raw`/`code`).
+    pub code_end: usize,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Load and preprocess `path`, reported under the name `rel`.
+    pub fn load(path: &Path, rel: &str) -> Result<SourceFile, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{rel}: unreadable ({e})"))?;
+        Ok(SourceFile::from_text(rel, &text))
+    }
+
+    /// Preprocess in-memory source (used by the fixture selftests too).
+    pub fn from_text(rel: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let mut code = Vec::with_capacity(raw.len());
+        let mut in_block = false;
+        for line in &raw {
+            code.push(strip_noncode(line, &mut in_block));
+        }
+        let code_end = raw
+            .iter()
+            .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+            .unwrap_or(raw.len());
+        let suppressions = parse_suppressions(&raw, &code);
+        SourceFile {
+            rel: rel.to_owned(),
+            raw,
+            code,
+            code_end,
+            suppressions,
+        }
+    }
+
+    /// Whether `rule` is suppressed on `line` (1-based), honoring both
+    /// trailing and standalone suppression comments.
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.target_line == line && s.has_reason && s.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parse every `fc-lint: allow(...)` comment. A standalone comment line
+/// targets the next line that contains code; a trailing comment targets
+/// its own line.
+///
+/// The marker must *lead* a real `//` comment: mentions inside string
+/// literals, doc prose, or mid-comment text are documentation, not
+/// suppressions. The comment boundary comes from the stripped `code`
+/// line — `strip_noncode` stops at a code-level `//`, and every consumed
+/// raw byte yields exactly one output char, so the comment starts at
+/// byte offset `code.chars().count()`.
+fn parse_suppressions(raw: &[String], code: &[String]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, line) in raw.iter().enumerate() {
+        let cut = code.get(i).map_or(0, |c| c.chars().count());
+        let comment = line.get(cut..).unwrap_or("");
+        if !comment.starts_with("//") {
+            continue;
+        }
+        let text = comment.trim_start_matches('/').trim_start();
+        let Some(rest) = text.strip_prefix("fc-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            // Malformed marker: surface it as a reason-less suppression so
+            // the meta-rule reports it instead of silently ignoring it.
+            out.push(Suppression {
+                rules: Vec::new(),
+                target_line: i + 1,
+                at_line: i + 1,
+                has_reason: false,
+            });
+            continue;
+        };
+        let (rules_str, tail) = inner;
+        let rules: Vec<String> = rules_str
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let has_reason = tail
+            .trim_start()
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        let standalone = line.trim_start().starts_with("//");
+        let target_line = if standalone {
+            // Next line containing any code (skip blanks and comments).
+            raw.iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, l)| {
+                    let t = l.trim();
+                    !t.is_empty() && !t.starts_with("//")
+                })
+                .map(|(j, _)| j + 1)
+                .unwrap_or(i + 1)
+        } else {
+            i + 1
+        };
+        out.push(Suppression {
+            rules,
+            target_line,
+            at_line: i + 1,
+            has_reason,
+        });
+    }
+    out
+}
+
+/// Replace comments and string/char-literal contents with spaces so the
+/// lexical checks only see code. Tracks `/* ... */` across lines via
+/// `in_block`. Escape-aware for `\"` inside strings; raw strings with `#`
+/// guards are treated as plain strings (good enough for this codebase).
+pub fn strip_noncode(line: &str, in_block: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                *in_block = false;
+                out.push_str("  ");
+                i += 2;
+            } else {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                *in_block = true;
+                out.push_str("  ");
+                i += 2;
+            }
+            b'"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' if bytes.get(i + 2) == Some(&b'\'') || bytes.get(i + 1) == Some(&b'\\') => {
+                // char literal ('x' or '\n'); lifetimes ('a) fall through
+                let close = bytes[i + 1..].iter().position(|&b| b == b'\'');
+                let len = close.map_or(1, |c| c + 2);
+                for _ in 0..len {
+                    out.push(' ');
+                }
+                i += len;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let mut b = false;
+        assert_eq!(
+            strip_noncode("let x = 1; // keys[3]", &mut b),
+            "let x = 1; "
+        );
+        assert!(!strip_noncode(r#"format!("{}[{}]", a, b)"#, &mut b).contains("[{"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let mut in_block = false;
+        let a = strip_noncode("code(); /* v[0]", &mut in_block);
+        assert!(in_block && !a.contains("v[0]"));
+        let b = strip_noncode("still v[1] */ after()", &mut in_block);
+        assert!(!in_block && b.contains("after()") && !b.contains("v[1]"));
+    }
+
+    #[test]
+    fn suppression_grammar_round_trips() {
+        let src = "\
+fn f() {
+    let x = v.first().unwrap(); // fc-lint: allow(panic-free) -- v checked non-empty above
+    // fc-lint: allow(lock-discipline, commit-order) -- intentional: WAL order = apply order
+    let g = m.lock();
+    let y = w.unwrap(); // fc-lint: allow(panic-free)
+}
+";
+        let sf = SourceFile::from_text("t.rs", src);
+        assert!(sf.is_suppressed("panic-free", 2));
+        assert!(
+            sf.is_suppressed("lock-discipline", 4),
+            "standalone targets next code line"
+        );
+        assert!(sf.is_suppressed("commit-order", 4));
+        assert!(
+            !sf.is_suppressed("panic-free", 5),
+            "reason-less suppression is inert"
+        );
+        let missing: Vec<_> = sf.suppressions.iter().filter(|s| !s.has_reason).collect();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].at_line, 5);
+    }
+
+    #[test]
+    fn code_end_stops_at_test_module() {
+        let sf = SourceFile::from_text("t.rs", "fn a() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(sf.code_end, 1);
+    }
+}

@@ -94,9 +94,12 @@ impl<K: CatalogKey + KeyCodec> DurableService<K> {
     /// rebuild (the new generation is snapshotted before returning).
     pub fn update_batch(&self, ops: &[UpdateOp<K>]) -> Result<bool, StoreError> {
         let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        // fc-lint: allow(lock-discipline) -- intentional: WAL append order must equal apply order, so writers serialize across the fsync
         self.store.append_batch(ops)?;
+        // fc-lint: allow(lock-discipline) -- intentional: the apply (and any rebuild fsync) stays under the writer lock to keep WAL order = apply order
         let rebuilt = self.svc.update_batch(ops);
         if rebuilt {
+            // fc-lint: allow(lock-discipline) -- intentional: snapshot the generation this batch published before admitting the next writer
             self.persist_published()?;
         }
         Ok(rebuilt)
@@ -106,7 +109,9 @@ impl<K: CatalogKey + KeyCodec> DurableService<K> {
     /// Returns the new snapshot id.
     pub fn checkpoint(&self) -> Result<u64, StoreError> {
         let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        // fc-lint: allow(lock-discipline) -- intentional: checkpoint publishes and persists atomically w.r.t. concurrent writers
         self.svc.force_publish();
+        // fc-lint: allow(lock-discipline) -- intentional: persist the exact generation just published, before the next writer moves it
         self.persist_published()
     }
 

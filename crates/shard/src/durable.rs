@@ -236,9 +236,11 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
         drop(cstate);
         for (store, shard_ops) in st.stores.iter().zip(&grouped) {
             if !shard_ops.is_empty() {
+                // fc-lint: allow(lock-discipline) -- intentional: per-shard WAL append order must equal apply order, so writers serialize across the fsync
                 store.append_batch(shard_ops)?;
             }
         }
+        // fc-lint: allow(lock-discipline) -- intentional: the in-memory apply stays under the state lock so no writer can interleave between log and apply
         self.cluster.update_batch(ops);
         Ok(())
     }
@@ -256,6 +258,7 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
         }
         for (group, store) in cstate.groups.iter().zip(&st.stores) {
             for svc in group.iter() {
+                // fc-lint: allow(lock-discipline) -- intentional: checkpoint must drain+publish every replica with writers held off, or the snapshots diverge
                 svc.force_publish();
             }
             let svc = group
@@ -263,6 +266,7 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
                 .ok_or_else(|| invalid("shard has no replica to snapshot"))?;
             let generation = svc.gen_stats().generation;
             let snapshot = svc.snapshot();
+            // fc-lint: allow(lock-discipline) -- intentional: snapshot the drained generation before any writer can move it
             store.persist_snapshot(snapshot.st.tree(), generation)?;
             store.prune()?;
         }
@@ -278,6 +282,7 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
     /// `Ok(None)` when the shard cannot split.
     pub fn split_durable(&self, shard: usize) -> Result<Option<u64>, StoreError> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        // fc-lint: allow(lock-discipline) -- intentional: the whole split (resplit, drain, persist, manifest commit) is one critical section; a concurrent writer would log to the wrong shard's WAL
         let Some(version) = self.cluster.split_shard(shard) else {
             return Ok(None);
         };
@@ -286,13 +291,16 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
         let cstate = self.cluster.state();
         for group in &cstate.groups {
             for svc in group.iter() {
+                // fc-lint: allow(lock-discipline) -- intentional: see the critical-section note at the top of split_durable
                 svc.force_publish();
             }
         }
         drop(cstate);
         let new_epoch = st.epoch + 1;
+        // fc-lint: allow(lock-discipline) -- intentional: see the critical-section note at the top of split_durable
         let stores = persist_epoch(&self.cluster, &self.dir, new_epoch, &self.store_cfg)?;
         let cstate = self.cluster.state();
+        // fc-lint: allow(lock-discipline) -- intentional: see the critical-section note at the top of split_durable
         write_manifest::<K>(
             &self.dir,
             &Manifest {

@@ -785,6 +785,7 @@ impl<K: CatalogKey> ShardCluster<K> {
                 continue;
             }
             for svc in group.iter() {
+                // fc-lint: allow(lock-discipline) -- intentional: update_lock serializes updates against splits so ops cannot strand on a stale routing table
                 svc.update_batch(&ops);
             }
         }

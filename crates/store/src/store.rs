@@ -123,6 +123,7 @@ impl<K: CatalogKey + KeyCodec> Store<K> {
     /// With fsync enabled the record is on disk when this returns — the
     /// caller may only then apply the ops to the in-memory structure.
     pub fn append_batch(&self, ops: &[UpdateOp<K>]) -> Result<u64, StoreError> {
+        // fc-lint: allow(lock-discipline) -- intentional: the WAL mutex must cover the fsynced append so records hit the log in sequence order
         self.lock().wal.append(ops)
     }
 
@@ -136,6 +137,7 @@ impl<K: CatalogKey + KeyCodec> Store<K> {
         let mut inner = self.lock();
         let watermark = inner.wal.next_seq().saturating_sub(1);
         let id = inner.next_snap_id;
+        // fc-lint: allow(lock-discipline) -- intentional: the watermark read and the snapshot write must be atomic w.r.t. concurrent appends
         snapshot::write_snapshot_file(&self.dir, id, tree, logical_gen, watermark, self.cfg.fsync)?;
         inner.next_snap_id = id + 1;
         inner.last_watermark = watermark;

@@ -451,11 +451,27 @@ impl WalWriter {
         };
         if over {
             let path = self.dir.join(segment_file_name(seq));
-            let mut file = fs::OpenOptions::new()
+            let create = fs::OpenOptions::new()
                 .create_new(true)
                 .write(true)
-                .open(&path)
-                .map_err(|e| StoreError::io("create segment", &path, e))?;
+                .open(&path);
+            let mut file = match create {
+                Ok(f) => f,
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // A crash right after rotation leaves `wal-<seq>.fcw`
+                    // holding only its header (or a torn first record).
+                    // No acknowledged record can live in it: a complete
+                    // record at `seq` would have advanced recovery's
+                    // next_seq past `seq`. Reclaim the file by truncating
+                    // instead of wedging every future append.
+                    fs::OpenOptions::new()
+                        .write(true)
+                        .truncate(true)
+                        .open(&path)
+                        .map_err(|e| StoreError::io("reclaim segment", &path, e))?
+                }
+                Err(e) => return Err(StoreError::io("create segment", &path, e)),
+            };
             let header = encode_segment_header(self.key_width, seq);
             file.write_all(&header)
                 .map_err(|e| StoreError::io("write header", &path, e))?;
@@ -542,6 +558,25 @@ mod tests {
         let (stats, _) = collect(&dir, 0);
         assert_eq!(stats.records_applied, 20);
         assert_eq!(stats.segments, segs.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_only_leftover_segment_is_reclaimed_not_wedged() {
+        let dir = tmp("reclaim");
+        // Simulate a crash right after rotation: the next segment exists
+        // on disk holding only its header.
+        let leftover = dir.join(segment_file_name(1));
+        fs::write(&leftover, encode_segment_header(8, 1)).unwrap();
+        let mut w = WalWriter::new(&dir, 8, false, 1 << 20, 1);
+        assert_eq!(
+            w.append(&ops(0)).unwrap(),
+            1,
+            "append must reclaim, not wedge"
+        );
+        let (stats, seen) = collect(&dir, 0);
+        assert_eq!(stats.records_applied, 1);
+        assert_eq!(seen.first().map(|(s, _)| *s), Some(1));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,112 @@
+//! Selftest over the fc-lint canary fixture corpus: every shipped rule
+//! must flag its known-bad fixture and stay silent on the known-good
+//! twin. This is the same safety net the PR 2 discipline analyzer gets
+//! from its detected-canary gate — an analyzer that stops seeing its
+//! canaries is worse than no analyzer, because it keeps green-lighting
+//! CI while blind.
+//!
+//! Wired as an integration test of `fc-lint` (fixtures live at
+//! `crates/lint/fixtures/<rule>_bad.rs` / `<rule>_good.rs` with `-`
+//! mapped to `_`).
+
+use std::path::PathBuf;
+
+use fc_lint::{check_fixture, rules, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn run(rule: &str, which: &str) -> Vec<Finding> {
+    let file = format!("{}_{which}.rs", rule.replace('-', "_"));
+    check_fixture(rule, &fixture(&file))
+        .unwrap_or_else(|e| panic!("running `{rule}` over {file}: {e}"))
+}
+
+/// Every registered rule has a fixture pair, the bad one is flagged by
+/// that rule, and the good twin is completely clean.
+#[test]
+fn every_rule_flags_its_bad_fixture_and_passes_its_good_twin() {
+    let registry = rules::all();
+    assert!(!registry.is_empty());
+    for rule in &registry {
+        let id = rule.id();
+        let bad = run(id, "bad");
+        assert!(
+            bad.iter().any(|f| f.rule == id),
+            "rule `{id}` failed to flag its known-bad fixture: {bad:?}"
+        );
+        let good = run(id, "good");
+        assert!(
+            good.is_empty(),
+            "rule `{id}` (or the suppression meta-rule) flagged the known-good twin: {good:?}"
+        );
+    }
+}
+
+/// The lock rule sees all three effect classes (fsync, send, publish) and
+/// the order inversion — not just one of them.
+#[test]
+fn lock_discipline_catches_every_effect_class() {
+    let bad = run("lock-discipline", "bad");
+    for needle in ["fsync", "send", "publish", "order"] {
+        assert!(
+            bad.iter().any(|f| f.message.contains(needle)),
+            "lock-discipline bad fixture missing a `{needle}` finding: {bad:?}"
+        );
+    }
+}
+
+/// The commit rule catches each of the three protocol inversions.
+#[test]
+fn commit_order_catches_every_protocol_inversion() {
+    let bad = run("commit-order", "bad");
+    for needle in [
+        "never fsynced",
+        "write-ahead violated",
+        "commit point and must come last",
+    ] {
+        assert!(
+            bad.iter().any(|f| f.message.contains(needle)),
+            "commit-order bad fixture missing a `{needle}` finding: {bad:?}"
+        );
+    }
+}
+
+/// A reason-less suppression is inert (the underlying finding survives)
+/// and is itself reported by the suppression meta-rule.
+#[test]
+fn reasonless_suppression_is_inert_and_reported() {
+    let bad = check_fixture("panic-free", &fixture("suppression_bad.rs")).unwrap();
+    assert!(
+        bad.iter().any(|f| f.rule == "panic-free"),
+        "reason-less suppression must not silence the finding: {bad:?}"
+    );
+    assert!(
+        bad.iter().any(|f| f.rule == "suppression"),
+        "missing the meta-rule finding for the reason-less suppression: {bad:?}"
+    );
+
+    let good = check_fixture("panic-free", &fixture("suppression_good.rs")).unwrap();
+    assert!(
+        good.is_empty(),
+        "a reasoned suppression must silence exactly its rule: {good:?}"
+    );
+}
+
+/// Unknown rule ids are rejected with the known list, both via selection
+/// and inside `allow(...)` comments.
+#[test]
+fn unknown_rule_ids_are_rejected() {
+    let err = match rules::select(&["no-such-rule".to_owned()]) {
+        Err(e) => e,
+        Ok(_) => panic!("selecting an unknown rule id must fail"),
+    };
+    assert!(err.contains("unknown rule"), "{err}");
+    assert!(
+        err.contains("lock-discipline"),
+        "error should list known rules: {err}"
+    );
+}

@@ -12,11 +12,17 @@ fn reopen_after_header_only_tail_can_append() {
     let dir = std::env::temp_dir().join(format!("wedge-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
-    let cfg = StoreConfig { segment_bytes: 64, fsync: false, keep_snapshots: 2 };
+    let cfg = StoreConfig {
+        segment_bytes: 64,
+        fsync: false,
+        keep_snapshots: 2,
+    };
     {
         let store = Store::<i64>::open(&dir, cfg).unwrap();
         for i in 0..3 {
-            store.append_batch(&[UpdateOp::Insert(NodeId(0), i)]).unwrap();
+            store
+                .append_batch(&[UpdateOp::Insert(NodeId(0), i)])
+                .unwrap();
         }
     }
     // Truncate the last segment down to just its header: the torn first
