@@ -9,11 +9,12 @@
 //!
 //! Two field classes gate, sharing one tolerance:
 //!
-//! * **throughput** (`throughput_qps` for serve/shard, `wal_ops_per_s`
-//!   for store) — fails when the fresh value drops below
-//!   `base * (1 - tol)`;
-//! * **tail latency** (`p99_us` for serve/shard; the store snapshot has
-//!   no latency field) — fails when the fresh value rises above
+//! * **throughput** (`search_qps` for the core microbench,
+//!   `throughput_qps` for serve/shard, `wal_ops_per_s` for store) —
+//!   fails when the fresh value drops below `base * (1 - tol)`;
+//! * **tail latency** (`descent_ns` for core, `p99_us` for serve/shard;
+//!   the store snapshot has no latency field) — fails when the fresh
+//!   value rises above
 //!   `base * (1 + tol)`, so a change that keeps aggregate throughput but
 //!   stalls the p99 (a held lock, an fsync on the query path) still
 //!   fails the gate.
@@ -98,6 +99,12 @@ fn main() -> ExitCode {
     // workload than the baseline prints a notice instead of failing —
     // CI generates both sides at the same size, so its gate stays hard.
     let gates = [
+        (
+            "BENCH_core.json",
+            "search_qps",
+            "queries",
+            Some("descent_ns"),
+        ),
         (
             "BENCH_serve.json",
             "throughput_qps",

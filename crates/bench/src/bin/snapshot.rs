@@ -1,6 +1,6 @@
-//! Write the serving + durability performance snapshots
-//! (`BENCH_serve.json`, `BENCH_shard.json`, `BENCH_store.json`) into a
-//! directory (default: the current one).
+//! Write the core + serving + durability performance snapshots
+//! (`BENCH_core.json`, `BENCH_serve.json`, `BENCH_shard.json`,
+//! `BENCH_store.json`) into a directory (default: the current one).
 //!
 //! ```text
 //! cargo run -p fc-bench --release --bin snapshot -- <out-dir>
@@ -26,7 +26,7 @@ fn main() {
         store.snapshot_ms, store.wal_ops_per_s, store.recover_ms, store.replayed_records
     );
     eprintln!(
-        "[snapshot] wrote BENCH_serve.json, BENCH_shard.json, BENCH_store.json in {}",
+        "[snapshot] wrote BENCH_core.json, BENCH_serve.json, BENCH_shard.json, BENCH_store.json in {}",
         dir.display()
     );
 }

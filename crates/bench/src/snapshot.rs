@@ -1,5 +1,5 @@
-//! Service-level performance snapshots (`BENCH_serve.json` /
-//! `BENCH_shard.json` / `BENCH_store.json`).
+//! Core and service-level performance snapshots (`BENCH_core.json` /
+//! `BENCH_serve.json` / `BENCH_shard.json` / `BENCH_store.json`).
 //!
 //! The paper experiments in [`crate::experiments`] measure PRAM steps; the
 //! snapshots here measure the *systems* layers in wall-clock terms: build
@@ -243,6 +243,128 @@ pub fn measure_shard(n: usize) -> Snapshot {
     }
 }
 
+/// One snapshot of the `fc-catalog` core's wall-clock behaviour: build
+/// times for the three construction schedules and the single-thread
+/// descent cost through the flat arena (`BENCH_core.json`).
+#[derive(Debug, Clone)]
+pub struct CoreSnapshot {
+    /// Always `"core"`.
+    pub name: String,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Keys in the benchmark tree.
+    pub tree_keys: usize,
+    /// Queries in the descent workload.
+    pub queries: usize,
+    /// Wall-clock ms for the level-synchronous build.
+    pub build_level_ms: f64,
+    /// Wall-clock ms for the bidirectional (Lemma 1) build.
+    pub build_bidir_ms: f64,
+    /// Wall-clock ms for the pipelined (ACG) build.
+    pub build_pipelined_ms: f64,
+    /// Single-thread descent cost, nanoseconds per full root-to-leaf
+    /// query (per-query timer: the latency view).
+    pub descent_ns: f64,
+    /// Batched single-thread throughput, queries/second (one timer
+    /// around the whole workload: the pipeline view).
+    pub search_qps: f64,
+}
+
+impl CoreSnapshot {
+    /// Serialize as a flat JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"cores\": {},\n  \"tree_keys\": {},\n  \
+             \"queries\": {},\n  \"build_level_ms\": {:.3},\n  \"build_bidir_ms\": {:.3},\n  \
+             \"build_pipelined_ms\": {:.3},\n  \"descent_ns\": {:.1},\n  \
+             \"search_qps\": {:.1}\n}}\n",
+            self.name,
+            self.cores,
+            self.tree_keys,
+            self.queries,
+            self.build_level_ms,
+            self.build_bidir_ms,
+            self.build_pipelined_ms,
+            self.descent_ns,
+            self.search_qps
+        )
+    }
+}
+
+/// Microbench the catalog core itself, below the serving stack: the three
+/// build schedules on the benchmark tree, then `n` single-thread
+/// root-to-leaf descents through `search_path_fc`.
+pub fn measure_core(n: usize) -> CoreSnapshot {
+    use fc_catalog::search::{search_path_fc, search_path_fc_into};
+    use fc_catalog::CascadedTree;
+
+    let cores = cores();
+    let tree = bench_tree();
+
+    let t = Instant::now();
+    let level = CascadedTree::build(bench_tree(), 4);
+    let build_level_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(level);
+
+    let t = Instant::now();
+    let fc = CascadedTree::build_bidir(bench_tree(), 4);
+    let build_bidir_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (piped, _) = fc_catalog::pipeline::build_pipelined(bench_tree(), 4, None);
+    let build_pipelined_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(piped);
+
+    // Pre-resolve the query paths so the descent loop measures the
+    // cascade walk, not path reconstruction.
+    let queries = workload(&tree, n);
+    let paths: Vec<Vec<NodeId>> = tree
+        .leaves()
+        .iter()
+        .map(|&l| tree.path_from_root(l))
+        .collect();
+    let leaf_slot: std::collections::HashMap<NodeId, usize> = tree
+        .leaves()
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+
+    // Latency view: per-query timer over a sample.
+    let mut lat_ns = 0.0f64;
+    let sample = LATENCY_SAMPLE.min(n);
+    for &(leaf, y) in queries.iter().take(sample) {
+        let path = &paths[leaf_slot[&leaf]];
+        let t = Instant::now();
+        let out = search_path_fc(&fc, path, y, None);
+        lat_ns += t.elapsed().as_secs_f64() * 1e9;
+        std::hint::black_box(out);
+    }
+
+    // Pipeline view: one timer around the whole workload, reusing a
+    // single result buffer so the loop is allocation-free.
+    let mut results = Vec::new();
+    let t = Instant::now();
+    for &(leaf, y) in &queries {
+        let path = &paths[leaf_slot[&leaf]];
+        search_path_fc_into(&fc, path, y, None, &mut results);
+        std::hint::black_box(&results);
+    }
+    let secs = t.elapsed().as_secs_f64();
+
+    CoreSnapshot {
+        name: "core".into(),
+        cores,
+        tree_keys: TREE_KEYS,
+        queries: n,
+        build_level_ms,
+        build_bidir_ms,
+        build_pipelined_ms,
+        descent_ns: lat_ns / sample.max(1) as f64,
+        search_qps: n as f64 / secs.max(1e-9),
+    }
+}
+
 /// One snapshot of the durability layer's wall-clock behaviour.
 #[derive(Debug, Clone)]
 pub struct StoreSnapshot {
@@ -347,20 +469,32 @@ pub fn measure_store(n: usize) -> StoreSnapshot {
     }
 }
 
-/// Run all three snapshots, write `BENCH_serve.json`, `BENCH_shard.json`,
-/// and `BENCH_store.json` into `dir`, and (when `FC_BENCH_ASSERT=1` on a
-/// ≥ 4-core machine) enforce the acceptance bound. Returns the snapshots.
+/// Run all four snapshots, write `BENCH_core.json`, `BENCH_serve.json`,
+/// `BENCH_shard.json`, and `BENCH_store.json` into `dir`, and (when
+/// `FC_BENCH_ASSERT=1` on a ≥ 4-core machine) enforce the acceptance
+/// bound. Returns the serving-stack snapshots.
 pub fn write_snapshots(
     dir: &std::path::Path,
 ) -> std::io::Result<(Snapshot, Snapshot, StoreSnapshot)> {
     let n = workload_size();
     std::fs::create_dir_all(dir)?;
+    let core = measure_core(n);
+    std::fs::write(dir.join("BENCH_core.json"), core.to_json())?;
     let serve = measure_serve(n);
     std::fs::write(dir.join("BENCH_serve.json"), serve.to_json())?;
     let shard = measure_shard(n);
     std::fs::write(dir.join("BENCH_shard.json"), shard.to_json())?;
     let store = measure_store(n);
     std::fs::write(dir.join("BENCH_store.json"), store.to_json())?;
+    println!(
+        "core   level {:>7.1} ms | bidir {:>7.1} ms | piped {:>7.1} ms | \
+         descent {:>7.0} ns | {:>10.0} q/s",
+        core.build_level_ms,
+        core.build_bidir_ms,
+        core.build_pipelined_ms,
+        core.descent_ns,
+        core.search_qps
+    );
     let assert_on = std::env::var("FC_BENCH_ASSERT").is_ok_and(|v| v == "1");
     if assert_on && serve.cores >= 4 {
         assert!(
@@ -399,6 +533,20 @@ mod tests {
         let json = store.to_json();
         assert!(json.contains("\"wal_ops_per_s\""));
         assert!(json.contains("\"recover_ms\""));
+    }
+
+    #[test]
+    fn core_snapshot_measures_and_serializes() {
+        let core = measure_core(LATENCY_SAMPLE);
+        assert!(core.search_qps > 0.0, "{core:?}");
+        assert!(core.descent_ns > 0.0, "{core:?}");
+        assert!(core.build_level_ms > 0.0, "{core:?}");
+        assert!(core.build_bidir_ms > 0.0, "{core:?}");
+        assert!(core.build_pipelined_ms > 0.0, "{core:?}");
+        let json = core.to_json();
+        assert!(json.contains("\"name\": \"core\""));
+        assert!(json.contains("\"search_qps\""));
+        assert!(json.contains("\"descent_ns\""));
     }
 
     #[test]

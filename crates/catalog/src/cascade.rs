@@ -24,6 +24,17 @@
 //! [`crate::invariants`]); property 2 is implied and measured by the
 //! Figure 4 experiment.
 //!
+//! **Storage (DESIGN.md §14).** The whole structure lives in a
+//! [`CascadeArena`]: one flat `Vec<K>` holding every node's augmented
+//! catalog back to back with per-node `(offset, len)` `u32` spans, a
+//! parallel flat `u32` array for the native successors, and one flat `u32`
+//! array for all bridges (node-major, one `t_v`-long row per child slot).
+//! A descent step therefore touches three contiguous arrays instead of
+//! chasing `Vec<Vec<_>>` pointers, the probe itself is the branchless
+//! `fc_pram::lower_bound`, and publishing a new generation is a handful of
+//! memcpys. Per-node access goes through the borrowed views
+//! [`CascadedNodeRef`] / [`CascadedNodeMut`].
+//!
 //! Three builders are provided: [`CascadedTree::build`] (sequential
 //! bottom-up), [`CascadedTree::build_par`] (rayon, level-synchronous), and
 //! [`CascadedTree::build_cost`] (level-synchronous with EREW PRAM cost
@@ -32,7 +43,9 @@
 //! the `O(log n)` pipelined schedule of Atallah–Cole–Goodrich [1]
 //! (documented in DESIGN.md; the pipelined *cost schedule* is available as
 //! [`CascadedTree::pipelined_depth_estimate`] for the preprocessing
-//! experiment).
+//! experiment). Construction stages per-node `Vec`s (cold path) and then
+//! publishes them into the arena in one flattening pass, which is what
+//! keeps every builder bit-identical to the pre-arena layout.
 
 use crate::error::FcError;
 use crate::key::CatalogKey;
@@ -42,24 +55,307 @@ use fc_pram::primitives::lower_bound;
 use fc_pram::shadow::Tracer;
 use rayon::prelude::*;
 
-/// Augmented catalog and bridge arrays of one node (structure-of-arrays).
-#[derive(Debug, Clone)]
-pub struct CascadedNode<K> {
+/// Flat structure-of-arrays storage for every node's augmented catalog,
+/// native-successor table, and bridge rows (DESIGN.md §14).
+///
+/// Span invariants, enforced at publish time:
+///
+/// * `key_off` has `nodes + 1` monotone entries; node `v`'s augmented keys
+///   and native successors are the parallel slices
+///   `keys[key_off[v]..key_off[v + 1]]` /
+///   `native_succ[key_off[v]..key_off[v + 1]]`, always non-empty (the
+///   terminal `+∞` guarantees `t_v >= 1`);
+/// * `bridge_off` has `nodes + 1` monotone entries; node `v`'s block
+///   `bridges[bridge_off[v]..bridge_off[v + 1]]` is `degree(v)` rows of
+///   exactly `t_v` entries each (row = child slot, in child order);
+/// * all offsets are `u32`, so the structure caps at `2^32 - 1` augmented
+///   entries — far above the paper's `O(n)` regimes, and half the index
+///   width of a pointer-per-node layout.
+///
+/// Cloning the arena is five `memcpy`s, which is what makes generation
+/// publish in `fc-serve` cheap, and the flat sections encode/decode into
+/// snapshots without per-node walks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeArena<K> {
+    /// Every augmented catalog, node-major.
+    keys: Vec<K>,
+    /// `native_succ[i]` parallel to `keys[i]`.
+    native_succ: Vec<u32>,
+    /// Key/native-successor span offsets (`nodes + 1` entries).
+    key_off: Vec<u32>,
+    /// All bridge rows, node-major then slot-major.
+    bridges: Vec<u32>,
+    /// Bridge block offsets (`nodes + 1` entries).
+    bridge_off: Vec<u32>,
+}
+
+impl<K: CatalogKey> CascadeArena<K> {
+    /// Flatten staged per-node buffers into the arena, checking the span
+    /// invariants once here so every later access can trust them.
+    fn publish(bufs: Vec<NodeBuf<K>>) -> Self {
+        let total_keys: usize = bufs.iter().map(|b| b.keys.len()).sum();
+        let total_bridges: usize = bufs.iter().map(|b| b.keys.len() * b.bridges.len()).sum();
+        assert!(
+            total_keys < u32::MAX as usize && total_bridges < u32::MAX as usize,
+            "augmented structure exceeds u32 spans"
+        );
+        let mut keys = Vec::with_capacity(total_keys);
+        let mut native_succ = Vec::with_capacity(total_keys);
+        let mut key_off = Vec::with_capacity(bufs.len() + 1);
+        let mut bridges = Vec::with_capacity(total_bridges);
+        let mut bridge_off = Vec::with_capacity(bufs.len() + 1);
+        for buf in bufs {
+            let t = buf.keys.len();
+            assert!(t >= 1, "augmented catalog missing its terminal +inf");
+            assert_eq!(t, buf.native_succ.len(), "native_succ span mismatch");
+            key_off.push(keys.len() as u32);
+            bridge_off.push(bridges.len() as u32);
+            keys.extend(buf.keys);
+            native_succ.extend(buf.native_succ);
+            for row in buf.bridges {
+                assert_eq!(t, row.len(), "bridge row span mismatch");
+                bridges.extend(row);
+            }
+        }
+        key_off.push(keys.len() as u32);
+        bridge_off.push(bridges.len() as u32);
+        CascadeArena {
+            keys,
+            native_succ,
+            key_off,
+            bridges,
+            bridge_off,
+        }
+    }
+
+    /// Augmented key span of node `v`.
+    #[inline]
+    fn keys_of(&self, id: NodeId) -> &[K] {
+        let lo = self.key_off[id.idx()] as usize;
+        let hi = self.key_off[id.idx() + 1] as usize;
+        &self.keys[lo..hi]
+    }
+
+    /// One native-successor cell — the descent's per-node result read,
+    /// without materialising a full node view.
+    #[inline]
+    fn native_succ_at(&self, id: NodeId, i: usize) -> u32 {
+        let lo = self.key_off[id.idx()] as usize;
+        self.native_succ[lo + i]
+    }
+
+    /// One bridge cell `(v, slot, i)` — the descent's hop read, computed
+    /// straight off the flat offsets.
+    #[inline]
+    fn bridge_at(&self, id: NodeId, slot: usize, i: usize) -> u32 {
+        let lo = self.key_off[id.idx()] as usize;
+        let hi = self.key_off[id.idx() + 1] as usize;
+        let base = self.bridge_off[id.idx()] as usize;
+        self.bridges[base + slot * (hi - lo) + i]
+    }
+
+    /// Borrowed view of one node's three sections.
+    #[inline]
+    fn node(&self, id: NodeId) -> CascadedNodeRef<'_, K> {
+        let lo = self.key_off[id.idx()] as usize;
+        let hi = self.key_off[id.idx() + 1] as usize;
+        let blo = self.bridge_off[id.idx()] as usize;
+        let bhi = self.bridge_off[id.idx() + 1] as usize;
+        CascadedNodeRef {
+            keys: &self.keys[lo..hi],
+            native_succ: &self.native_succ[lo..hi],
+            bridges: BridgeRows {
+                data: &self.bridges[blo..bhi],
+                row_len: hi - lo,
+            },
+        }
+    }
+
+    /// [`CascadeArena::node`] with every lookup bounds-checked: `None`
+    /// instead of a panic on an out-of-range id (the checked-descent path).
+    fn node_get(&self, id: NodeId) -> Option<CascadedNodeRef<'_, K>> {
+        let lo = *self.key_off.get(id.idx())? as usize;
+        let hi = *self.key_off.get(id.idx() + 1)? as usize;
+        let blo = *self.bridge_off.get(id.idx())? as usize;
+        let bhi = *self.bridge_off.get(id.idx() + 1)? as usize;
+        Some(CascadedNodeRef {
+            keys: self.keys.get(lo..hi)?,
+            native_succ: self.native_succ.get(lo..hi)?,
+            bridges: BridgeRows {
+                data: self.bridges.get(blo..bhi)?,
+                row_len: hi - lo,
+            },
+        })
+    }
+
+    /// Mutable view of one node's three sections (split borrows over the
+    /// three flat arrays — spans never overlap).
+    fn node_mut(&mut self, id: NodeId) -> CascadedNodeMut<'_, K> {
+        let lo = self.key_off[id.idx()] as usize;
+        let hi = self.key_off[id.idx() + 1] as usize;
+        let blo = self.bridge_off[id.idx()] as usize;
+        let bhi = self.bridge_off[id.idx() + 1] as usize;
+        CascadedNodeMut {
+            keys: &mut self.keys[lo..hi],
+            native_succ: &mut self.native_succ[lo..hi],
+            bridges: BridgeRowsMut {
+                data: &mut self.bridges[blo..bhi],
+                row_len: hi - lo,
+            },
+        }
+    }
+
+    /// Total augmented entries (the flat key array's length).
+    #[inline]
+    fn total_entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Length of the longest per-node span.
+    fn max_span(&self) -> usize {
+        self.key_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Borrowed view of one node's augmented data inside the [`CascadeArena`]:
+/// parallel `keys` / `native_succ` slices plus the node's [`BridgeRows`].
+/// `Copy`, so it can be passed around like the old per-node struct without
+/// touching the arena again.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadedNodeRef<'a, K> {
     /// Augmented catalog: non-decreasing, always ends with `K::SUPREMUM`.
-    pub keys: Vec<K>,
+    pub keys: &'a [K],
     /// `native_succ[i]` = smallest native-catalog index `j` with
     /// `native[j] >= keys[i]`, or `native.len()` if none.
-    pub native_succ: Vec<u32>,
-    /// `bridges[c][i]` = smallest index `j` in child `c`'s augmented catalog
-    /// with `child.keys[j] >= keys[i]`. One vector per child slot.
-    pub bridges: Vec<Vec<u32>>,
+    pub native_succ: &'a [u32],
+    /// One bridge row per child slot; `bridges[c][i]` = smallest index `j`
+    /// in child `c`'s augmented catalog with `child.keys[j] >= keys[i]`.
+    pub bridges: BridgeRows<'a>,
+}
+
+/// Mutable counterpart of [`CascadedNodeRef`] — the fault-injection and
+/// repair hook. Spans are fixed at build time: cells can be rewritten,
+/// rows and catalogs can never change length.
+#[derive(Debug)]
+pub struct CascadedNodeMut<'a, K> {
+    /// Augmented catalog cells (value mutation only).
+    pub keys: &'a mut [K],
+    /// Native-successor cells, parallel to `keys`.
+    pub native_succ: &'a mut [u32],
+    /// Bridge rows, one per child slot.
+    pub bridges: BridgeRowsMut<'a>,
+}
+
+/// A 2-D view over a node's flat bridge block: `len()` rows (one per child
+/// slot) of exactly `row_len` entries each. Indexing yields the row slice,
+/// so call sites read like the old `Vec<Vec<u32>>` (`bridges[slot][i]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeRows<'a> {
+    data: &'a [u32],
+    row_len: usize,
+}
+
+impl<'a> BridgeRows<'a> {
+    /// Number of rows (child slots).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.data.len().checked_div(self.row_len).unwrap_or(0)
+    }
+
+    /// Whether the node has no bridge rows (a leaf).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row for child `slot`, or `None` when out of range. The returned
+    /// slice borrows the arena (`'a`), not this view, so it outlives
+    /// temporaries.
+    #[inline]
+    pub fn get(self, slot: usize) -> Option<&'a [u32]> {
+        let lo = slot.checked_mul(self.row_len)?;
+        self.data.get(lo..lo + self.row_len)
+    }
+
+    /// Iterate over the rows in child order.
+    pub fn iter(self) -> impl ExactSizeIterator<Item = &'a [u32]> {
+        // chunks_exact on an empty slice with row_len 0 would panic; a
+        // leaf's empty block yields no rows either way.
+        self.data.chunks_exact(self.row_len.max(1))
+    }
+}
+
+impl std::ops::Index<usize> for BridgeRows<'_> {
+    type Output = [u32];
+    #[inline]
+    fn index(&self, slot: usize) -> &[u32] {
+        &self.data[slot * self.row_len..(slot + 1) * self.row_len]
+    }
+}
+
+/// Mutable counterpart of [`BridgeRows`].
+#[derive(Debug)]
+pub struct BridgeRowsMut<'a> {
+    data: &'a mut [u32],
+    row_len: usize,
+}
+
+impl BridgeRowsMut<'_> {
+    /// Number of rows (child slots).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.row_len).unwrap_or(0)
+    }
+
+    /// Whether the node has no bridge rows (a leaf).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Mutable row for child `slot`, or `None` when out of range.
+    #[inline]
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut [u32]> {
+        let lo = slot.checked_mul(self.row_len)?;
+        self.data.get_mut(lo..lo + self.row_len)
+    }
+}
+
+impl std::ops::Index<usize> for BridgeRowsMut<'_> {
+    type Output = [u32];
+    #[inline]
+    fn index(&self, slot: usize) -> &[u32] {
+        &self.data[slot * self.row_len..(slot + 1) * self.row_len]
+    }
+}
+
+impl std::ops::IndexMut<usize> for BridgeRowsMut<'_> {
+    #[inline]
+    fn index_mut(&mut self, slot: usize) -> &mut [u32] {
+        &mut self.data[slot * self.row_len..(slot + 1) * self.row_len]
+    }
+}
+
+/// Per-node staging buffer used during construction, before the flattening
+/// publish into the [`CascadeArena`]. Building through per-node `Vec`s
+/// keeps every builder's merge logic — and therefore its output — bit-for-
+/// bit identical to the pre-arena layout; only the final storage changed.
+#[derive(Debug, Clone)]
+struct NodeBuf<K> {
+    keys: Vec<K>,
+    native_succ: Vec<u32>,
+    bridges: Vec<Vec<u32>>,
 }
 
 /// The fractional cascaded data structure over a [`CatalogTree`].
 #[derive(Debug, Clone)]
 pub struct CascadedTree<K> {
     tree: CatalogTree<K>,
-    nodes: Vec<CascadedNode<K>>,
+    arena: CascadeArena<K>,
     sample: usize,
 }
 
@@ -211,7 +507,7 @@ impl<K: CatalogKey> CascadedTree<K> {
             l.push(K::SUPREMUM);
         }
         // Pass 3: native successors and downward bridges on the final lists.
-        let mut nodes: Vec<CascadedNode<K>> = Vec::with_capacity(tree.len());
+        let mut bufs: Vec<NodeBuf<K>> = Vec::with_capacity(tree.len());
         for id in tree.ids() {
             let keys = lists[id.idx()].clone();
             let native = tree.catalog(id);
@@ -237,19 +533,19 @@ impl<K: CatalogKey> CascadedTree<K> {
                 }
                 bridges.push(bv);
             }
-            nodes.push(CascadedNode {
+            bufs.push(NodeBuf {
                 keys,
                 native_succ,
                 bridges,
             });
         }
+        let arena = CascadeArena::publish(bufs);
         if let Some(pram) = pram {
-            let total: usize = nodes.iter().map(|n| n.keys.len()).sum();
-            pram.round(total);
+            pram.round(arena.total_entries());
         }
         CascadedTree {
             tree,
-            nodes,
+            arena,
             sample,
         }
     }
@@ -292,12 +588,12 @@ impl<K: CatalogKey> CascadedTree<K> {
             tree.max_degree()
         );
         let slot_span = tree.max_degree() + 1;
-        let mut nodes: Vec<Option<CascadedNode<K>>> = (0..tree.len()).map(|_| None).collect();
+        let mut nodes: Vec<Option<NodeBuf<K>>> = (0..tree.len()).map(|_| None).collect();
         let levels = tree.levels();
         for level in levels.iter().rev() {
             // Compute the level's nodes first; emission replays the access
             // schedule that produces exactly these results.
-            let mut built: Vec<(NodeId, CascadedNode<K>)> = Vec::with_capacity(level.len());
+            let mut built: Vec<(NodeId, NodeBuf<K>)> = Vec::with_capacity(level.len());
             for &id in level {
                 built.push((id, cascade_node(&tree, id, &nodes, sample)?));
             }
@@ -394,7 +690,7 @@ impl<K: CatalogKey> CascadedTree<K> {
             done.push(n.ok_or(FcError::UnbuiltNode { node: idx as u32 })?);
         }
         Ok(CascadedTree {
-            nodes: done,
+            arena: CascadeArena::publish(done),
             tree,
             sample,
         })
@@ -413,15 +709,15 @@ impl<K: CatalogKey> CascadedTree<K> {
             sample,
             tree.max_degree()
         );
-        let mut nodes: Vec<Option<CascadedNode<K>>> = (0..tree.len()).map(|_| None).collect();
+        let mut nodes: Vec<Option<NodeBuf<K>>> = (0..tree.len()).map(|_| None).collect();
         // Process levels bottom-up; within a level all nodes are independent.
         let levels = tree.levels();
         for level in levels.iter().rev() {
-            let build_one = |&id: &NodeId| -> Result<(usize, CascadedNode<K>), FcError> {
+            let build_one = |&id: &NodeId| -> Result<(usize, NodeBuf<K>), FcError> {
                 let node = cascade_node(&tree, id, &nodes, sample)?;
                 Ok((id.idx(), node))
             };
-            let built: Vec<(usize, CascadedNode<K>)> = match mode {
+            let built: Vec<(usize, NodeBuf<K>)> = match mode {
                 BuildMode::Sequential => level.iter().map(build_one).collect::<Result<_, _>>()?,
                 BuildMode::Parallel => level
                     .par_iter()
@@ -448,7 +744,7 @@ impl<K: CatalogKey> CascadedTree<K> {
             done.push(n.ok_or(FcError::UnbuiltNode { node: idx as u32 })?);
         }
         Ok(CascadedTree {
-            nodes: done,
+            arena: CascadeArena::publish(done),
             tree,
             sample,
         })
@@ -458,6 +754,12 @@ impl<K: CatalogKey> CascadedTree<K> {
     #[inline]
     pub fn tree(&self) -> &CatalogTree<K> {
         &self.tree
+    }
+
+    /// The flat arena backing the structure (read-only; DESIGN.md §14).
+    #[inline]
+    pub fn arena(&self) -> &CascadeArena<K> {
+        &self.arena
     }
 
     /// The sampling factor `s`.
@@ -473,44 +775,43 @@ impl<K: CatalogKey> CascadedTree<K> {
         self.sample - 1
     }
 
-    /// Augmented node data for `id`.
+    /// Augmented node data for `id`, as a borrowed arena view.
     #[inline]
-    pub fn aug(&self, id: NodeId) -> &CascadedNode<K> {
-        &self.nodes[id.idx()]
+    pub fn aug(&self, id: NodeId) -> CascadedNodeRef<'_, K> {
+        self.arena.node(id)
     }
 
     /// Mutable augmented node data — a fault-injection hook for tests and
     /// robustness experiments (corrupting bridges/keys must be *detected*
     /// by [`crate::invariants::check_all`] and *repaired* by the searches'
-    /// coverage fallbacks). Not part of the stable API.
+    /// coverage fallbacks). Cell values can be rewritten; the flat spans
+    /// are fixed, so lengths cannot change. Not part of the stable API.
     #[doc(hidden)]
-    pub fn aug_mut_for_fault_injection(&mut self, id: NodeId) -> &mut CascadedNode<K> {
-        &mut self.nodes[id.idx()]
+    pub fn aug_mut_for_fault_injection(&mut self, id: NodeId) -> CascadedNodeMut<'_, K> {
+        self.arena.node_mut(id)
     }
 
     /// Augmented catalog keys of `id`.
     #[inline]
     pub fn keys(&self, id: NodeId) -> &[K] {
-        &self.nodes[id.idx()].keys
+        self.arena.keys_of(id)
     }
 
     /// Total number of augmented entries over all nodes (the structure's
     /// space, up to the constant per-entry field count). Lemma-2-style
     /// linearity of the *cooperative* structure is measured on top of this.
     pub fn total_aug_size(&self) -> usize {
-        self.nodes.iter().map(|n| n.keys.len()).sum()
+        self.arena.total_entries()
     }
 
-    /// Locate `y` in the augmented catalog of `id` by binary search:
-    /// smallest augmented index with `keys[i] >= y`. Always exists because
-    /// of the terminal `+∞`.
+    /// Locate `y` in the augmented catalog of `id`: smallest augmented
+    /// index with `keys[i] >= y`, via the branchless shared probe. Always
+    /// exists because of the terminal `+∞`.
     #[inline]
     pub fn find_aug(&self, id: NodeId, y: K) -> usize {
-        let i = lower_bound(&self.nodes[id.idx()].keys, &y);
-        debug_assert!(
-            i < self.nodes[id.idx()].keys.len(),
-            "terminal +inf guarantees a hit"
-        );
+        let keys = self.arena.keys_of(id);
+        let i = lower_bound(keys, &y);
+        debug_assert!(i < keys.len(), "terminal +inf guarantees a hit");
         i
     }
 
@@ -521,8 +822,8 @@ impl<K: CatalogKey> CascadedTree<K> {
     #[inline]
     pub fn descend(&self, parent: NodeId, slot: usize, aug_idx: usize, y: K) -> (usize, usize) {
         let child = self.tree.children(parent)[slot];
-        let child_keys = &self.nodes[child.idx()].keys;
-        let mut j = self.nodes[parent.idx()].bridges[slot][aug_idx] as usize;
+        let child_keys = self.arena.keys_of(child);
+        let mut j = self.arena.bridge_at(parent, slot, aug_idx) as usize;
         let mut walked = 0usize;
         while j > 0 && child_keys[j - 1] >= y {
             j -= 1;
@@ -555,10 +856,10 @@ impl<K: CatalogKey> CascadedTree<K> {
         };
         let children = self.tree.children(parent);
         let child = *children.get(slot).ok_or(blame)?;
-        let child_keys = &self.nodes.get(child.idx()).ok_or(blame)?.keys;
+        let child_keys = self.arena.node_get(child).ok_or(blame)?.keys;
         let bridge_row = self
-            .nodes
-            .get(parent.idx())
+            .arena
+            .node_get(parent)
             .and_then(|n| n.bridges.get(slot))
             .ok_or(blame)?;
         let mut j = *bridge_row.get(aug_idx).ok_or(blame)? as usize;
@@ -586,7 +887,7 @@ impl<K: CatalogKey> CascadedTree<K> {
     #[inline]
     pub fn native_result(&self, id: NodeId, aug_idx: usize) -> Find {
         Find {
-            native_idx: self.nodes[id.idx()].native_succ[aug_idx],
+            native_idx: self.arena.native_succ_at(id, aug_idx),
         }
     }
 
@@ -596,7 +897,7 @@ impl<K: CatalogKey> CascadedTree<K> {
     /// estimate is kept as a cheap analytic cross-check.
     pub fn pipelined_depth_estimate(&self) -> u64 {
         let h = self.tree.height() as u64;
-        let max_aug = self.nodes.iter().map(|n| n.keys.len()).max().unwrap_or(1);
+        let max_aug = self.arena.max_span().max(1);
         3 * h + (usize::BITS - max_aug.leading_zeros()) as u64
     }
 }
@@ -612,9 +913,9 @@ enum BuildMode {
 fn cascade_node<K: CatalogKey>(
     tree: &CatalogTree<K>,
     id: NodeId,
-    nodes: &[Option<CascadedNode<K>>],
+    nodes: &[Option<NodeBuf<K>>],
     sample: usize,
-) -> Result<CascadedNode<K>, FcError> {
+) -> Result<NodeBuf<K>, FcError> {
     let native = tree.catalog(id);
     let children = tree.children(id);
 
@@ -675,7 +976,7 @@ fn cascade_node<K: CatalogKey>(
         bridges.push(bv);
     }
 
-    Ok(CascadedNode {
+    Ok(NodeBuf {
         keys,
         native_succ,
         bridges,
@@ -752,6 +1053,30 @@ mod tests {
     }
 
     #[test]
+    fn arena_spans_tile_the_flat_arrays() {
+        let fc = CascadedTree::build(sample_tree(), 4);
+        let a = fc.arena();
+        // Offset tables are monotone and cover the flat arrays exactly.
+        assert_eq!(a.key_off.len(), fc.tree().len() + 1);
+        assert_eq!(a.bridge_off.len(), fc.tree().len() + 1);
+        assert!(a.key_off.windows(2).all(|w| w[0] < w[1]), "t_v >= 1");
+        assert!(a.bridge_off.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*a.key_off.last().unwrap() as usize, a.keys.len());
+        assert_eq!(a.native_succ.len(), a.keys.len());
+        assert_eq!(*a.bridge_off.last().unwrap() as usize, a.bridges.len());
+        // Per node: bridge block = degree * t_v, rows in child order.
+        for id in fc.tree().ids() {
+            let t = fc.keys(id).len();
+            let block = (a.bridge_off[id.idx() + 1] - a.bridge_off[id.idx()]) as usize;
+            assert_eq!(block, fc.tree().children(id).len() * t);
+            assert_eq!(fc.aug(id).bridges.len(), fc.tree().children(id).len());
+            for row in fc.aug(id).bridges.iter() {
+                assert_eq!(row.len(), t);
+            }
+        }
+    }
+
+    #[test]
     fn find_aug_plus_native_succ_equals_direct_lower_bound() {
         let fc = CascadedTree::build(sample_tree(), 4);
         for id in fc.tree().ids() {
@@ -787,6 +1112,7 @@ mod tests {
         let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
         let a = CascadedTree::build(tree.clone(), 4);
         let b = CascadedTree::build_par(tree, 4);
+        assert_eq!(a.arena(), b.arena(), "arenas must be bit-identical");
         for id in a.tree().ids() {
             assert_eq!(a.keys(id), b.keys(id));
             assert_eq!(a.aug(id).native_succ, b.aug(id).native_succ);
@@ -805,6 +1131,7 @@ mod tests {
             let mut sh = ShadowMem::new(Model::Erew);
             let traced = CascadedTree::try_build_traced(tree, 4, &mut sh).unwrap();
             assert!(sh.finish(), "violations: {:?}", &sh.violations()[..1]);
+            assert_eq!(plain.arena(), traced.arena());
             for id in plain.tree().ids() {
                 assert_eq!(plain.keys(id), traced.keys(id));
                 assert_eq!(plain.aug(id).native_succ, traced.aug(id).native_succ);
@@ -922,6 +1249,25 @@ mod tests {
                 .native_idx,
             0
         );
+    }
+
+    #[test]
+    fn mut_view_edits_land_in_the_arena() {
+        let mut fc = CascadedTree::build(sample_tree(), 4);
+        let root = fc.tree().root();
+        let before = fc.aug(root).bridges[0][1];
+        {
+            let mut aug = fc.aug_mut_for_fault_injection(root);
+            aug.bridges[0][1] = before + 1;
+            let row = aug.bridges.get_mut(0).unwrap();
+            row[2] = 0;
+        }
+        assert_eq!(fc.aug(root).bridges[0][1], before + 1);
+        assert_eq!(fc.aug(root).bridges[0][2], 0);
+        // Out-of-range slots are None, mirrored by the shared view.
+        assert!(fc.aug(root).bridges.get(99).is_none());
+        let mut aug = fc.aug_mut_for_fault_injection(root);
+        assert!(aug.bridges.get_mut(99).is_none());
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod pipeline;
 pub mod search;
 pub mod tree;
 
-pub use cascade::{CascadedNode, CascadedTree};
+pub use cascade::{BridgeRows, CascadeArena, CascadedNodeMut, CascadedNodeRef, CascadedTree};
 pub use error::FcError;
 pub use key::CatalogKey;
-pub use search::{search_path_fc, search_path_naive, PathSearchOutput};
+pub use search::{search_path_fc, search_path_fc_into, search_path_naive, PathSearchOutput};
 pub use tree::{CatalogTree, NodeId};

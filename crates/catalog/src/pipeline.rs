@@ -33,6 +33,47 @@ use fc_pram::cost::Pram;
 use fc_pram::primitives::merge_seq;
 use fc_pram::shadow::{NoTrace, Tracer};
 
+/// Flat double-buffered staging for the per-round exposed lists: every
+/// node's list concatenated node-major with `u32` span offsets, one buffer
+/// per round parity — the storage analogue of the `("pipe-even"` /
+/// `"pipe-odd")` regions the trace describes (DESIGN.md §14).
+struct FlatLists<K> {
+    data: Vec<K>,
+    off: Vec<u32>,
+}
+
+impl<K: Copy> FlatLists<K> {
+    fn empty(n_nodes: usize) -> Self {
+        FlatLists {
+            data: Vec::new(),
+            off: vec![0; n_nodes + 1],
+        }
+    }
+
+    fn for_next_round(&self, n_nodes: usize) -> Self {
+        let mut off = Vec::with_capacity(n_nodes + 1);
+        off.push(0);
+        FlatLists {
+            data: Vec::with_capacity(self.data.len()),
+            off,
+        }
+    }
+
+    fn get(&self, idx: usize) -> &[K] {
+        &self.data[self.off[idx] as usize..self.off[idx + 1] as usize]
+    }
+
+    fn len_of(&self, idx: usize) -> usize {
+        (self.off[idx + 1] - self.off[idx]) as usize
+    }
+
+    /// Append the next node's list; nodes must be pushed in id order.
+    fn push_list(&mut self, list: &[K]) {
+        self.data.extend_from_slice(list);
+        self.off.push(self.data.len() as u32);
+    }
+}
+
 /// Statistics of one pipelined construction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineStats {
@@ -87,8 +128,8 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
     assert!(sample >= 2 && sample > tree.max_degree());
     let n_nodes = tree.len();
 
-    // Staged state per node.
-    let mut cur: Vec<Vec<K>> = vec![Vec::new(); n_nodes];
+    // Staged state per node, in the flat parity buffer.
+    let mut cur: FlatLists<K> = FlatLists::empty(n_nodes);
     let mut stride: Vec<usize> = Vec::with_capacity(n_nodes);
     let mut settled: Vec<bool> = vec![false; n_nodes];
     for id in tree.ids() {
@@ -118,10 +159,13 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
         );
         let mut round_ops = 0usize;
         // Compute this round's lists from last round's (synchronous PRAM
-        // round: everyone reads the previous state).
-        let mut next: Vec<Option<Vec<K>>> = vec![None; n_nodes];
+        // round: everyone reads the previous state). The write-parity
+        // buffer is rebuilt node-major; a settled node's stable span is
+        // carried over by memcpy.
+        let mut next: FlatLists<K> = cur.for_next_round(n_nodes);
         for id in tree.ids() {
             if settled[id.idx()] {
+                next.push_list(cur.get(id.idx()));
                 continue;
             }
             // Staged own catalog: every `stride`-th element (stride 1 =
@@ -141,7 +185,8 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
             // *current* exposed lists.
             let mut acc = own;
             for &c in tree.children(id) {
-                let sampled: Vec<K> = cur[c.idx()]
+                let sampled: Vec<K> = cur
+                    .get(c.idx())
                     .iter()
                     .skip(sample - 1)
                     .step_by(sample)
@@ -153,9 +198,9 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
                 acc.pop();
             }
             acc.push(K::SUPREMUM);
-            let growth = acc.len().saturating_sub(cur[id.idx()].len());
+            let growth = acc.len().saturating_sub(cur.len_of(id.idx()));
             round_ops += growth.max(1);
-            next[id.idx()] = Some(acc);
+            next.push_list(&acc);
         }
         if tr.live() {
             tr.phase("pipe/round");
@@ -168,9 +213,10 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
             };
             let mut pid = 0usize;
             for id in tree.ids() {
-                let Some(list) = next[id.idx()].as_ref() else {
+                if settled[id.idx()] {
                     continue;
-                };
+                }
+                let list = next.get(id.idx());
                 // Own catalog, stride-sampled: private reads.
                 let st = stride[id.idx()];
                 let native_len = tree.catalog(id).len();
@@ -193,7 +239,7 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
                         (read_buf, c.idx())
                     };
                     let mut cpos = sample - 1;
-                    while cpos < cur[c.idx()].len() {
+                    while cpos < cur.len_of(c.idx()) {
                         tr.read(pid, region, cpos);
                         pid += 1;
                         cpos += sample;
@@ -209,19 +255,19 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
             }
             tr.barrier();
         }
-        // Commit; update strides and settledness.
+        // Commit (swap the parity buffers); update strides and settledness.
         for id in tree.ids() {
-            let Some(list) = next[id.idx()].take() else {
+            if settled[id.idx()] {
                 continue;
-            };
-            let stable = list == cur[id.idx()];
-            cur[id.idx()] = list;
+            }
+            let stable = next.get(id.idx()) == cur.get(id.idx());
             if stride[id.idx()] > 1 {
                 stride[id.idx()] /= 2;
             } else if stable && tree.children(id).iter().all(|c| settled[c.idx()]) {
                 settled[id.idx()] = true;
             }
         }
+        cur = next;
         stats.work += round_ops as u64;
         stats.max_round_ops = stats.max_round_ops.max(round_ops);
         if let Some(pram) = pram.as_deref_mut() {
@@ -234,7 +280,7 @@ pub fn build_pipelined_traced<K: CatalogKey, Tr: Tracer>(
     let fc = CascadedTree::build(tree, sample);
     for id in fc.tree().ids() {
         debug_assert_eq!(
-            cur[id.idx()],
+            cur.get(id.idx()),
             fc.keys(id),
             "pipelined fixpoint must equal the direct construction at {id:?}"
         );

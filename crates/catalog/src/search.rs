@@ -63,11 +63,26 @@ pub fn search_path_fc<K: CatalogKey>(
     fc: &CascadedTree<K>,
     path: &[NodeId],
     y: K,
-    mut pram: Option<&mut Pram>,
+    pram: Option<&mut Pram>,
 ) -> PathSearchOutput {
+    let mut results = Vec::with_capacity(path.len());
+    search_path_fc_into(fc, path, y, pram, &mut results);
+    PathSearchOutput { results }
+}
+
+/// [`search_path_fc`] writing into a caller-supplied buffer (cleared
+/// first) — the batched hot loop's form: reusing one buffer across a
+/// query stream removes the per-query allocation entirely.
+pub fn search_path_fc_into<K: CatalogKey>(
+    fc: &CascadedTree<K>,
+    path: &[NodeId],
+    y: K,
+    mut pram: Option<&mut Pram>,
+    results: &mut Vec<Find>,
+) {
     assert!(!path.is_empty(), "path must be nonempty");
     let tree = fc.tree();
-    let mut results = Vec::with_capacity(path.len());
+    results.clear();
 
     let mut aug = fc.find_aug(path[0], y);
     if let Some(pram) = pram.as_deref_mut() {
@@ -86,7 +101,6 @@ pub fn search_path_fc<K: CatalogKey>(
         aug = next;
         results.push(fc.native_result(child, aug));
     }
-    PathSearchOutput { results }
 }
 
 #[cfg(test)]

@@ -1,12 +1,19 @@
-//! Arena-allocated rooted ordered trees with per-node catalogs.
+//! Flat structure-of-arrays rooted ordered trees with per-node catalogs.
 //!
 //! The paper's object of study is "a rooted tree `T` with `O(n)` nodes
 //! storing catalogs of total size `n`" (Section 1). [`CatalogTree`] is that
-//! object: nodes live in a flat arena indexed by [`NodeId`], each node keeps
-//! an ordered child list and a sorted catalog. Individual catalogs may be
-//! empty or hold `Θ(n)` entries — the variable-size case is exactly what
-//! makes the paper's preprocessing nontrivial (end of Section 2, "First
-//! Approach").
+//! object, stored as parallel flat arrays indexed by [`NodeId`]: parent and
+//! depth words, an ordered child list flattened into one `Vec<NodeId>` with
+//! per-node `(offset, len)` spans, and every catalog concatenated into one
+//! `Vec<K>` with matching spans. Individual catalogs may be empty or hold
+//! `Θ(n)` entries — the variable-size case is exactly what makes the
+//! paper's preprocessing nontrivial (end of Section 2, "First Approach").
+//!
+//! The SoA layout (DESIGN.md §14) removes one pointer indirection from
+//! every descent step: `catalog(v)` is a bounds-checked slice of a single
+//! contiguous allocation instead of a chase through a `Vec<Vec<K>>`, and
+//! the whole tree clones with `O(arrays)` memcpys instead of `O(nodes)`
+//! heap allocations.
 
 use crate::key::CatalogKey;
 
@@ -22,23 +29,30 @@ impl NodeId {
     }
 }
 
-/// One tree node: parent link, ordered children, sorted catalog.
-#[derive(Debug, Clone)]
-pub struct Node<K> {
-    /// Parent, `None` for the root.
-    pub parent: Option<NodeId>,
-    /// Ordered child list (left-to-right).
-    pub children: Vec<NodeId>,
-    /// Sorted catalog of native entries (strictly increasing).
-    pub catalog: Vec<K>,
-    /// Depth from the root (root = 0).
-    pub depth: u32,
-}
+/// Sentinel parent word for the root (no parent).
+const NO_PARENT: u32 = u32::MAX;
 
-/// A rooted ordered tree with catalogs.
+/// A rooted ordered tree with catalogs, in structure-of-arrays layout.
+///
+/// All per-node arrays are parallel and indexed by [`NodeId`]; the child
+/// and catalog arrays are shared flat storage sliced by `u32` offset
+/// tables of length `len() + 1` (span of node `v` = `off[v]..off[v + 1]`),
+/// so both total sizes are capped at `u32::MAX` entries — enforced at
+/// construction, and far above the paper's `O(n)` regimes.
 #[derive(Debug, Clone)]
 pub struct CatalogTree<K> {
-    nodes: Vec<Node<K>>,
+    /// `parents[v]` = parent index, [`NO_PARENT`] for the root.
+    parents: Vec<u32>,
+    /// `depths[v]` = depth from the root (root = 0).
+    depths: Vec<u32>,
+    /// All ordered child lists, concatenated in node order.
+    children_flat: Vec<NodeId>,
+    /// Child span offsets (`len() + 1` entries, monotone).
+    child_off: Vec<u32>,
+    /// All sorted catalogs, concatenated in node order.
+    catalog_flat: Vec<K>,
+    /// Catalog span offsets (`len() + 1` entries, monotone).
+    cat_off: Vec<u32>,
     root: NodeId,
 }
 
@@ -55,9 +69,55 @@ impl<K: CatalogKey> CatalogTree<K> {
     pub fn from_parents(parents: Vec<Option<u32>>, catalogs: Vec<Vec<K>>) -> Self {
         assert_eq!(parents.len(), catalogs.len());
         assert!(!parents.is_empty(), "tree must have at least one node");
-        let mut nodes: Vec<Node<K>> = Vec::with_capacity(parents.len());
+        let n = parents.len();
+        assert!(n < NO_PARENT as usize, "node count exceeds u32 indexing");
+
+        // Pass 1: validate parents, count children, derive depths.
+        let mut parent_words = vec![NO_PARENT; n];
+        let mut depths = vec![0u32; n];
+        let mut child_counts = vec![0u32; n];
         let mut root = None;
-        for (i, (par, catalog)) in parents.into_iter().zip(catalogs).enumerate() {
+        for (i, par) in parents.iter().enumerate() {
+            match par {
+                None => {
+                    assert!(root.is_none(), "more than one root");
+                    root = Some(NodeId(i as u32));
+                }
+                Some(p) => {
+                    let p = *p as usize;
+                    assert!(p < i, "parent {p} must precede child {i}");
+                    parent_words[i] = p as u32;
+                    depths[i] = depths[p] + 1;
+                    child_counts[p] += 1;
+                }
+            }
+        }
+        let root = root.expect("tree must have a root");
+
+        // Child spans: prefix sums of the counts, then a second pass fills
+        // each span in ascending node order (= the ordered child list).
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &c in &child_counts {
+            child_off.push(acc);
+            acc += c;
+        }
+        child_off.push(acc);
+        let mut children_flat = vec![NodeId(0); acc as usize];
+        let mut cursor = child_off.clone();
+        for (i, &pw) in parent_words.iter().enumerate() {
+            if pw != NO_PARENT {
+                children_flat[cursor[pw as usize] as usize] = NodeId(i as u32);
+                cursor[pw as usize] += 1;
+            }
+        }
+
+        // Catalog spans: validate order, then concatenate.
+        let total: usize = catalogs.iter().map(Vec::len).sum();
+        assert!(total < u32::MAX as usize, "catalog total exceeds u32 spans");
+        let mut cat_off = Vec::with_capacity(n + 1);
+        let mut catalog_flat = Vec::with_capacity(total);
+        for (i, catalog) in catalogs.into_iter().enumerate() {
             assert!(
                 catalog.windows(2).all(|w| w[0] < w[1]),
                 "catalog of node {i} must be strictly increasing"
@@ -66,28 +126,19 @@ impl<K: CatalogKey> CatalogTree<K> {
                 catalog.last().is_none_or(|&k| k < K::SUPREMUM),
                 "catalog of node {i} must not contain the SUPREMUM sentinel"
             );
-            let depth = match par {
-                None => {
-                    assert!(root.is_none(), "more than one root");
-                    root = Some(NodeId(i as u32));
-                    0
-                }
-                Some(p) => {
-                    assert!((p as usize) < i, "parent {p} must precede child {i}");
-                    nodes[p as usize].children.push(NodeId(i as u32));
-                    nodes[p as usize].depth + 1
-                }
-            };
-            nodes.push(Node {
-                parent: par.map(NodeId),
-                children: Vec::new(),
-                catalog,
-                depth,
-            });
+            cat_off.push(catalog_flat.len() as u32);
+            catalog_flat.extend(catalog);
         }
+        cat_off.push(catalog_flat.len() as u32);
+
         CatalogTree {
-            nodes,
-            root: root.expect("tree must have a root"),
+            parents: parent_words,
+            depths,
+            children_flat,
+            child_off,
+            catalog_flat,
+            cat_off,
+            root,
         }
     }
 
@@ -100,54 +151,61 @@ impl<K: CatalogKey> CatalogTree<K> {
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.parents.len()
     }
 
     /// Whether the tree has no nodes (never true: construction requires one).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Access a node.
-    #[inline]
-    pub fn node(&self, id: NodeId) -> &Node<K> {
-        &self.nodes[id.idx()]
+        self.parents.is_empty()
     }
 
     /// The sorted catalog of `id`.
     #[inline]
     pub fn catalog(&self, id: NodeId) -> &[K] {
-        &self.nodes[id.idx()].catalog
+        let lo = self.cat_off[id.idx()] as usize;
+        let hi = self.cat_off[id.idx() + 1] as usize;
+        &self.catalog_flat[lo..hi]
+    }
+
+    /// All catalogs concatenated node-major — the flat backing array.
+    /// Snapshot encoding walks this in one pass; node `id`'s span is
+    /// exactly [`CatalogTree::catalog`]`(id)`.
+    #[inline]
+    pub fn catalog_flat(&self) -> &[K] {
+        &self.catalog_flat
     }
 
     /// Ordered children of `id`.
     #[inline]
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.nodes[id.idx()].children
+        let lo = self.child_off[id.idx()] as usize;
+        let hi = self.child_off[id.idx() + 1] as usize;
+        &self.children_flat[lo..hi]
     }
 
     /// Parent of `id`, `None` for the root.
     #[inline]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.nodes[id.idx()].parent
+        let p = self.parents[id.idx()];
+        (p != NO_PARENT).then_some(NodeId(p))
     }
 
     /// Depth of `id` (root = 0).
     #[inline]
     pub fn depth(&self, id: NodeId) -> u32 {
-        self.nodes[id.idx()].depth
+        self.depths[id.idx()]
     }
 
     /// Whether `id` is a leaf.
     #[inline]
     pub fn is_leaf(&self, id: NodeId) -> bool {
-        self.nodes[id.idx()].children.is_empty()
+        self.child_off[id.idx()] == self.child_off[id.idx() + 1]
     }
 
     /// Iterator over all node ids in arena (topological) order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.parents.len() as u32).map(NodeId)
     }
 
     /// All leaves, in arena order.
@@ -156,22 +214,23 @@ impl<K: CatalogKey> CatalogTree<K> {
     }
 
     /// Total number of catalog entries over all nodes (the paper's `n`).
+    #[inline]
     pub fn total_catalog_size(&self) -> usize {
-        self.nodes.iter().map(|nd| nd.catalog.len()).sum()
+        self.catalog_flat.len()
     }
 
     /// Maximum node degree (number of children).
     pub fn max_degree(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|nd| nd.children.len())
+        self.child_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
     }
 
     /// Height of the tree (longest root-to-leaf edge count).
     pub fn height(&self) -> u32 {
-        self.nodes.iter().map(|nd| nd.depth).max().unwrap_or(0)
+        self.depths.iter().copied().max().unwrap_or(0)
     }
 
     /// The path from the root to `leaf`, inclusive, as node ids.
@@ -210,27 +269,21 @@ impl<K: CatalogKey> CatalogTree<K> {
         levels
     }
 
-    /// Mutable access to a node's catalog (used by generators/tests).
-    pub fn catalog_mut(&mut self, id: NodeId) -> &mut Vec<K> {
-        &mut self.nodes[id.idx()].catalog
-    }
-
     /// Recompute every node's depth with the Euler tour technique
     /// (`fc-pram::listrank`): `O(log n)` EREW rounds — the parallel tree
     /// preprocessing step the paper's `O(log n)`-time bound presumes.
-    /// Returns the depths (equal to the stored [`Node::depth`] values,
-    /// asserted in tests) and charges the cost to `pram`.
+    /// Returns the depths (equal to the stored depth words, asserted in
+    /// tests) and charges the cost to `pram`.
     pub fn depths_parallel(&self, pram: &mut fc_pram::cost::Pram) -> Vec<u32> {
         let parent: Vec<usize> = self
-            .nodes
+            .parents
             .iter()
             .enumerate()
-            .map(|(i, nd)| nd.parent.map_or(i, |p| p.idx()))
+            .map(|(i, &p)| if p == NO_PARENT { i } else { p as usize })
             .collect();
         let children: Vec<Vec<usize>> = self
-            .nodes
-            .iter()
-            .map(|nd| nd.children.iter().map(|c| c.idx()).collect())
+            .ids()
+            .map(|id| self.children(id).iter().map(|c| c.idx()).collect())
             .collect();
         fc_pram::listrank::euler_tour_depths(&parent, &children, pram)
     }
@@ -270,6 +323,21 @@ mod tests {
         assert_eq!(t.max_degree(), 2);
         assert_eq!(t.total_catalog_size(), 8);
         assert_eq!(t.leaves(), vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn flat_spans_are_contiguous_and_ordered() {
+        let t = sample();
+        // Catalog spans tile one contiguous array in node order.
+        assert_eq!(t.cat_off, vec![0, 2, 3, 6, 8, 8]);
+        assert_eq!(t.catalog_flat, vec![10, 20, 5, 15, 25, 35, 1, 2]);
+        // Child spans likewise, each span ordered by node index.
+        assert_eq!(t.child_off, vec![0, 2, 4, 4, 4, 4]);
+        assert_eq!(
+            t.children_flat,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(t.catalog(NodeId(2)), &[15, 25, 35]);
     }
 
     #[test]

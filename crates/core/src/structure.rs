@@ -195,7 +195,7 @@ impl<K: CatalogKey> CoopStructure<K> {
             let aug = self.fc.aug(id);
             words += aug.keys.len() // keys
                 + aug.native_succ.len() // native successor pointers
-                + aug.bridges.iter().map(Vec::len).sum::<usize>(); // bridges
+                + aug.bridges.iter().map(<[u32]>::len).sum::<usize>(); // bridges
         }
         words + self.subs.iter().map(Substructure::space).sum::<usize>()
     }

@@ -38,5 +38,5 @@ pub mod shadow;
 pub mod traced;
 
 pub use cost::{Model, Pram, PramReport};
-pub use primitives::{coop_lower_bound, coop_lower_bound_traced, lower_bound};
+pub use primitives::{coop_lower_bound, coop_lower_bound_traced, lower_bound, lower_bound_naive};
 pub use shadow::{NoTrace, PhaseStats, Region, ShadowMem, ShadowViolation, Tracer};

@@ -342,7 +342,7 @@ mod tests {
         let root = st.tree().root();
         {
             let fc = st.cascade_mut_for_fault_injection();
-            let aug = fc.aug_mut_for_fault_injection(root);
+            let mut aug = fc.aug_mut_for_fault_injection(root);
             aug.bridges[0][3] += 2;
         }
         let report = audit(&st);

@@ -520,7 +520,7 @@ impl FaultPlan {
                     let Some(&id) = ids.get(node as usize) else {
                         continue;
                     };
-                    let aug = st
+                    let mut aug = st
                         .cascade_mut_for_fault_injection()
                         .aug_mut_for_fault_injection(id);
                     if let Some(cell) = aug.bridges.get_mut(slot).and_then(|r| r.get_mut(entry)) {

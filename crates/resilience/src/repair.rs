@@ -212,10 +212,20 @@ fn repair_round<K: CatalogKey>(
         }
 
         let fc = st.cascade_mut_for_fault_injection();
-        let aug = fc.aug_mut_for_fault_injection(id);
+        let mut aug = fc.aug_mut_for_fault_injection(id);
         let words = native_succ.len() + bridges.iter().map(Vec::len).sum::<usize>();
-        aug.native_succ = native_succ;
-        aug.bridges = bridges;
+        // Arena spans are fixed-length, so a repair rewrites cells in place;
+        // phase 1 never changes catalog lengths, so the shapes always match.
+        for (dst, src) in aug.native_succ.iter_mut().zip(&native_succ) {
+            *dst = *src;
+        }
+        for (slot, bv) in bridges.iter().enumerate() {
+            if let Some(row) = aug.bridges.get_mut(slot) {
+                for (dst, src) in row.iter_mut().zip(bv) {
+                    *dst = *src;
+                }
+            }
+        }
         stats.rows_recomputed += 1;
         stats.repair_ops += words;
     }

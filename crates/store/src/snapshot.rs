@@ -104,10 +104,10 @@ pub fn encode_snapshot<K: CatalogKey + KeyCodec>(
     out.extend_from_slice(&crc32(&sec).to_le_bytes());
 
     sec.clear();
-    for id in tree.ids() {
-        for k in tree.catalog(id) {
-            k.encode_key(&mut sec);
-        }
+    // The tree stores all catalogs node-major in one flat array — the
+    // byte-identical keys section falls out of a single pass over it.
+    for k in tree.catalog_flat() {
+        k.encode_key(&mut sec);
     }
     out.extend_from_slice(&sec);
     out.extend_from_slice(&crc32(&sec).to_le_bytes());

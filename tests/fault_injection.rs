@@ -34,7 +34,7 @@ fn corrupted_bridge_is_detected() {
     let child = fc.tree().children(victim)[0];
     let child_len = fc.keys(child).len() as u32;
     {
-        let aug = fc.aug_mut_for_fault_injection(victim);
+        let mut aug = fc.aug_mut_for_fault_injection(victim);
         let mid = aug.bridges[0].len() / 2;
         aug.bridges[0][mid] = child_len - 1; // overshoot to the terminal
     }
@@ -57,7 +57,7 @@ fn crossing_bridges_are_detected_as_non_monotone() {
         .find(|&id| !fc.tree().children(id).is_empty() && fc.aug(id).bridges[0].len() > 8)
         .unwrap();
     {
-        let aug = fc.aug_mut_for_fault_injection(victim);
+        let mut aug = fc.aug_mut_for_fault_injection(victim);
         let mid = aug.bridges[0].len() / 2;
         let earlier = aug.bridges[0][mid - 1];
         aug.bridges[0][mid] = earlier.saturating_sub(1); // cross over
@@ -111,7 +111,7 @@ fn corrupted_key_breaks_fanout_accounting() {
         .find(|&id| fc.tree().children(id).len() == 2 && fc.aug(id).bridges[1].len() > 10)
         .unwrap();
     {
-        let aug = fc.aug_mut_for_fault_injection(victim);
+        let mut aug = fc.aug_mut_for_fault_injection(victim);
         // Zero out a late bridge: everything before it now "crosses".
         let last = aug.bridges[1].len() - 2;
         aug.bridges[1][last] = 0;

@@ -364,3 +364,107 @@ fn prop_dynamic_updates() {
         assert_eq!(got, want);
     });
 }
+
+/// Flat-arena cascade vs a nested per-node oracle, across the fc-analyze
+/// shape sweep: every node's `native_succ` table and every bridge row must
+/// bit-match a definitional recomputation (one binary search per entry),
+/// `find_aug` must agree with an audited per-node binary search, and its
+/// composition with `native_succ` must equal the direct lower bound in the
+/// native catalog — for both the downward and the bidirectional builders.
+#[test]
+fn prop_flat_arena_matches_nested_oracle_across_shape_sweep() {
+    use fc_analyze::replay::TreeShape;
+    let shapes = [
+        TreeShape {
+            height: 4,
+            total: 600,
+            heavy: None,
+            seed: 9001,
+        },
+        TreeShape {
+            height: 6,
+            total: 2500,
+            heavy: None,
+            seed: 9002,
+        },
+        TreeShape {
+            height: 6,
+            total: 2500,
+            heavy: Some(0.8),
+            seed: 9003,
+        },
+        TreeShape {
+            height: 12,
+            total: 1 << 16,
+            heavy: None,
+            seed: 9004,
+        },
+    ];
+    for shape in shapes {
+        let tree = shape.gen();
+        for bidir in [false, true] {
+            let fc = if bidir {
+                CascadedTree::build_bidir(tree.clone(), 4)
+            } else {
+                CascadedTree::build(tree.clone(), 4)
+            };
+            let t = fc.tree();
+            for v in t.ids() {
+                let aug = fc.aug(v);
+                let native = t.catalog(v);
+                // Nested oracle: native_succ recomputed definitionally.
+                let oracle_ns: Vec<u32> = aug
+                    .keys
+                    .iter()
+                    .map(|k| native.partition_point(|x| x < k) as u32)
+                    .collect();
+                assert_eq!(
+                    aug.native_succ,
+                    &oracle_ns[..],
+                    "{} bidir={bidir} node {v:?}: native_succ",
+                    shape.label()
+                );
+                // Every bridge row recomputed definitionally against the
+                // child's augmented catalog.
+                for (slot, &c) in t.children(v).iter().enumerate() {
+                    let ck = fc.keys(c);
+                    let oracle_row: Vec<u32> = aug
+                        .keys
+                        .iter()
+                        .map(|k| ck.partition_point(|x| x < k) as u32)
+                        .collect();
+                    assert_eq!(
+                        &aug.bridges[slot],
+                        &oracle_row[..],
+                        "{} bidir={bidir} node {v:?} slot {slot}: bridges",
+                        shape.label()
+                    );
+                }
+                // find_aug == audited binary search; composed with
+                // native_succ it equals the direct native lower bound.
+                for &k in aug.keys {
+                    for y in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                        let i = fc.find_aug(v, y);
+                        assert_eq!(i, aug.keys.partition_point(|x| *x < y));
+                        assert_eq!(
+                            fc.native_result(v, i).native_idx as usize,
+                            lower_bound(native, &y),
+                            "{} bidir={bidir} node {v:?} y {y}",
+                            shape.label()
+                        );
+                    }
+                }
+            }
+            // Path searches over the flat structure match the naive oracle.
+            let mut rng = SmallRng::seed_from_u64(shape.seed ^ 0xF1A7);
+            for _ in 0..8 {
+                let leaf = gen::random_leaf(t, &mut rng);
+                let path = t.path_from_root(leaf);
+                let y = rng.gen_range(-10..(shape.total as i64 * 16) + 10);
+                let fcr = search_path_fc(&fc, &path, y, None);
+                let nv = search_path_naive(t, &path, y, None);
+                assert_eq!(fcr.results, nv.results, "{} bidir={bidir}", shape.label());
+            }
+        }
+    }
+}
