@@ -43,13 +43,14 @@ fn main() {
             "[harness] writing serving snapshots to {} ...",
             dir.display()
         );
-        let (serve, shard, store) =
+        let (serve, shard, net, store) =
             fc_bench::snapshot::write_snapshots(&dir).expect("write snapshots");
         eprintln!(
             "[harness] serve {:.0} q/s, shard (batched) {:.0} q/s, \
-             wal {:.0} ops/s, recover {:.1} ms on {} cores",
+             net (wire) {:.0} q/s, wal {:.0} ops/s, recover {:.1} ms on {} cores",
             serve.throughput_qps,
             shard.throughput_qps,
+            net.throughput_qps,
             store.wal_ops_per_s,
             store.recover_ms,
             serve.cores

@@ -1,6 +1,7 @@
-//! Write the core + serving + durability performance snapshots
+//! Write the core + serving + wire + durability performance snapshots
 //! (`BENCH_core.json`, `BENCH_serve.json`, `BENCH_shard.json`,
-//! `BENCH_store.json`) into a directory (default: the current one).
+//! `BENCH_net.json`, `BENCH_store.json`) into a directory (default: the
+//! current one).
 //!
 //! ```text
 //! cargo run -p fc-bench --release --bin snapshot -- <out-dir>
@@ -14,8 +15,8 @@ fn main() {
     let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
     let n = snapshot::workload_size();
     eprintln!("[snapshot] workload: {n} uniform queries");
-    let (serve, shard, store) = snapshot::write_snapshots(&dir).expect("write snapshots");
-    for s in [&serve, &shard] {
+    let (serve, shard, net, store) = snapshot::write_snapshots(&dir).expect("write snapshots");
+    for s in [&serve, &shard, &net] {
         println!(
             "{:<6} build {:>8.1} ms | {:>10.0} q/s | p50 {:>8.1} us | p99 {:>8.1} us | shed {:.4}",
             s.name, s.build_ms, s.throughput_qps, s.p50_us, s.p99_us, s.shed_rate
@@ -26,7 +27,8 @@ fn main() {
         store.snapshot_ms, store.wal_ops_per_s, store.recover_ms, store.replayed_records
     );
     eprintln!(
-        "[snapshot] wrote BENCH_core.json, BENCH_serve.json, BENCH_shard.json, BENCH_store.json in {}",
+        "[snapshot] wrote BENCH_core.json, BENCH_serve.json, BENCH_shard.json, \
+         BENCH_net.json, BENCH_store.json in {}",
         dir.display()
     );
 }

@@ -1,13 +1,15 @@
 //! Core and service-level performance snapshots (`BENCH_core.json` /
-//! `BENCH_serve.json` / `BENCH_shard.json` / `BENCH_store.json`).
+//! `BENCH_serve.json` / `BENCH_shard.json` / `BENCH_net.json` /
+//! `BENCH_store.json`).
 //!
 //! The paper experiments in [`crate::experiments`] measure PRAM steps; the
 //! snapshots here measure the *systems* layers in wall-clock terms: build
 //! time, sustained throughput, p50/p99 query latency, and shed rate, for
-//! the single `fc_serve::Service` and the sharded `fc_shard::ShardCluster`
-//! batched scatter/gather path over the same uniform workload — plus the
-//! durability layer (`fc-store`): snapshot write time, WAL append
-//! throughput, and full crash-recovery time over the same tree.
+//! the single `fc_serve::Service`, the sharded `fc_shard::ShardCluster`
+//! batched scatter/gather path, and the `fc-net` TCP ingress (the same
+//! workload over live loopback sockets) over the same uniform workload —
+//! plus the durability layer (`fc-store`): snapshot write time, WAL
+//! append throughput, and full crash-recovery time over the same tree.
 //!
 //! JSON is hand-rolled (flat number/string fields only) so the snapshot
 //! carries no serialization dependency. Regenerate with:
@@ -469,13 +471,117 @@ pub fn measure_store(n: usize) -> StoreSnapshot {
     }
 }
 
-/// Run all four snapshots, write `BENCH_core.json`, `BENCH_serve.json`,
-/// `BENCH_shard.json`, and `BENCH_store.json` into `dir`, and (when
-/// `FC_BENCH_ASSERT=1` on a ≥ 4-core machine) enforce the acceptance
-/// bound. Returns the serving-stack snapshots.
+/// Snapshot the network ingress: the same workload pushed through a live
+/// `fc_net::NetServer` over loopback TCP by a small pool of wire clients
+/// (one socket each, strict request/reply — the protocol's concurrency
+/// unit is the connection). Latency percentiles come from a
+/// single-connection blocking sample, so they price one full wire round
+/// trip: encode, write, server decode, cluster query, reply, decode.
+pub fn measure_net(n: usize) -> Snapshot {
+    use fc_net::{ClientConfig, NetClient, NetConfig, NetServer};
+    use std::sync::Arc;
+
+    let cores = cores();
+    let tree = bench_tree();
+    let queries = workload(&tree, n);
+    let cfg = ShardConfig {
+        shards: 4,
+        replicas: 2,
+        serve: ServeConfig {
+            workers: 1,
+            queue_cap: n + LATENCY_SAMPLE,
+            default_deadline: Duration::from_secs(30),
+            audit_interval: Duration::from_secs(3600),
+            processors: 1 << 10,
+            ..ServeConfig::default()
+        },
+        batch_threads: cores,
+        default_deadline: Duration::from_secs(60),
+        ..ShardConfig::default()
+    };
+    let t0 = Instant::now();
+    let cluster = Arc::new(ShardCluster::start(&tree, ParamMode::Auto, cfg));
+    let server = NetServer::start(
+        Arc::clone(&cluster),
+        "127.0.0.1:0",
+        NetConfig {
+            max_conns: 2 * cores + 8,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let addr = server.local_addr();
+    let ccfg = ClientConfig {
+        read_timeout: Duration::from_secs(30),
+        ..ClientConfig::default()
+    };
+
+    // Latency sample: one connection, strictly blocking round trips.
+    let mut client = NetClient::connect(addr, ccfg.clone()).expect("connect");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(LATENCY_SAMPLE);
+    for &(leaf, y) in queries.iter().take(LATENCY_SAMPLE) {
+        let t = Instant::now();
+        let _ = client.query(leaf.0, y, None);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(f64::total_cmp);
+    drop(client);
+
+    // Throughput: the workload split across a pool of wire clients.
+    let pool = cores.clamp(2, 8);
+    let chunk = n.div_ceil(pool);
+    let t1 = Instant::now();
+    let errs: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|slice| {
+                let ccfg = ccfg.clone();
+                s.spawn(move || {
+                    let mut errs = 0usize;
+                    let mut c = match NetClient::connect(addr, ccfg) {
+                        Ok(c) => c,
+                        Err(_) => return slice.len(),
+                    };
+                    for &(leaf, y) in slice {
+                        if c.query(leaf.0, y, None).is_err() {
+                            errs += 1;
+                        }
+                    }
+                    errs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    let secs = t1.elapsed().as_secs_f64();
+    let report = server.drain();
+    assert_eq!(report.forced, 0, "bench drain must be clean: {report:?}");
+    // The drain joined the accept loop and every handler, so this is the
+    // last Arc; fall back to drop if a straggler still holds one.
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+    Snapshot {
+        name: "net".into(),
+        cores,
+        build_ms,
+        queries: n,
+        throughput_qps: n as f64 / secs.max(1e-9),
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        shed_rate: errs as f64 / n as f64,
+    }
+}
+
+/// Run all five snapshots, write `BENCH_core.json`, `BENCH_serve.json`,
+/// `BENCH_shard.json`, `BENCH_net.json`, and `BENCH_store.json` into
+/// `dir`, and (when `FC_BENCH_ASSERT=1` on a ≥ 4-core machine) enforce
+/// the acceptance bound. Returns the serving-stack snapshots
+/// (serve, shard, net, store).
 pub fn write_snapshots(
     dir: &std::path::Path,
-) -> std::io::Result<(Snapshot, Snapshot, StoreSnapshot)> {
+) -> std::io::Result<(Snapshot, Snapshot, Snapshot, StoreSnapshot)> {
     let n = workload_size();
     std::fs::create_dir_all(dir)?;
     let core = measure_core(n);
@@ -484,6 +590,8 @@ pub fn write_snapshots(
     std::fs::write(dir.join("BENCH_serve.json"), serve.to_json())?;
     let shard = measure_shard(n);
     std::fs::write(dir.join("BENCH_shard.json"), shard.to_json())?;
+    let net = measure_net(n);
+    std::fs::write(dir.join("BENCH_net.json"), net.to_json())?;
     let store = measure_store(n);
     std::fs::write(dir.join("BENCH_store.json"), store.to_json())?;
     println!(
@@ -506,7 +614,7 @@ pub fn write_snapshots(
             serve.cores
         );
     }
-    Ok((serve, shard, store))
+    Ok((serve, shard, net, store))
 }
 
 #[cfg(test)]
@@ -526,6 +634,11 @@ mod tests {
             assert!(json.contains(&format!("\"name\": \"{}\"", s.name)));
             assert!(json.contains("\"throughput_qps\""));
         }
+        let net = measure_net(LATENCY_SAMPLE);
+        assert!(net.throughput_qps > 0.0, "{net:?}");
+        assert!(net.p99_us >= net.p50_us, "{net:?}");
+        assert_eq!(net.shed_rate, 0.0, "wire bench shed on loopback: {net:?}");
+        assert!(net.to_json().contains("\"name\": \"net\""));
         let store = measure_store(LATENCY_SAMPLE);
         assert!(store.wal_ops_per_s > 0.0, "{store:?}");
         assert!(store.recover_ms > 0.0, "{store:?}");

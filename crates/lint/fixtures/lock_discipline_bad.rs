@@ -1,6 +1,6 @@
 // Canary: `lock-discipline` must flag guards held across blocking effects
-// (fsync, channel send, epoch publish) and inconsistent pairwise lock
-// order.
+// (fsync, channel send, epoch publish, socket write) and inconsistent
+// pairwise lock order.
 
 fn fsync_under_guard(&self) -> std::io::Result<()> {
     let inner = self.inner.lock();
@@ -17,6 +17,12 @@ fn publish_under_guard(&self, gen: u64) {
     let writer = self.writer.lock();
     self.epoch.swap(gen);
     drop(writer);
+}
+
+fn socket_write_under_guard(&self, frame: &[u8]) {
+    let conns = self.conns.lock();
+    self.stream.write_all(frame);
+    drop(conns);
 }
 
 fn order_ab(&self) {

@@ -25,6 +25,15 @@ fn publish_after_release(&self, gen: u64) {
     self.epoch.swap(gen);
 }
 
+fn socket_write_after_release(&self, frame: &[u8]) {
+    {
+        let conns = self.conns.lock();
+        conns.note_write(frame.len());
+    }
+    self.stream.write_all(frame);
+    self.stream.flush();
+}
+
 fn order_ab(&self) {
     let a = self.alpha.lock();
     let b = self.beta.lock();

@@ -21,6 +21,10 @@
 //!   pointer (or a call reaching one): publishing while holding an
 //!   unrelated lock extends the window in which readers can pin a
 //!   generation the writer still mutates elsewhere;
+//! * **socket write under guard** (`crates/net` only) — `.write_all(..)`
+//!   or `.flush(..)` while a guard is live: a slow or stalled peer's TCP
+//!   backpressure would extend the hold for as long as the kernel buffer
+//!   stays full, turning one bad client into a server-wide stall;
 //! * **inconsistent lock order** — if two named locks of one crate are
 //!   ever acquired in both `A→B` and `B→A` nested order anywhere in that
 //!   crate, both sites are reported (the classic deadlock shape).
@@ -35,7 +39,7 @@
 //! `// fc-lint: allow(lock-discipline) -- <reason>` so the decision is
 //! written down next to the code.
 
-use super::{crate_of, in_concurrent_crates, Rule};
+use super::{crate_of, in_concurrent_crates, in_net_crate, Rule};
 use crate::lexer::SpannedTok;
 use crate::scope::FnItem;
 use crate::{call_at, receiver_mentions, Analyzed, Effects, Finding, Workspace};
@@ -68,7 +72,8 @@ impl Rule for LockDiscipline {
     }
 
     fn description(&self) -> &'static str {
-        "no guard held across fsync/send/EpochPtr publish; consistent pairwise lock order"
+        "no guard held across fsync/send/EpochPtr publish/socket write; \
+         consistent pairwise lock order"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
@@ -128,6 +133,9 @@ fn scan_fn(
     if f.body_start >= toks.len() || f.body_end >= toks.len() {
         return;
     }
+    // The socket-write event class applies to the ingress crate (and to
+    // fixture mode, so the canary corpus exercises it).
+    let net_scope = ws.force_apply || in_net_crate(&file.src.rel);
     let mut guards: Vec<Guard> = Vec::new();
     let mut reported: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     let mut depth = 0i32;
@@ -182,7 +190,7 @@ fn scan_fn(
         // Events under a live guard (one finding per line keeps
         // diagnostics readable; structural tokens still get processed).
         if !guards.is_empty() && !reported.contains(&toks[i].line) {
-            if let Some((what, via)) = event_at(ws, toks, i) {
+            if let Some((what, via)) = event_at(ws, toks, i, net_scope) {
                 let holder = guards
                     .last()
                     .map(|g| match &g.name {
@@ -278,8 +286,15 @@ fn acquisition_at(toks: &[SpannedTok], i: usize) -> Option<Guard> {
 }
 
 /// Detect an effectful event at token `i`, returning a description and
-/// the propagation note.
-fn event_at(ws: &Workspace, toks: &[SpannedTok], i: usize) -> Option<(String, String)> {
+/// the propagation note. `net_scope` enables the socket-write class
+/// (ingress crate + fixture mode only: the store's WAL writes under its
+/// append lock are that layer's documented serialization point).
+fn event_at(
+    ws: &Workspace,
+    toks: &[SpannedTok],
+    i: usize,
+    net_scope: bool,
+) -> Option<(String, String)> {
     let after_dot = i >= 1 && toks[i - 1].is('.');
     let name = call_at(toks, i)?;
     match name {
@@ -290,8 +305,12 @@ fn event_at(ws: &Workspace, toks: &[SpannedTok], i: usize) -> Option<(String, St
         "swap" if after_dot && receiver_mentions(toks, i, "epoch") => {
             Some(("an EpochPtr publish".into(), String::new()))
         }
+        "write_all" | "flush" if after_dot && net_scope => {
+            Some(("a socket write".into(), format!(" (`{name}`)")))
+        }
         // `.lock()`/`.read()`/`.write()` are acquisitions, not events.
-        "lock" | "read" | "write" | "swap" | "send" | "sync_all" | "sync_data" => None,
+        "lock" | "read" | "write" | "swap" | "send" | "sync_all" | "sync_data" | "write_all"
+        | "flush" => None,
         _ => {
             let eff: Effects = *ws.effects.get(name)?;
             if eff.fsync {
@@ -375,6 +394,25 @@ mod tests {
     #[test]
     fn atomic_swap_without_epoch_receiver_is_not_publish() {
         let f = findings("fn f(s: &S) {\n    let _g = s.m.lock();\n    s.state.swap(1);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn socket_write_under_guard_is_flagged() {
+        let f = findings(
+            "fn f(s: &S, frame: &[u8]) {\n    let _g = s.conns.lock();\n    \
+             s.stream.write_all(frame);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("socket write"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn socket_write_after_release_is_clean() {
+        let f = findings(
+            "fn f(s: &S, frame: &[u8]) {\n    {\n        let _g = s.conns.lock();\n    }\n    \
+             s.stream.write_all(frame);\n    s.stream.flush();\n}\n",
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -114,6 +114,14 @@ pub(crate) fn in_concurrent_crates(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/shard/src/")
         || rel.starts_with("crates/store/src/")
+        || rel.starts_with("crates/net/src/")
+}
+
+/// Whether `rel` is part of the network ingress, where the
+/// socket-write-under-guard event class applies (a blocked peer must
+/// never be able to extend a lock hold).
+pub(crate) fn in_net_crate(rel: &str) -> bool {
+    rel.starts_with("crates/net/src/")
 }
 
 /// The crate a workspace-relative path belongs to (for per-crate lock

@@ -84,6 +84,11 @@ pub const STRICT_SCOPES: &[(&str, StrictScope)] = &[
     ("crates/store/src/wal.rs", StrictScope::UntilTests),
     ("crates/store/src/recover.rs", StrictScope::UntilTests),
     ("crates/store/src/manifest.rs", StrictScope::UntilTests),
+    // PR 9: the wire — hostile bytes reach these paths directly, so the
+    // frame decode loop, accept loop, and drain path must surface every
+    // anomaly as a typed error, never a panic or an unchecked index.
+    ("crates/net/src/proto.rs", StrictScope::UntilTests),
+    ("crates/net/src/server.rs", StrictScope::UntilTests),
 ];
 
 impl Rule for HotPathStrict {
@@ -343,20 +348,35 @@ fn scan_lines(
 
 /// Column of the first direct-indexing site: a `[` whose previous
 /// non-space character is an identifier char, `)`, or `]`. Array/slice
-/// type syntax and attributes never match (preceded by `&`, `:`, `#`,
-/// `<`, ...), and `vec![..]` / other macro brackets are skipped because
-/// `!` precedes the bracket.
+/// type syntax and attributes never match — whether preceded by a
+/// punctuation token (`&`, `:`, `#`, `<`, ...), a lifetime (`&'a [u8]`),
+/// or the `mut` keyword (`&mut [u8]`) — and `vec![..]` / other macro
+/// brackets are skipped because `!` precedes the bracket.
 pub fn find_direct_index(line: &str) -> Option<usize> {
     let bytes = line.as_bytes();
     for (i, &b) in bytes.iter().enumerate() {
         if b != b'[' {
             continue;
         }
-        let prev = bytes[..i].iter().rev().find(|&&c| c != b' ');
-        if let Some(&p) = prev {
-            if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' {
-                return Some(i);
-            }
+        let Some(j) = bytes[..i].iter().rposition(|&c| c != b' ') else {
+            continue;
+        };
+        let p = bytes[j];
+        if p == b')' || p == b']' {
+            return Some(i);
+        }
+        if !(p.is_ascii_alphanumeric() || p == b'_') {
+            continue;
+        }
+        // Walk back over the identifier: a lifetime or the `mut`
+        // keyword precedes a slice *type*, not an index expression.
+        let mut s = j;
+        while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+            s -= 1;
+        }
+        let is_lifetime = s > 0 && bytes[s - 1] == b'\'';
+        if !is_lifetime && &line[s..=j] != "mut" {
+            return Some(i);
         }
     }
     None
@@ -398,6 +418,9 @@ mod tests {
         assert!(find_direct_index("bridges[0][5] += 1;").is_some());
         assert!(find_direct_index("f(x)[0]").is_some());
         assert!(find_direct_index("fn f(keys: &[K]) -> [u32; 4] {").is_none());
+        assert!(find_direct_index("fn take(&mut self) -> Result<&'a [u8], E> {").is_none());
+        assert!(find_direct_index("fn read(r: &mut R, buf: &mut [u8]) {").is_none());
+        assert!(find_direct_index("let x = is_mut[0];").is_some());
         assert!(find_direct_index("#[cfg(test)]").is_none());
         assert!(find_direct_index("vec![1, 2]").is_none());
     }

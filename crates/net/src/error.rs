@@ -1,0 +1,254 @@
+//! Typed errors for the wire layer.
+//!
+//! The ingress contract extends the cluster's: **a byte stream either
+//! yields a well-formed frame, or a typed [`ProtoError`] — never a panic,
+//! never an unbounded read.** Client-side failures (timeouts, resets,
+//! typed error replies) surface as [`NetError`], which is what the retry
+//! policy branches on.
+
+use std::fmt;
+use std::io;
+
+/// A malformed, oversized, truncated, or corrupt frame. Every variant is
+/// produced by the bounds-checked decoder in [`crate::proto`]; none of
+/// them can be produced by a well-formed peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The 8-byte magic/version prefix is not `FCNET001`.
+    BadMagic,
+    /// The frame type byte names no known frame.
+    UnknownType(u8),
+    /// The declared payload length exceeds the negotiated cap. Checked
+    /// *before* any allocation, so a hostile length field cannot balloon
+    /// memory.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The buffer ends before the declared frame does.
+    Truncated {
+        /// Bytes the frame header promised.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The frame checksum does not cover the bytes received.
+    CrcMismatch {
+        /// CRC the frame carried.
+        carried: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The payload's key width does not match the serving key type.
+    KeyWidth {
+        /// Width this endpoint serves.
+        expected: u8,
+        /// Width the frame declared.
+        found: u8,
+    },
+    /// A structurally invalid payload (bad lengths, non-UTF-8 text,
+    /// trailing garbage, unknown error code, ...).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadMagic => write!(f, "bad magic (want FCNET001)"),
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            ProtoError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            ProtoError::CrcMismatch { carried, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: frame carries {carried:#010x}, bytes hash to {computed:#010x}"
+                )
+            }
+            ProtoError::KeyWidth { expected, found } => {
+                write!(
+                    f,
+                    "key width {found} (this endpoint serves width {expected})"
+                )
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// The typed error code carried by an `Error` reply frame: the wire
+/// projection of `ServeError`/`ShardError` plus ingress-local overload
+/// and protocol failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Shed at admission (connection cap or bounded queue full). Retry
+    /// after backoff.
+    Overloaded,
+    /// The query deadline expired before an answer was computed.
+    Timeout,
+    /// The per-leg deadline budget ran out mid-scatter.
+    BudgetExhausted,
+    /// Every replica of some shard refused the query.
+    ShardUnavailable,
+    /// The server is draining; it will not accept new queries.
+    ShuttingDown,
+    /// The request frame was malformed (decode detail in the message).
+    Protocol,
+    /// Anything else — carried verbatim so nothing is silently dropped.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire byte for the code.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Timeout => 2,
+            ErrorCode::BudgetExhausted => 3,
+            ErrorCode::ShardUnavailable => 4,
+            ErrorCode::ShuttingDown => 5,
+            ErrorCode::Protocol => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Decode a wire byte; `None` for reserved/unknown codes.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Timeout,
+            3 => ErrorCode::BudgetExhausted,
+            4 => ErrorCode::ShardUnavailable,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Protocol,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client retry (with backoff) can plausibly succeed.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::Timeout | ErrorCode::ShardUnavailable
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::BudgetExhausted => "budget-exhausted",
+            ErrorCode::ShardUnavailable => "shard-unavailable",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed error reply as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail (bounded; truncated by the encoder).
+    pub detail: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+/// Client/transport-side failure: everything that can go wrong between
+/// "bytes written" and "typed reply decoded".
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer's bytes did not decode.
+    Proto(ProtoError),
+    /// A socket operation failed (reset, refused, broken pipe, ...).
+    Io {
+        /// What we were doing (`"connect"`, `"read frame"`, ...).
+        op: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A socket operation exceeded its read/write timeout.
+    Timeout {
+        /// What timed out.
+        op: &'static str,
+    },
+    /// The peer closed the connection cleanly mid-exchange.
+    Closed,
+    /// The server replied with a typed error frame.
+    Remote(WireError),
+    /// The reply frame type does not answer the request that was sent.
+    UnexpectedFrame {
+        /// The frame type byte that arrived.
+        got: u8,
+    },
+}
+
+impl NetError {
+    /// Classify an `io::Error` from a socket read/write: timeouts become
+    /// [`NetError::Timeout`], clean EOF becomes [`NetError::Closed`].
+    pub fn from_io(op: &'static str, e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout { op },
+            io::ErrorKind::UnexpectedEof => NetError::Closed,
+            _ => NetError::Io { op, source: e },
+        }
+    }
+
+    /// Whether reconnect-and-retry with backoff is worthwhile.
+    pub fn retryable(&self) -> bool {
+        match self {
+            NetError::Io { .. } | NetError::Timeout { .. } | NetError::Closed => true,
+            NetError::Remote(w) => w.code.retryable(),
+            NetError::Proto(_) | NetError::UnexpectedFrame { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Proto(e) => write!(f, "protocol: {e}"),
+            NetError::Io { op, source } => write!(f, "io during {op}: {source}"),
+            NetError::Timeout { op } => write!(f, "timeout during {op}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Remote(w) => write!(f, "server error: {w}"),
+            NetError::UnexpectedFrame { got } => {
+                write!(f, "unexpected reply frame type {got:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            NetError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic byte surgery over valid frames — the wire twin of
+//! `fc_store::fault`. The protocol-fuzz gate (`tests/net_fuzz.rs`) drives
+//! [`Mutator`] over ≥100k seeds and asserts every mutant decodes to a
+//! typed error or to a value byte-identical frames would produce — never
+//! a panic, never a hang, never a silently different answer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One surgical operation applied to a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Surgery {
+    /// XOR one bit somewhere in the frame.
+    BitFlip {
+        /// Byte offset (taken modulo the frame length).
+        at: usize,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+    /// Overwrite one byte.
+    ByteSet {
+        /// Byte offset (modulo length).
+        at: usize,
+        /// Replacement value.
+        val: u8,
+    },
+    /// Drop the frame's tail.
+    Truncate {
+        /// Bytes kept (modulo length + 1).
+        keep: usize,
+    },
+    /// Append garbage bytes (a following frame's worth of noise).
+    Append {
+        /// How many bytes of noise.
+        n: usize,
+        /// Noise generator seed.
+        seed: u64,
+    },
+    /// Forge the length field (offsets 9..13) to a chosen value.
+    LenForge {
+        /// The forged payload length.
+        len: u32,
+    },
+    /// Overwrite the type byte (offset 8).
+    TypeSwap {
+        /// The forged type.
+        ty: u8,
+    },
+    /// Splice: keep a prefix, then continue with the same frame shifted —
+    /// models two frames torn and glued mid-stream.
+    Splice {
+        /// Prefix length kept (modulo length).
+        cut: usize,
+    },
+}
+
+/// Apply `s` to a copy of `frame`. Total (never panics) for every input,
+/// including the empty frame.
+pub fn apply(frame: &[u8], s: &Surgery) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    match s {
+        Surgery::BitFlip { at, bit } => {
+            if !out.is_empty() {
+                let i = at % out.len();
+                if let Some(b) = out.get_mut(i) {
+                    *b ^= 1u8 << (bit % 8);
+                }
+            }
+        }
+        Surgery::ByteSet { at, val } => {
+            if !out.is_empty() {
+                let i = at % out.len();
+                if let Some(b) = out.get_mut(i) {
+                    *b = *val;
+                }
+            }
+        }
+        Surgery::Truncate { keep } => {
+            let k = keep % (out.len() + 1);
+            out.truncate(k);
+        }
+        Surgery::Append { n, seed } => {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            out.extend((0..*n).map(|_| (rng.gen::<u32>() & 0xFF) as u8));
+        }
+        Surgery::LenForge { len } => {
+            let bytes = len.to_le_bytes();
+            for (i, v) in bytes.iter().enumerate() {
+                if let Some(b) = out.get_mut(9 + i) {
+                    *b = *v;
+                }
+            }
+        }
+        Surgery::TypeSwap { ty } => {
+            if let Some(b) = out.get_mut(8) {
+                *b = *ty;
+            }
+        }
+        Surgery::Splice { cut } => {
+            if !out.is_empty() {
+                let c = cut % out.len();
+                let mut spliced = Vec::with_capacity(out.len());
+                spliced.extend_from_slice(out.get(..c).unwrap_or(&[]));
+                spliced.extend_from_slice(out.get(c / 2..).unwrap_or(&[]));
+                out = spliced;
+            }
+        }
+    }
+    out
+}
+
+/// Seeded surgery chooser: one seed → one reproducible mutant. The gate
+/// sweeps seeds `0..N`, so any failure is a one-number repro.
+pub struct Mutator {
+    rng: SmallRng,
+}
+
+impl Mutator {
+    /// A mutator whose whole decision stream derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pick the next surgery for a frame of `len` bytes.
+    pub fn pick(&mut self, len: usize) -> Surgery {
+        let r = &mut self.rng;
+        match r.gen_range(0..8u32) {
+            0 => Surgery::BitFlip {
+                at: r.gen_range(0..len.max(1)),
+                bit: r.gen_range(0..8u32) as u8,
+            },
+            1 => Surgery::ByteSet {
+                at: r.gen_range(0..len.max(1)),
+                val: (r.gen::<u32>() & 0xFF) as u8,
+            },
+            2 => Surgery::Truncate {
+                keep: r.gen_range(0..len + 1),
+            },
+            3 => Surgery::Append {
+                n: r.gen_range(1..64usize),
+                seed: r.gen::<u64>(),
+            },
+            4 => Surgery::LenForge {
+                len: r.gen::<u32>(),
+            },
+            5 => Surgery::TypeSwap {
+                ty: (r.gen::<u32>() & 0xFF) as u8,
+            },
+            6 => Surgery::Splice {
+                cut: r.gen_range(0..len.max(1)),
+            },
+            _ => Surgery::BitFlip {
+                at: r.gen_range(0..len.max(1)),
+                bit: r.gen_range(0..8u32) as u8,
+            },
+        }
+    }
+
+    /// Mutate a frame: apply 1–3 surgeries picked from this seed stream.
+    pub fn mutate(&mut self, frame: &[u8]) -> (Vec<u8>, Vec<Surgery>) {
+        let rounds = self.rng.gen_range(1..4u32);
+        let mut out = frame.to_vec();
+        let mut applied = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let s = self.pick(out.len());
+            out = apply(&out, &s);
+            applied.push(s);
+        }
+        (out, applied)
+    }
+}

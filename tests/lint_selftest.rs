@@ -46,12 +46,12 @@ fn every_rule_flags_its_bad_fixture_and_passes_its_good_twin() {
     }
 }
 
-/// The lock rule sees all three effect classes (fsync, send, publish) and
-/// the order inversion — not just one of them.
+/// The lock rule sees all four effect classes (fsync, send, publish,
+/// socket write) and the order inversion — not just one of them.
 #[test]
 fn lock_discipline_catches_every_effect_class() {
     let bad = run("lock-discipline", "bad");
-    for needle in ["fsync", "send", "publish", "order"] {
+    for needle in ["fsync", "send", "publish", "socket write", "order"] {
         assert!(
             bad.iter().any(|f| f.message.contains(needle)),
             "lock-discipline bad fixture missing a `{needle}` finding: {bad:?}"

@@ -1,0 +1,344 @@
+//! Property tests for the `FCNET001` wire codec (registered under
+//! fc-net in `crates/net/Cargo.toml`) — the wire twin of
+//! `tests/store_props.rs`.
+//!
+//! Three families, per the ingress contract ("typed error, never a
+//! panic, never a silent misparse"):
+//!
+//! * **Round trip** — every request/response shape, including extreme
+//!   keys, empty payloads, unicode text, and every error code, decodes
+//!   back to the value that was encoded, consuming exactly the frame.
+//! * **Truncation at every byte offset** — cutting a valid frame at
+//!   *every* prefix length must yield a typed [`ProtoError`]; no offset
+//!   may panic or decode to a value.
+//! * **Bit flip at every position** — flipping *every* bit of a valid
+//!   frame must yield a typed error (magic check ahead of the CRC, CRC
+//!   over everything else); no flip may decode to a value.
+
+use fc_net::proto::{
+    self, Request, Response, WireAnswer, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAX_TEXT, TRAILER_LEN,
+};
+use fc_net::{ErrorCode, ProtoError, WireError};
+
+/// A corpus frame: name (for failure messages), bytes, and whether it is
+/// a request (decoded with `decode_request`) or a response.
+struct Fixture {
+    name: &'static str,
+    bytes: Vec<u8>,
+    is_request: bool,
+}
+
+fn requests() -> Vec<(&'static str, Request<i64>)> {
+    vec![
+        (
+            "query/plain",
+            Request::Query {
+                leaf: 7,
+                key: 1234,
+                deadline_ms: 250,
+            },
+        ),
+        (
+            "query/extremes",
+            Request::Query {
+                leaf: u32::MAX,
+                key: i64::MIN,
+                deadline_ms: u32::MAX,
+            },
+        ),
+        (
+            "query/zeroes",
+            Request::Query {
+                leaf: 0,
+                key: 0,
+                deadline_ms: 0,
+            },
+        ),
+        ("health", Request::Health),
+        ("shutdown", Request::Shutdown),
+    ]
+}
+
+fn responses() -> Vec<(&'static str, Response<i64>)> {
+    let mut out: Vec<(&'static str, Response<i64>)> = vec![
+        (
+            "answer/empty",
+            Response::Answer(WireAnswer {
+                table_version: 0,
+                entries: vec![],
+            }),
+        ),
+        (
+            "answer/mixed",
+            Response::Answer(WireAnswer {
+                table_version: u64::MAX,
+                entries: (0..40)
+                    .map(|i| {
+                        let node = i as u32 * 3;
+                        if i % 3 == 0 {
+                            (node, None)
+                        } else {
+                            (node, Some(i as i64 - 20))
+                        }
+                    })
+                    .collect(),
+            }),
+        ),
+        (
+            "health/unicode",
+            Response::Health("héalth ✓\nqueue 0\n".to_owned()),
+        ),
+        ("bye", Response::Bye),
+    ];
+    for code in [
+        ErrorCode::Overloaded,
+        ErrorCode::Timeout,
+        ErrorCode::BudgetExhausted,
+        ErrorCode::ShardUnavailable,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Protocol,
+        ErrorCode::Internal,
+    ] {
+        out.push((
+            "error",
+            Response::Error(WireError {
+                code,
+                detail: format!("detail for {code:?} — ünïcode"),
+            }),
+        ));
+    }
+    out.push((
+        "error/empty-detail",
+        Response::Error(WireError {
+            code: ErrorCode::Timeout,
+            detail: String::new(),
+        }),
+    ));
+    out
+}
+
+fn corpus() -> Vec<Fixture> {
+    let mut out = Vec::new();
+    for (name, req) in requests() {
+        out.push(Fixture {
+            name,
+            bytes: proto::encode_request(&req),
+            is_request: true,
+        });
+    }
+    for (name, resp) in responses() {
+        out.push(Fixture {
+            name,
+            bytes: proto::encode_response(&resp),
+            is_request: false,
+        });
+    }
+    out
+}
+
+/// Decode `bytes` with the fixture's decoder and assert a typed error,
+/// exercising Display on the way (no panic formatting any error).
+fn assert_typed_err(f: &Fixture, bytes: &[u8], what: &str) {
+    if f.is_request {
+        match proto::decode_request::<i64>(bytes, DEFAULT_MAX_FRAME_LEN) {
+            Err(e) => {
+                let _ = format!("{e}");
+            }
+            Ok((v, used)) => panic!(
+                "{}/{what}: decoded {v:?} (used {used}) from damaged bytes",
+                f.name
+            ),
+        }
+    } else {
+        match proto::decode_response::<i64>(bytes, DEFAULT_MAX_FRAME_LEN) {
+            Err(e) => {
+                let _ = format!("{e}");
+            }
+            Ok((v, used)) => panic!(
+                "{}/{what}: decoded {v:?} (used {used}) from damaged bytes",
+                f.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_request_round_trips() {
+    for (name, req) in requests() {
+        let bytes = proto::encode_request(&req);
+        let (back, used) = proto::decode_request::<i64>(&bytes, DEFAULT_MAX_FRAME_LEN)
+            .unwrap_or_else(|e| panic!("{name}: round trip failed: {e}"));
+        assert_eq!(back, req, "{name}: decoded request differs");
+        assert_eq!(used, bytes.len(), "{name}: frame not fully consumed");
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for (name, resp) in responses() {
+        let bytes = proto::encode_response(&resp);
+        let (back, used) = proto::decode_response::<i64>(&bytes, DEFAULT_MAX_FRAME_LEN)
+            .unwrap_or_else(|e| panic!("{name}: round trip failed: {e}"));
+        assert_eq!(back, resp, "{name}: decoded response differs");
+        assert_eq!(used, bytes.len(), "{name}: frame not fully consumed");
+    }
+}
+
+/// The envelope is exactly what the module docs promise: magic, type,
+/// little-endian length, payload, CRC-32 over `type ‖ len ‖ payload`
+/// computed by the same `fc_store::crc32` the WAL uses.
+#[test]
+fn envelope_layout_matches_spec() {
+    let bytes = proto::encode_request::<i64>(&Request::Query {
+        leaf: 3,
+        key: 99,
+        deadline_ms: 10,
+    });
+    assert_eq!(&bytes[..8], proto::MAGIC.as_slice());
+    assert_eq!(bytes[8], proto::T_QUERY);
+    let plen = u32::from_le_bytes(bytes[9..13].try_into().unwrap()) as usize;
+    assert_eq!(bytes.len(), HEADER_LEN + plen + TRAILER_LEN);
+    let carried = u32::from_le_bytes(bytes[HEADER_LEN + plen..].try_into().unwrap());
+    let computed = fc_store::crc32(&bytes[8..HEADER_LEN + plen]);
+    assert_eq!(carried, computed, "CRC span must be type ‖ len ‖ payload");
+}
+
+/// Cut every corpus frame at every byte offset: each prefix must decode
+/// to a typed error (`Truncated` until the envelope completes, never a
+/// value, never a panic).
+#[test]
+fn truncation_at_every_offset_is_typed() {
+    for f in corpus() {
+        for cut in 0..f.bytes.len() {
+            assert_typed_err(&f, &f.bytes[..cut], &format!("cut@{cut}"));
+        }
+        // A sub-header prefix must specifically report Truncated, so a
+        // streaming reader knows to wait for more bytes rather than
+        // abandon the connection.
+        if f.is_request {
+            match proto::decode_request::<i64>(&f.bytes[..HEADER_LEN - 1], DEFAULT_MAX_FRAME_LEN) {
+                Err(ProtoError::Truncated { have, .. }) => assert_eq!(have, HEADER_LEN - 1),
+                other => panic!("{}: sub-header cut gave {other:?}", f.name),
+            }
+        }
+    }
+}
+
+/// Flip every bit of every corpus frame: each mutant must decode to a
+/// typed error. The magic check catches the first 8 bytes; the CRC
+/// catches every bit of type, length, payload, and the CRC itself.
+#[test]
+fn bit_flip_at_every_position_is_typed() {
+    for f in corpus() {
+        for at in 0..f.bytes.len() {
+            for bit in 0..8u8 {
+                let mut m = f.bytes.clone();
+                m[at] ^= 1 << bit;
+                assert_typed_err(&f, &m, &format!("flip@{at}.{bit}"));
+            }
+        }
+    }
+}
+
+/// Frames are length-prefixed so they can stream back to back: decoding
+/// the front of a concatenation consumes exactly one frame and leaves
+/// the next intact.
+#[test]
+fn streaming_frames_decode_back_to_back() {
+    let a = proto::encode_request::<i64>(&Request::Query {
+        leaf: 1,
+        key: 5,
+        deadline_ms: 0,
+    });
+    let b = proto::encode_request::<i64>(&Request::Health);
+    let mut joined = a.clone();
+    joined.extend_from_slice(&b);
+    joined.extend_from_slice(b"trailing garbage the framer never reads");
+    let (first, used_a) = proto::decode_request::<i64>(&joined, DEFAULT_MAX_FRAME_LEN).unwrap();
+    assert_eq!(used_a, a.len());
+    assert!(matches!(first, Request::Query { leaf: 1, .. }));
+    let (second, used_b) =
+        proto::decode_request::<i64>(&joined[used_a..], DEFAULT_MAX_FRAME_LEN).unwrap();
+    assert_eq!(used_b, b.len());
+    assert_eq!(second, Request::Health);
+}
+
+/// Forged length fields — zero, off-by-one both ways, the cap, past the
+/// cap, `u32::MAX` — must each produce a typed error (`Oversized` past
+/// the cap *before any allocation*, CRC/truncation otherwise).
+#[test]
+fn forged_length_fields_are_typed() {
+    for f in corpus() {
+        let true_len = (f.bytes.len() - HEADER_LEN - TRAILER_LEN) as u32;
+        for forged in [
+            0u32,
+            true_len.wrapping_sub(1),
+            true_len + 1,
+            DEFAULT_MAX_FRAME_LEN,
+            DEFAULT_MAX_FRAME_LEN + 1,
+            u32::MAX,
+        ] {
+            if forged == true_len {
+                continue;
+            }
+            let mut m = f.bytes.clone();
+            m[9..13].copy_from_slice(&forged.to_le_bytes());
+            assert_typed_err(&f, &m, &format!("len={forged}"));
+            if forged > DEFAULT_MAX_FRAME_LEN {
+                let got = proto::decode_request::<i64>(&m, DEFAULT_MAX_FRAME_LEN);
+                assert!(
+                    matches!(got, Err(ProtoError::Oversized { .. })),
+                    "{}: len={forged} should refuse on the cap, got {got:?}",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+/// Width confusion between an i32 client and an i64 server (and vice
+/// versa) is a typed `KeyWidth` error, not a misparse: the width byte is
+/// checked before any key bytes are read.
+#[test]
+fn key_width_confusion_is_typed_both_ways() {
+    let as32 = proto::encode_request::<i32>(&Request::Query {
+        leaf: 2,
+        key: 7i32,
+        deadline_ms: 0,
+    });
+    match proto::decode_request::<i64>(&as32, DEFAULT_MAX_FRAME_LEN) {
+        Err(ProtoError::KeyWidth {
+            expected: 8,
+            found: 4,
+        }) => {}
+        other => panic!("i32→i64 gave {other:?}"),
+    }
+    let as64 = proto::encode_request::<i64>(&Request::Query {
+        leaf: 2,
+        key: 7i64,
+        deadline_ms: 0,
+    });
+    match proto::decode_request::<i32>(&as64, DEFAULT_MAX_FRAME_LEN) {
+        Err(ProtoError::KeyWidth {
+            expected: 4,
+            found: 8,
+        }) => {}
+        other => panic!("i64→i32 gave {other:?}"),
+    }
+}
+
+/// The encoder clips hostile-length text at a char boundary instead of
+/// emitting an oversized frame; multi-byte characters survive the clip.
+#[test]
+fn text_clip_respects_char_boundaries() {
+    let long = "é".repeat(MAX_TEXT); // 2 bytes per char, 2×MAX_TEXT bytes
+    let bytes = proto::encode_response::<i64>(&Response::Health(long));
+    let (back, _) = proto::decode_response::<i64>(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+    match back {
+        Response::Health(t) => {
+            assert!(t.len() <= MAX_TEXT);
+            assert!(t.chars().all(|c| c == 'é'));
+        }
+        other => panic!("expected Health, got {other:?}"),
+    }
+}
