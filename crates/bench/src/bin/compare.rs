@@ -129,6 +129,12 @@ fn main() -> ExitCode {
             Some("p99_us"),
         ),
         ("BENCH_store.json", "wal_ops_per_s", "wal_ops", None),
+        (
+            "BENCH_dyn.json",
+            "update_ops_per_s",
+            "updates",
+            Some("p99_us"),
+        ),
     ];
     let mut failed = false;
     for (file, gate_field, size_field, lat_field) in gates {

@@ -43,16 +43,19 @@ fn main() {
             "[harness] writing serving snapshots to {} ...",
             dir.display()
         );
-        let (serve, shard, net, store) =
+        let (serve, shard, net, store, dyn_snap) =
             fc_bench::snapshot::write_snapshots(&dir).expect("write snapshots");
         eprintln!(
             "[harness] serve {:.0} q/s, shard (batched) {:.0} q/s, \
-             net (wire) {:.0} q/s, wal {:.0} ops/s, recover {:.1} ms on {} cores",
+             net (wire) {:.0} q/s, wal {:.0} ops/s, recover {:.1} ms, \
+             dyn {:.0} ops/s ({:.1}x rebuild) on {} cores",
             serve.throughput_qps,
             shard.throughput_qps,
             net.throughput_qps,
             store.wal_ops_per_s,
             store.recover_ms,
+            dyn_snap.update_ops_per_s,
+            dyn_snap.speedup,
             serve.cores
         );
         if args.is_empty() {

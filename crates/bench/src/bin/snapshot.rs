@@ -1,7 +1,7 @@
-//! Write the core + serving + wire + durability performance snapshots
-//! (`BENCH_core.json`, `BENCH_serve.json`, `BENCH_shard.json`,
-//! `BENCH_net.json`, `BENCH_store.json`) into a directory (default: the
-//! current one).
+//! Write the core + serving + wire + durability + dynamic-maintenance
+//! performance snapshots (`BENCH_core.json`, `BENCH_serve.json`,
+//! `BENCH_shard.json`, `BENCH_net.json`, `BENCH_store.json`,
+//! `BENCH_dyn.json`) into a directory (default: the current one).
 //!
 //! ```text
 //! cargo run -p fc-bench --release --bin snapshot -- <out-dir>
@@ -15,7 +15,8 @@ fn main() {
     let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
     let n = snapshot::workload_size();
     eprintln!("[snapshot] workload: {n} uniform queries");
-    let (serve, shard, net, store) = snapshot::write_snapshots(&dir).expect("write snapshots");
+    let (serve, shard, net, store, dyn_snap) =
+        snapshot::write_snapshots(&dir).expect("write snapshots");
     for s in [&serve, &shard, &net] {
         println!(
             "{:<6} build {:>8.1} ms | {:>10.0} q/s | p50 {:>8.1} us | p99 {:>8.1} us | shed {:.4}",
@@ -26,9 +27,17 @@ fn main() {
         "store  snap  {:>8.1} ms | {:>10.0} wal-ops/s | recover {:>8.1} ms ({} records)",
         store.snapshot_ms, store.wal_ops_per_s, store.recover_ms, store.replayed_records
     );
+    println!(
+        "dyn    incr  {:>10.0} ops/s | rebuild {:>8.0} ops/s ({:>6.1}x) | mixed {:>10.0} ops/s | p99 {:>6.1} us",
+        dyn_snap.update_ops_per_s,
+        dyn_snap.baseline_ops_per_s,
+        dyn_snap.speedup,
+        dyn_snap.mixed_ops_per_s,
+        dyn_snap.p99_us
+    );
     eprintln!(
         "[snapshot] wrote BENCH_core.json, BENCH_serve.json, BENCH_shard.json, \
-         BENCH_net.json, BENCH_store.json in {}",
+         BENCH_net.json, BENCH_store.json, BENCH_dyn.json in {}",
         dir.display()
     );
 }

@@ -471,6 +471,169 @@ pub fn measure_store(n: usize) -> StoreSnapshot {
     }
 }
 
+/// Performance snapshot of the dynamic-maintenance layer (fc-dyn): the
+/// incremental per-key write path against the clone-and-rebuild
+/// baseline, on the same tree and update stream.
+#[derive(Debug, Clone)]
+pub struct DynSnapshot {
+    /// Always `"dyn"`.
+    pub name: String,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Keys in the benchmark tree.
+    pub tree_keys: usize,
+    /// Updates pushed through the incremental path.
+    pub updates: usize,
+    /// Sustained incremental update throughput, ops/second.
+    pub update_ops_per_s: f64,
+    /// Clone-and-rebuild baseline throughput, ops/second (the buffered
+    /// mode force-rebuilt every 64-op batch — "rebuild the world").
+    pub baseline_ops_per_s: f64,
+    /// `update_ops_per_s / baseline_ops_per_s`.
+    pub speedup: f64,
+    /// Mixed 1:1 read/write throughput on the incremental structure,
+    /// ops/second (each op is one update or one path search).
+    pub mixed_ops_per_s: f64,
+    /// Incremental per-update latency, microseconds.
+    pub p50_us: f64,
+    /// Incremental per-update tail latency, microseconds.
+    pub p99_us: f64,
+    /// Fallback rebuilds per incremental update (density/corruption
+    /// compactions; ~0 on a clean uniform workload).
+    pub fallback_rate: f64,
+}
+
+impl DynSnapshot {
+    /// Serialize as a flat JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"cores\": {},\n  \"tree_keys\": {},\n  \
+             \"updates\": {},\n  \"update_ops_per_s\": {:.1},\n  \
+             \"baseline_ops_per_s\": {:.1},\n  \"speedup\": {:.2},\n  \
+             \"mixed_ops_per_s\": {:.1},\n  \"p50_us\": {:.2},\n  \"p99_us\": {:.2},\n  \
+             \"fallback_rate\": {:.6}\n}}\n",
+            self.name,
+            self.cores,
+            self.tree_keys,
+            self.updates,
+            self.update_ops_per_s,
+            self.baseline_ops_per_s,
+            self.speedup,
+            self.mixed_ops_per_s,
+            self.p50_us,
+            self.p99_us,
+            self.fallback_rate
+        )
+    }
+}
+
+/// The mixed update stream both dynamic modes consume: per-key inserts
+/// and deletes, uniform over nodes and the serving key universe.
+fn dyn_ops(tree: &CatalogTree<i64>, n: usize) -> Vec<fc_coop::dynamic::UpdateOp<i64>> {
+    use fc_coop::dynamic::UpdateOp;
+    let nodes = tree.len() as u32;
+    let mut rng = SmallRng::seed_from_u64(0xD1_0B5);
+    (0..n)
+        .map(|_| {
+            let node = NodeId(rng.gen_range(0..nodes));
+            let key = rng.gen_range(0..KEY_SPAN);
+            if rng.gen_bool(0.7) {
+                UpdateOp::Insert(node, key)
+            } else {
+                UpdateOp::Remove(node, key)
+            }
+        })
+        .collect()
+}
+
+/// Snapshot the dynamic layer: `n` per-key updates through the fc-dyn
+/// incremental path (timed individually for the latency percentiles),
+/// the same stream through the clone-and-rebuild baseline (buffered mode
+/// force-rebuilt every 64-op batch; capped at 2048 ops — each batch pays
+/// a full O(n) rebuild, and throughput per op is flat in the stream
+/// length), and a 1:1 mixed read/write interleaving.
+pub fn measure_dyn(n: usize) -> DynSnapshot {
+    use fc_coop::dynamic::{DynamicCoop, UpdateOp};
+    use fc_pram::{Model, Pram};
+
+    let cores = cores();
+    let tree = bench_tree();
+    let ops = dyn_ops(&tree, n);
+    let mut pram = Pram::new(1 << 16, Model::Crew);
+
+    // Incremental path: every op patches bridges/samples along one
+    // node-to-root path; per-op wall clock feeds the percentiles.
+    let mut dy = DynamicCoop::new_incremental(tree.clone(), ParamMode::Auto, 0.25);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n);
+    let t0 = Instant::now();
+    for op in &ops {
+        let t = Instant::now();
+        match *op {
+            UpdateOp::Insert(node, key) => dy.insert(node, key, &mut pram),
+            UpdateOp::Remove(node, key) => dy.remove(node, key, &mut pram),
+        }
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let incr_secs = t0.elapsed().as_secs_f64();
+    let gs = dy.gen_stats();
+    assert_eq!(gs.audit_failures, 0, "bench updates must audit clean");
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+
+    // Clone-and-rebuild baseline: same stream, buffered mode, a forced
+    // full rebuild after every 64-op batch.
+    let base_n = n.min(2_048);
+    let mut base = DynamicCoop::new(tree.clone(), ParamMode::Auto, f64::INFINITY);
+    let t1 = Instant::now();
+    for chunk in ops[..base_n].chunks(64) {
+        base.apply_batch(chunk, &mut pram);
+        base.force_rebuild(&mut pram);
+    }
+    let base_secs = t1.elapsed().as_secs_f64();
+
+    // Mixed 1:1 read/write on the incremental structure.
+    let reads = workload(&tree, n.min(ops.len()));
+    let t2 = Instant::now();
+    let mut mixed = 0usize;
+    for (op, &(leaf, y)) in ops.iter().zip(&reads) {
+        match *op {
+            UpdateOp::Insert(node, key) => dy.insert(node, key, &mut pram),
+            UpdateOp::Remove(node, key) => dy.remove(node, key, &mut pram),
+        }
+        let path = dy.structure().tree().path_from_root(leaf);
+        let _ = dy.search(&path, y, &mut pram);
+        mixed += 2;
+    }
+    let mixed_secs = t2.elapsed().as_secs_f64();
+
+    let update_ops_per_s = n as f64 / incr_secs.max(1e-9);
+    let baseline_ops_per_s = base_n as f64 / base_secs.max(1e-9);
+    let snap = DynSnapshot {
+        name: "dyn".into(),
+        cores,
+        tree_keys: TREE_KEYS,
+        updates: n,
+        update_ops_per_s,
+        baseline_ops_per_s,
+        speedup: update_ops_per_s / baseline_ops_per_s.max(1e-9),
+        mixed_ops_per_s: mixed as f64 / mixed_secs.max(1e-9),
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        fallback_rate: gs.fallback_rebuilds as f64 / (n as f64).max(1.0),
+    };
+    let assert_on = std::env::var("FC_BENCH_ASSERT").is_ok_and(|v| v == "1");
+    if assert_on {
+        assert!(
+            snap.speedup >= 10.0,
+            "acceptance: incremental updates must sustain >= 10x the \
+             clone-and-rebuild baseline ({:.0} vs {:.0} ops/s, {:.1}x)",
+            snap.update_ops_per_s,
+            snap.baseline_ops_per_s,
+            snap.speedup
+        );
+    }
+    snap
+}
+
 /// Snapshot the network ingress: the same workload pushed through a live
 /// `fc_net::NetServer` over loopback TCP by a small pool of wire clients
 /// (one socket each, strict request/reply — the protocol's concurrency
@@ -581,7 +744,7 @@ pub fn measure_net(n: usize) -> Snapshot {
 /// (serve, shard, net, store).
 pub fn write_snapshots(
     dir: &std::path::Path,
-) -> std::io::Result<(Snapshot, Snapshot, Snapshot, StoreSnapshot)> {
+) -> std::io::Result<(Snapshot, Snapshot, Snapshot, StoreSnapshot, DynSnapshot)> {
     let n = workload_size();
     std::fs::create_dir_all(dir)?;
     let core = measure_core(n);
@@ -594,6 +757,8 @@ pub fn write_snapshots(
     std::fs::write(dir.join("BENCH_net.json"), net.to_json())?;
     let store = measure_store(n);
     std::fs::write(dir.join("BENCH_store.json"), store.to_json())?;
+    let dyn_snap = measure_dyn(n);
+    std::fs::write(dir.join("BENCH_dyn.json"), dyn_snap.to_json())?;
     println!(
         "core   level {:>7.1} ms | bidir {:>7.1} ms | piped {:>7.1} ms | \
          descent {:>7.0} ns | {:>10.0} q/s",
@@ -614,7 +779,7 @@ pub fn write_snapshots(
             serve.cores
         );
     }
-    Ok((serve, shard, net, store))
+    Ok((serve, shard, net, store, dyn_snap))
 }
 
 #[cfg(test)]
@@ -646,6 +811,20 @@ mod tests {
         let json = store.to_json();
         assert!(json.contains("\"wal_ops_per_s\""));
         assert!(json.contains("\"recover_ms\""));
+    }
+
+    #[test]
+    fn dyn_snapshot_measures_and_serializes() {
+        let dy = measure_dyn(LATENCY_SAMPLE);
+        assert!(dy.update_ops_per_s > 0.0, "{dy:?}");
+        assert!(dy.baseline_ops_per_s > 0.0, "{dy:?}");
+        assert!(dy.mixed_ops_per_s > 0.0, "{dy:?}");
+        assert!(dy.p99_us >= dy.p50_us, "{dy:?}");
+        assert!(dy.fallback_rate >= 0.0, "{dy:?}");
+        let json = dy.to_json();
+        assert!(json.contains("\"name\": \"dyn\""));
+        assert!(json.contains("\"update_ops_per_s\""));
+        assert!(json.contains("\"speedup\""));
     }
 
     #[test]

@@ -19,11 +19,24 @@
 //! overhead, `O(1)` amortised-per-update buffering plus the amortised
 //! rebuild — a baseline against which a true cooperative dynamic scheme
 //! (still open) can be compared. Costs are charged to the usual [`Pram`].
+//!
+//! **Incremental mode** ([`DynamicCoop::new_incremental`]) replaces the
+//! buffers with `fc_dyn`'s slot-arena cascade: each update patches
+//! bridges and samples only along the affected node-to-root path, so
+//! update cost is per key touched rather than per structure, and every
+//! update is visible to [`DynamicCoop::search`] immediately. The static
+//! structure then lags until the next (rare) rebuild — triggered only by
+//! a density-invariant violation, detected corruption, or an explicit
+//! [`DynamicCoop::force_rebuild`] — which doubles as compaction: the
+//! cascade is rebuilt tombstone-free from its live catalogs. The
+//! clone-and-rebuild path thus remains the always-correct fallback
+//! behind the fast path.
 
 use crate::explicit::coop_search_explicit;
 use crate::params::ParamMode;
 use crate::structure::CoopStructure;
 use fc_catalog::{invariants, CatalogKey, CatalogTree, NodeId};
+use fc_dyn::{DynCascade, DynConfig, DynError, QueryReport};
 use fc_pram::cost::Pram;
 use std::collections::BTreeSet;
 
@@ -57,6 +70,33 @@ pub struct GenStats {
     /// 0 — a nonzero value means the rebuild itself produced an invalid
     /// structure).
     pub audit_failures: u64,
+    /// Incremental-mode: updates applied on the fast in-place path
+    /// (zero in buffered mode).
+    pub incremental_applies: u64,
+    /// Incremental-mode: full clone-and-rebuild fallbacks forced by
+    /// density violations or detected corruption (a subset of
+    /// `rebuilds`; explicit `force_rebuild` calls are not counted here).
+    pub fallback_rebuilds: u64,
+    /// Incremental-mode: cumulative per-key-touched cost (nodes + slots
+    /// walked) across all incremental applies.
+    pub keys_touched: u64,
+    /// Incremental-mode gauge: live native entries in the cascade.
+    pub live_entries: u64,
+    /// Incremental-mode gauge: tombstoned slots awaiting compaction.
+    pub tombstones: u64,
+}
+
+impl GenStats {
+    /// Fraction of cascade slots that are tombstones (0 outside
+    /// incremental mode or when empty).
+    pub fn tombstone_ratio(&self) -> f64 {
+        let total = self.live_entries + self.tombstones;
+        if total == 0 {
+            0.0
+        } else {
+            self.tombstones as f64 / total as f64
+        }
+    }
 }
 
 /// A buffer-consistency violation found by [`DynamicCoop::audit_buffers`].
@@ -94,6 +134,12 @@ pub enum BufferBlame {
         /// Total buffered elements.
         buffered: usize,
     },
+    /// Incremental mode: the cascade's own structural audit found dirt
+    /// (corrupt bridge/link/order, stale finger, density violation).
+    IncrementalDirty {
+        /// Arena index of the node the cascade audit blamed.
+        node: u32,
+    },
 }
 
 /// A dynamic wrapper over the cooperative structure.
@@ -109,6 +155,11 @@ pub struct DynamicCoop<K: CatalogKey> {
     /// Number of rebuilds performed (for the amortisation experiment).
     pub rebuilds: u64,
     gen: GenStats,
+    /// Incremental cascade (`None` = classic buffered mode).
+    incr: Option<DynCascade<K>>,
+    /// Ops whose incremental apply aborted on typed corruption, awaiting
+    /// re-apply after the fallback rebuild. Never dropped silently.
+    retry: Vec<UpdateOp<K>>,
 }
 
 impl<K: CatalogKey> DynamicCoop<K> {
@@ -128,7 +179,41 @@ impl<K: CatalogKey> DynamicCoop<K> {
             rebuild_min: 64,
             rebuilds: 0,
             gen: GenStats::default(),
+            incr: None,
+            retry: Vec::new(),
         }
+    }
+
+    /// Like [`DynamicCoop::new`], but updates take `fc_dyn`'s incremental
+    /// path: in-place node-to-root patches with per-key-touched cost,
+    /// immediately visible to [`DynamicCoop::search`]. The buffered
+    /// clone-and-rebuild machinery stays in place as the always-correct
+    /// fallback (density violation, detected corruption, or explicit
+    /// [`DynamicCoop::force_rebuild`]).
+    pub fn new_incremental(tree: CatalogTree<K>, mode: ParamMode, frac: f64) -> Self {
+        Self::new_incremental_with(tree, mode, frac, DynConfig::default())
+    }
+
+    /// [`DynamicCoop::new_incremental`] with explicit cascade tuning.
+    pub fn new_incremental_with(
+        tree: CatalogTree<K>,
+        mode: ParamMode,
+        frac: f64,
+        cfg: DynConfig,
+    ) -> Self {
+        let mut dy = Self::new(tree, mode, frac);
+        dy.incr = Some(DynCascade::build(dy.st.tree(), cfg));
+        dy
+    }
+
+    /// Whether updates take the incremental path.
+    pub fn incremental(&self) -> bool {
+        self.incr.is_some()
+    }
+
+    /// The incremental cascade, when in incremental mode.
+    pub fn incremental_cascade(&self) -> Option<&DynCascade<K>> {
+        self.incr.as_ref()
     }
 
     /// The underlying static structure (rebuilt lazily).
@@ -154,12 +239,22 @@ impl<K: CatalogKey> DynamicCoop<K> {
     /// Insert `key` into `node`'s catalog. No-op if the key is already
     /// logically present.
     pub fn insert(&mut self, node: NodeId, key: K, pram: &mut Pram) {
+        if self.incr.is_some() {
+            let fallback = self.incr_apply(UpdateOp::Insert(node, key), pram);
+            self.settle_incremental(fallback, pram);
+            return;
+        }
         self.buffer_insert(node, key, pram);
         self.maybe_rebuild(pram);
     }
 
     /// Delete `key` from `node`'s catalog. No-op if absent.
     pub fn remove(&mut self, node: NodeId, key: K, pram: &mut Pram) {
+        if self.incr.is_some() {
+            let fallback = self.incr_apply(UpdateOp::Remove(node, key), pram);
+            self.settle_incremental(fallback, pram);
+            return;
+        }
         self.buffer_remove(node, key, pram);
         self.maybe_rebuild(pram);
     }
@@ -169,7 +264,19 @@ impl<K: CatalogKey> DynamicCoop<K> {
     /// (and hence any generation published from it by the serving layer)
     /// observes either none or all of the batch. The rebuild check runs
     /// once, after the last op. Returns `true` if that check rebuilt.
+    ///
+    /// In incremental mode each op patches the cascade in place and the
+    /// commit-point check only rebuilds on a fallback trigger (density
+    /// violation or detected corruption), so the return value stays
+    /// "`true` iff the static structure is fresh to publish".
     pub fn apply_batch(&mut self, ops: &[UpdateOp<K>], pram: &mut Pram) -> bool {
+        if self.incr.is_some() {
+            let mut fallback = false;
+            for &op in ops {
+                fallback |= self.incr_apply(op, pram);
+            }
+            return self.settle_incremental(fallback, pram);
+        }
         for &op in ops {
             match op {
                 UpdateOp::Insert(node, key) => self.buffer_insert(node, key, pram),
@@ -177,6 +284,72 @@ impl<K: CatalogKey> DynamicCoop<K> {
             }
         }
         self.maybe_rebuild(pram)
+    }
+
+    /// One op on the incremental path. Returns `true` when the cascade
+    /// asks for the clone-and-rebuild fallback (corruption detected or
+    /// density bound crossed). A corrupted apply parks the op in the
+    /// retry queue — it is never lost; `settle_incremental` rebuilds
+    /// from the authoritative flat arenas and re-applies it.
+    fn incr_apply(&mut self, op: UpdateOp<K>, pram: &mut Pram) -> bool {
+        let Some(dc) = self.incr.as_mut() else {
+            return false;
+        };
+        let res = match op {
+            UpdateOp::Insert(node, key) => dc.apply_insert(node, key),
+            UpdateOp::Remove(node, key) => dc.apply_remove(node, key),
+        };
+        match res {
+            Ok(rep) => {
+                pram.seq(1 + rep.cost() as usize);
+                self.gen.incremental_applies += 1;
+                self.gen.keys_touched += rep.cost() as u64;
+                if !rep.noop {
+                    self.changes += 1;
+                }
+                dc.needs_compaction().is_some()
+            }
+            Err(_) => {
+                self.changes += 1;
+                self.retry.push(op);
+                true
+            }
+        }
+    }
+
+    /// Commit-point check for the incremental path: rebuild (compact)
+    /// when any op of the batch tripped a fallback trigger, then drain
+    /// the retry queue against the fresh cascade. An op that fails even
+    /// on a freshly built cascade is a builder bug; it is surfaced as an
+    /// `audit_failures` tick, never silently dropped mid-queue.
+    fn settle_incremental(&mut self, fallback: bool, pram: &mut Pram) -> bool {
+        let density = self
+            .incr
+            .as_ref()
+            .is_some_and(|dc| dc.needs_compaction().is_some());
+        if !(fallback || density) {
+            return false;
+        }
+        self.gen.fallback_rebuilds += 1;
+        self.force_rebuild(pram);
+        let retry = std::mem::take(&mut self.retry);
+        for op in retry {
+            if let Some(dc) = self.incr.as_mut() {
+                let res = match op {
+                    UpdateOp::Insert(node, key) => dc.apply_insert(node, key),
+                    UpdateOp::Remove(node, key) => dc.apply_remove(node, key),
+                };
+                match res {
+                    Ok(rep) => {
+                        pram.seq(1 + rep.cost() as usize);
+                        self.gen.incremental_applies += 1;
+                        self.gen.keys_touched += rep.cost() as u64;
+                    }
+                    Err(_) => self.gen.audit_failures += 1,
+                }
+            }
+        }
+        true
     }
 
     /// Buffer an insert without checking the rebuild threshold.
@@ -210,8 +383,13 @@ impl<K: CatalogKey> DynamicCoop<K> {
     }
 
     /// The logical catalog of `node` (static minus deletions plus
-    /// insertions) — `O(catalog)` work; used by tests and rebuilds.
+    /// insertions; in incremental mode the cascade's live native keys,
+    /// recovered by flat arena scan) — `O(catalog)` work; used by tests
+    /// and rebuilds.
     pub fn logical_catalog(&self, node: NodeId) -> Vec<K> {
+        if let Some(dc) = &self.incr {
+            return dc.live_native_catalog(node);
+        }
         let mut out: Vec<K> = self
             .st
             .tree()
@@ -232,7 +410,30 @@ impl<K: CatalogKey> DynamicCoop<K> {
 
     /// Dynamic cooperative search: for every node on the root-to-leaf
     /// `path`, the smallest *logical* entry `>= y` (`None` = `+∞`).
+    ///
+    /// In incremental mode this serves from the live cascade (every
+    /// applied update visible); a typed cascade error degrades to the
+    /// per-node flat-arena scan — correct under arbitrary link/bridge
+    /// corruption because the arenas, not the links, are authoritative.
+    /// Use [`DynamicCoop::search_checked`] to observe the error itself.
     pub fn search(&self, path: &[NodeId], y: K, pram: &mut Pram) -> Vec<Option<K>> {
+        if let Some(dc) = &self.incr {
+            let mut out = Vec::with_capacity(path.len());
+            let mut rep = QueryReport::default();
+            match dc.search_path_into(path, y, &mut out, &mut rep) {
+                Ok(()) => {
+                    pram.seq(1 + (rep.slots_walked + rep.bridge_hops) as usize);
+                    return out;
+                }
+                Err(_) => {
+                    // Degraded read: per-node scan over the flat arenas.
+                    return path
+                        .iter()
+                        .map(|&n| dc.live_native_catalog(n).into_iter().find(|&k| k >= y))
+                        .collect();
+                }
+            }
+        }
         let out = coop_search_explicit(&self.st, path, y, pram);
         path.iter()
             .zip(&out.finds)
@@ -256,6 +457,26 @@ impl<K: CatalogKey> DynamicCoop<K> {
                 }
             })
             .collect()
+    }
+
+    /// Incremental-mode search that surfaces the cascade's typed error
+    /// instead of degrading: callers distinguishing "fast-path answer"
+    /// from "corruption detected" (the fault-injection gates) use this.
+    /// In buffered mode it never errs.
+    pub fn search_checked(
+        &self,
+        path: &[NodeId],
+        y: K,
+        pram: &mut Pram,
+    ) -> Result<Vec<Option<K>>, DynError> {
+        if let Some(dc) = &self.incr {
+            let mut out = Vec::with_capacity(path.len());
+            let mut rep = QueryReport::default();
+            dc.search_path_into(path, y, &mut out, &mut rep)?;
+            pram.seq(1 + (rep.slots_walked + rep.bridge_hops) as usize);
+            return Ok(out);
+        }
+        Ok(self.search(path, y, pram))
     }
 
     fn maybe_rebuild(&mut self, pram: &mut Pram) -> bool {
@@ -285,6 +506,11 @@ impl<K: CatalogKey> DynamicCoop<K> {
         let mut cost = pram.fork();
         self.st = CoopStructure::preprocess_cost(new_tree, self.mode, &mut cost);
         pram.join_max([cost]);
+        // Incremental mode: the rebuild doubles as compaction — a fresh
+        // tombstone-free cascade over the just-drained catalogs.
+        if let Some(dc) = self.incr.take() {
+            self.incr = Some(DynCascade::build(self.st.tree(), dc.config()));
+        }
         for s in self.ins.iter_mut().chain(self.del.iter_mut()) {
             s.clear();
         }
@@ -305,10 +531,16 @@ impl<K: CatalogKey> DynamicCoop<K> {
 
     /// Rebuild/generation counters (see [`GenStats`]).
     pub fn gen_stats(&self) -> GenStats {
-        GenStats {
+        let mut gs = GenStats {
             pending: self.changes,
             ..self.gen
+        };
+        if let Some(dc) = &self.incr {
+            let c = dc.counters();
+            gs.live_entries = c.live_native;
+            gs.tombstones = c.tombstones;
         }
+        gs
     }
 
     /// Check the buffer invariants the update path maintains by
@@ -317,6 +549,14 @@ impl<K: CatalogKey> DynamicCoop<K> {
     /// injection, memory error) and the next rebuild would bake the
     /// corruption into the catalogs.
     pub fn audit_buffers(&self) -> Result<(), Vec<BufferBlame>> {
+        // Incremental mode: the cascade, not the buffers, is the
+        // authoritative dynamic state — audit it instead.
+        if let Some(dc) = &self.incr {
+            return match dc.audit() {
+                Ok(()) => Ok(()),
+                Err(e) => Err(vec![BufferBlame::IncrementalDirty { node: e.node() }]),
+            };
+        }
         let mut blames = Vec::new();
         let mut buffered = 0usize;
         for id in self.st.tree().ids() {
@@ -364,6 +604,14 @@ impl<K: CatalogKey> DynamicCoop<K> {
     #[doc(hidden)]
     pub fn structure_mut_for_repair(&mut self) -> &mut CoopStructure<K> {
         &mut self.st
+    }
+
+    /// Mutable incremental cascade — fault-injection hook (corruptions
+    /// must surface as typed errors/audit dirt, never wrong answers).
+    /// Not part of the stable API.
+    #[doc(hidden)]
+    pub fn incremental_mut_for_fault_injection(&mut self) -> Option<&mut DynCascade<K>> {
+        self.incr.as_mut()
     }
 }
 
@@ -575,6 +823,139 @@ mod tests {
         assert!(blames
             .iter()
             .any(|b| matches!(b, BufferBlame::InsDuplicatesStatic { node } if *node == root.0)));
+    }
+
+    #[test]
+    fn incremental_search_matches_brute_force_through_updates() {
+        let mut rng = SmallRng::seed_from_u64(821);
+        let tree = gen::balanced_binary(6, 3000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new_incremental(tree, ParamMode::Auto, 0.25);
+        let mut pram = Pram::new(1 << 14, Model::Crew);
+        let node_count = dy.structure().tree().len();
+        for step in 0..3000 {
+            let node = NodeId(rng.gen_range(0..node_count as u32));
+            let key = rng.gen_range(0..64_000i64);
+            if rng.gen_bool(0.6) {
+                dy.insert(node, key, &mut pram);
+            } else {
+                dy.remove(node, key, &mut pram);
+            }
+            if step % 150 == 0 {
+                let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
+                let path = dy.structure().tree().path_from_root(leaf);
+                let y = rng.gen_range(-5..64_005i64);
+                let got = dy.search(&path, y, &mut pram);
+                assert_eq!(got, brute(&dy, &path, y), "step {step}");
+                let checked = dy.search_checked(&path, y, &mut pram).expect("clean");
+                assert_eq!(checked, got);
+            }
+        }
+        let gs = dy.gen_stats();
+        assert!(
+            gs.incremental_applies >= 3000,
+            "every op took the fast path"
+        );
+        assert!(gs.keys_touched > 0);
+        assert!(gs.live_entries > 0);
+        assert!(dy.audit_buffers().is_ok());
+        // Mean per-update touched cost stays per-key, not per-structure.
+        let mean = gs.keys_touched as f64 / gs.incremental_applies as f64;
+        assert!(mean < 300.0, "per-update cost too high: {mean}");
+    }
+
+    #[test]
+    fn incremental_updates_avoid_threshold_rebuild_storms() {
+        let mut rng = SmallRng::seed_from_u64(823);
+        let tree = gen::balanced_binary(6, 2000, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new_incremental(tree, ParamMode::Auto, 0.25);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let node_count = dy.structure().tree().len() as u32;
+        // The same churn that forces >= 2 rebuilds in buffered mode.
+        for _ in 0..4000 {
+            let node = NodeId(rng.gen_range(0..node_count));
+            dy.insert(node, rng.gen_range(0..1_000_000i64), &mut pram);
+        }
+        // Inserts never create tombstones, so no density fallback either.
+        assert_eq!(dy.rebuilds, 0, "no clone-and-rebuild on the fast path");
+        assert_eq!(dy.gen_stats().fallback_rebuilds, 0);
+    }
+
+    #[test]
+    fn incremental_corruption_is_typed_then_heals_by_fallback() {
+        let mut rng = SmallRng::seed_from_u64(825);
+        let tree = gen::balanced_binary(5, 1500, SizeDist::Uniform, &mut rng);
+        let mut dy = DynamicCoop::new_incremental(tree, ParamMode::Auto, 0.25);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let root = dy.structure().tree().root();
+        // Corrupt a bridge behind the API's back.
+        assert!(dy
+            .incremental_mut_for_fault_injection()
+            .expect("incremental")
+            .corrupt_bridge_for_fault_injection(root.0));
+        // The audit sees it ...
+        let blames = dy.audit_buffers().unwrap_err();
+        assert!(matches!(blames[0], BufferBlame::IncrementalDirty { .. }));
+        // ... checked search is typed or correct, plain search degrades
+        // to the correct flat scan, never a wrong answer. Sweep paths
+        // into both subtrees so the corrupted bridge is exercised no
+        // matter which child it sampled.
+        let leaves = dy.structure().tree().leaves();
+        let probes = [leaves[0], leaves[leaves.len() - 1]];
+        let mut saw_typed = false;
+        for &leaf in &probes {
+            let path = dy.structure().tree().path_from_root(leaf);
+            for y in (0..64_000i64).step_by(997) {
+                match dy.search_checked(&path, y, &mut pram) {
+                    Ok(ans) => assert_eq!(ans, brute(&dy, &path, y), "y={y}"),
+                    Err(_) => saw_typed = true,
+                }
+                assert_eq!(dy.search(&path, y, &mut pram), brute(&dy, &path, y));
+            }
+        }
+        assert!(saw_typed, "the corrupted bridge must surface typed");
+        // Now corrupt a link too: the next insert's locate walk hits the
+        // cycle guard, the op parks in the retry queue, and the settle
+        // step performs exactly one fallback rebuild that also clears the
+        // bridge corruption — and the acked op survives the round trip.
+        assert!(dy
+            .incremental_mut_for_fault_injection()
+            .expect("incremental")
+            .corrupt_link_for_fault_injection(root.0));
+        let before = dy.gen_stats().fallback_rebuilds;
+        for k in 0..200i64 {
+            dy.insert(root, 70_000 + k, &mut pram);
+        }
+        let gs = dy.gen_stats();
+        assert!(gs.fallback_rebuilds > before, "the fallback must fire");
+        assert!(dy.audit_buffers().is_ok(), "the rebuild heals everything");
+        assert_eq!(gs.audit_failures, 0, "no op may be dropped silently");
+        // All 200 acked inserts are present, including the parked one.
+        let cat = dy.logical_catalog(root);
+        for k in 0..200i64 {
+            assert!(cat.contains(&(70_000 + k)), "lost acked insert {k}");
+        }
+    }
+
+    #[test]
+    fn incremental_density_violation_triggers_compaction_fallback() {
+        let mut rng = SmallRng::seed_from_u64(827);
+        let tree = gen::balanced_binary(4, 1200, SizeDist::Uniform, &mut rng);
+        let cfg = fc_dyn::DynConfig {
+            min_dead: 16,
+            dead_frac: 0.1,
+            ..fc_dyn::DynConfig::default()
+        };
+        let mut dy = DynamicCoop::new_incremental_with(tree, ParamMode::Auto, 0.25, cfg);
+        let mut pram = Pram::new(1 << 12, Model::Crew);
+        let root = dy.structure().tree().root();
+        let keys = dy.logical_catalog(root);
+        for &k in &keys {
+            dy.remove(root, k, &mut pram);
+        }
+        let gs = dy.gen_stats();
+        assert!(gs.fallback_rebuilds >= 1, "density must force compaction");
+        assert!(dy.audit_buffers().is_ok(), "compaction leaves it clean");
+        assert!(dy.logical_catalog(root).is_empty());
     }
 
     #[test]

@@ -46,8 +46,10 @@
 //!   (deadline propagation for the `fc-serve` query service).
 //! * [`batch`] — batched inter-query parallelism, including the verified
 //!   batched descent the `fc-shard` router uses for its gather legs.
-//! * [`dynamic`] — buffered updates + global rebuilding (open problem 4),
-//!   with atomic batch drains and post-rebuild self-audit.
+//! * [`dynamic`] — dynamic updates (open problem 4): buffered global
+//!   rebuilding with atomic batch drains and post-rebuild self-audit,
+//!   plus the opt-in `fc-dyn` incremental mode (node-to-root bridge and
+//!   sample patches, per-key-touched cost, clone-and-rebuild fallback).
 
 #![warn(missing_docs)]
 // Explicit index loops mirror the one-processor-per-index PRAM semantics.
@@ -75,3 +77,6 @@ pub use explicit::{
 pub use implicit::{coop_search_implicit, Branch, BranchOracle, ConsistentLeafOracle};
 pub use params::{CoopParams, ParamMode};
 pub use structure::CoopStructure;
+// The incremental write path's public surface, re-exported so downstream
+// layers (serve/shard/store) need no direct fc-dyn dependency.
+pub use fc_dyn::{DynCascade, DynConfig, DynCounters, DynError, PatchReport, QueryReport};

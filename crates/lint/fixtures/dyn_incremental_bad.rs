@@ -1,0 +1,40 @@
+// Canary: the PR 10 incremental-cascade scopes. `hot-path-strict` must
+// flag the unchecked slot indexing and the panicking walk; `hot-alloc`
+// must flag the per-update allocations — the incremental path's whole
+// claim is per-key-touched cost, so an allocation per apply is a design
+// regression, not a worklist item.
+
+struct Slot {
+    key: u32,
+    next: u32,
+    live: bool,
+}
+
+fn locate_ge(slots: &[Slot], head: u32, key: u32) -> u32 {
+    let mut cur = head;
+    loop {
+        // BAD: direct indexing on a pointer-linked arena — a torn link
+        // walks out of bounds and panics instead of blaming the node.
+        let slot = &slots[cur as usize];
+        if slot.key >= key {
+            return cur;
+        }
+        cur = slot.next;
+    }
+}
+
+fn apply_insert(slots: &mut Vec<Slot>, head: u32, key: u32) -> u32 {
+    // BAD: allocating a scratch list of live keys on every apply — the
+    // per-key-touched cost just became per-structure.
+    let live: Vec<u32> = slots.iter().filter(|s| s.live).map(|s| s.key).collect();
+    let at = live.partition_point(|k| *k < key);
+    // BAD: panicking on a corrupt arena instead of returning a DynError.
+    let anchor = live.get(at).copied().unwrap();
+    let _ = locate_ge(slots, head, anchor);
+    slots.push(Slot {
+        key,
+        next: head,
+        live: true,
+    });
+    (slots.len() - 1) as u32
+}

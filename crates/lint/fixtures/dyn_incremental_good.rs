@@ -1,0 +1,53 @@
+// Canary twin: the same incremental-cascade shapes done right — every
+// arena access through `.get(..)` with a blamed typed error, a cycle
+// guard instead of an unbounded walk, and no allocation anywhere on the
+// apply path.
+
+struct Slot {
+    key: u32,
+    next: u32,
+    live: bool,
+}
+
+#[derive(Debug)]
+enum DynError {
+    SlotOutOfRange { slot: u32 },
+    CorruptLink { steps: u32 },
+}
+
+fn locate_ge(slots: &[Slot], head: u32, key: u32) -> Result<u32, DynError> {
+    let mut cur = head;
+    let mut steps = 0u32;
+    loop {
+        if steps > slots.len() as u32 + 2 {
+            return Err(DynError::CorruptLink { steps });
+        }
+        let slot = slots
+            .get(cur as usize)
+            .ok_or(DynError::SlotOutOfRange { slot: cur })?;
+        if slot.key >= key {
+            return Ok(cur);
+        }
+        cur = slot.next;
+        steps += 1;
+    }
+}
+
+fn apply_insert(slots: &mut Vec<Slot>, head: u32, key: u32) -> Result<u32, DynError> {
+    // The only walk is along the node's own list, bounded by the cycle
+    // guard; the one allocation is the arena slot itself.
+    let at = locate_ge(slots, head, key)?;
+    let live = slots
+        .get(at as usize)
+        .map(|s| s.live)
+        .ok_or(DynError::SlotOutOfRange { slot: at })?;
+    if live {
+        return Ok(at);
+    }
+    slots.push(Slot {
+        key,
+        next: head,
+        live: true,
+    });
+    Ok((slots.len() - 1) as u32)
+}

@@ -89,6 +89,22 @@ pub const STRICT_SCOPES: &[(&str, StrictScope)] = &[
     // anomaly as a typed error, never a panic or an unchecked index.
     ("crates/net/src/proto.rs", StrictScope::UntilTests),
     ("crates/net/src/server.rs", StrictScope::UntilTests),
+    // PR 10: the incremental cascade — these walk pointer-linked slot
+    // arenas that fault injection corrupts on purpose, so every torn
+    // link, bad bridge, or out-of-range slot must come back as a blamed
+    // `DynError`, never a panic or an unchecked index.
+    (
+        "crates/dyn/src/cascade.rs",
+        StrictScope::Fn("search_path_into"),
+    ),
+    ("crates/dyn/src/cascade.rs", StrictScope::Fn("locate_ge")),
+    ("crates/dyn/src/cascade.rs", StrictScope::Fn("descend_from")),
+    (
+        "crates/dyn/src/cascade.rs",
+        StrictScope::Fn("native_successor_from"),
+    ),
+    ("crates/dyn/src/cascade.rs", StrictScope::Fn("apply_insert")),
+    ("crates/dyn/src/cascade.rs", StrictScope::Fn("apply_remove")),
 ];
 
 impl Rule for HotPathStrict {
@@ -242,6 +258,20 @@ pub const HOT_FNS: &[(&str, &[&str])] = &[
     ("crates/catalog/src/search.rs", &["search_path_fc"]),
     ("crates/core/src/explicit.rs", &["search_explicit_inner"]),
     ("crates/serve/src/worker.rs", &["execute", "attempt"]),
+    // PR 10: the per-key incremental update path — its whole point is
+    // per-key-touched cost, so an allocation here is a design regression,
+    // not a worklist item.
+    (
+        "crates/dyn/src/cascade.rs",
+        &[
+            "search_path_into",
+            "locate_ge",
+            "descend_from",
+            "native_successor_from",
+            "apply_insert",
+            "apply_remove",
+        ],
+    ),
 ];
 
 impl Rule for HotAlloc {

@@ -643,6 +643,17 @@ where
         stats.shard_unavailable,
         stats.splits,
     );
+    let ws = cluster.write_stats();
+    let _ = writeln!(
+        s,
+        "writes incr_applies {} fallback_rebuilds {} rebuilds {} \
+         keys_touched {} tombstone_ratio {:.4}",
+        ws.incremental_applies,
+        ws.fallback_rebuilds,
+        ws.rebuilds,
+        ws.keys_touched,
+        ws.tombstone_ratio(),
+    );
     for (shard, replicas) in cluster.health().iter().enumerate() {
         let mut heat: f64 = 0.0;
         for h in replicas {

@@ -115,8 +115,12 @@ impl<K: CatalogKey + KeyCodec> DurableService<K> {
         self.persist_published()
     }
 
+    /// Persist the just-published generation: log a rebuild marker first
+    /// (epoch-cut provenance), then snapshot watermarked past it, so a
+    /// crash between the two replays the marker, never loses it.
     fn persist_published(&self) -> Result<u64, StoreError> {
         let generation = self.svc.gen_stats().generation;
+        self.store.append_rebuild_marker(generation)?;
         let snapshot = self.svc.snapshot();
         let id = self
             .store
@@ -198,11 +202,12 @@ mod tests {
 
         let (ds2, rec) =
             DurableService::<i64>::recover(&dir, ParamMode::Auto, small_cfg(), no_fsync()).unwrap();
-        assert_eq!(rec.last_seq, 20);
+        assert_eq!(rec.last_seq, 21, "20 updates + the checkpoint marker");
         assert_eq!(
             rec.replayed_records, 0,
-            "checkpoint watermarked the whole log"
+            "checkpoint watermarked the whole log, marker included"
         );
+        assert_eq!(rec.rebuild_markers, 0, "marker covered by the snapshot");
         // Every inserted key is present in the recovered service's
         // published generation.
         let snapshot = ds2.service().snapshot();
@@ -215,7 +220,53 @@ mod tests {
         // And durable updates continue seamlessly after recovery.
         ds2.update_batch(&[UpdateOp::Insert(NodeId(1), 6_000_000)])
             .unwrap();
-        assert_eq!(ds2.store().last_seq(), 21);
+        assert_eq!(ds2.store().last_seq(), 22);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_mode_updates_survive_unclean_stop() {
+        let dir = tmp("incr");
+        let t = tree(35);
+        let cfg = ServeConfig {
+            incremental: true,
+            ..small_cfg()
+        };
+        let ds = DurableService::create(&dir, t, ParamMode::Auto, cfg.clone(), no_fsync()).unwrap();
+        for i in 0..30i64 {
+            let node = NodeId((i % 7) as u32);
+            ds.update_batch(&[UpdateOp::Insert(node, 8_000_000 + i)])
+                .unwrap();
+        }
+        let gs = ds.service().gen_stats();
+        assert_eq!(gs.incremental_applies, 30, "fast path took every op");
+        drop(ds); // unclean stop: the ops live only in the WAL
+        let (ds2, rec) =
+            DurableService::<i64>::recover(&dir, ParamMode::Auto, cfg, no_fsync()).unwrap();
+        assert_eq!(rec.replayed_records, 30);
+        let snapshot = ds2.service().snapshot();
+        for i in 0..30i64 {
+            let node = NodeId((i % 7) as u32);
+            assert!(
+                snapshot.st.tree().catalog(node).contains(&(8_000_000 + i)),
+                "acked incremental update {i} lost"
+            );
+        }
+        // An uncovered marker (crash between marker append and snapshot
+        // persist) replays as provenance, not as an error.
+        ds2.store().append_rebuild_marker(99).unwrap();
+        drop(ds2);
+        let (_ds3, rec3) = DurableService::<i64>::recover(
+            &dir,
+            ParamMode::Auto,
+            ServeConfig {
+                incremental: true,
+                ..small_cfg()
+            },
+            no_fsync(),
+        )
+        .unwrap();
+        assert_eq!(rec3.rebuild_markers, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -76,6 +76,12 @@ pub struct ServeConfig {
     /// Rebuild threshold as a fraction of total catalog size (see
     /// [`DynamicCoop::new`]).
     pub rebuild_frac: f64,
+    /// Run the writer in `fc-dyn` incremental mode: updates patch bridges
+    /// and samples along the affected node-to-root path (cost per key
+    /// touched) instead of buffering toward threshold rebuilds. Published
+    /// generations then only advance on fallback rebuilds (density
+    /// violation, detected corruption) or explicit checkpoints.
+    pub incremental: bool,
     /// Seed for worker backoff jitter.
     pub seed: u64,
 }
@@ -96,6 +102,7 @@ impl Default for ServeConfig {
             probe_every: 4,
             close_after: 4,
             rebuild_frac: 0.25,
+            incremental: false,
             seed: 0x5E12_FE11,
         }
     }
@@ -291,7 +298,12 @@ impl<K: CatalogKey> Service<K> {
     /// Preprocess `tree`, publish generation 0, and spawn the worker pool
     /// and the auditor.
     pub fn start(tree: CatalogTree<K>, mode: ParamMode, cfg: ServeConfig) -> Self {
-        let dy = DynamicCoop::new(tree, mode, cfg.rebuild_frac.max(f64::MIN_POSITIVE));
+        let frac = cfg.rebuild_frac.max(f64::MIN_POSITIVE);
+        let dy = if cfg.incremental {
+            DynamicCoop::new_incremental(tree, mode, frac)
+        } else {
+            DynamicCoop::new(tree, mode, frac)
+        };
         let gen0 = Arc::new(Generation {
             id: 0,
             st: dy.structure().clone(),
@@ -629,7 +641,16 @@ pub(crate) fn audit_cycle<K: CatalogKey>(
             repair(w.dy.structure_mut_for_repair(), &writer_report);
         }
         if w.dy.audit_buffers().is_err() {
-            repair_buffers(&mut w.dy);
+            if w.dy.incremental() {
+                // Incremental mode: "buffer" dirt is cascade dirt (corrupt
+                // bridge/link/finger or density violation). The localized
+                // repair story does not apply to the slot arena — the
+                // always-correct fallback is a clone-and-rebuild from the
+                // live (flat-arena) catalogs, which also compacts.
+                w.dy.force_rebuild(&mut w.pram);
+            } else {
+                repair_buffers(&mut w.dy);
+            }
         }
         shared.stats.repairs.fetch_add(1, SeqCst);
         // fc-lint: allow(lock-discipline) -- by design: the repaired state must publish before the writer lock is released, or a writer could republish corruption

@@ -65,6 +65,10 @@ pub struct ColdStartReport {
     pub truncated_bytes: u64,
     /// Corrupt snapshots skipped in favour of older valid ones.
     pub snapshots_skipped: usize,
+    /// Rebuild (epoch-cut) markers replayed above the watermarks — a
+    /// nonzero count means some shard died between cutting an epoch and
+    /// persisting its snapshot.
+    pub rebuild_markers: u64,
 }
 
 struct DurState<K: CatalogKey + KeyCodec> {
@@ -180,6 +184,7 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
             report.skipped_records += rec.skipped_records;
             report.truncated_bytes += rec.truncated_bytes;
             report.snapshots_skipped += rec.snapshots_skipped;
+            report.rebuild_markers += rec.rebuild_markers;
             trees.push(rec.tree);
             recovered_gens.push(rec.generation);
         }
@@ -266,6 +271,11 @@ impl<K: CatalogKey + KeyCodec> DurableCluster<K> {
                 .ok_or_else(|| invalid("shard has no replica to snapshot"))?;
             let generation = svc.gen_stats().generation;
             let snapshot = svc.snapshot();
+            // Marker first, snapshot second: the snapshot watermark then
+            // covers the marker, and a crash in between replays it as
+            // provenance instead of losing the epoch cut.
+            // fc-lint: allow(lock-discipline) -- intentional: the marker must land in the same writer-held window as the snapshot it covers
+            store.append_rebuild_marker(generation)?;
             // fc-lint: allow(lock-discipline) -- intentional: snapshot the drained generation before any writer can move it
             store.persist_snapshot(snapshot.st.tree(), generation)?;
             store.prune()?;

@@ -46,4 +46,6 @@ pub use fc_store::{StoreConfig, StoreError};
 pub use partition::RoutingTable;
 pub use rebalance::HeatConfig;
 pub use replica::ReplicaSet;
-pub use router::{ClusterState, ShardCluster, ShardConfig, ShardLeg, ShardStats, ShardedOk};
+pub use router::{
+    ClusterState, ClusterWriteStats, ShardCluster, ShardConfig, ShardLeg, ShardStats, ShardedOk,
+};

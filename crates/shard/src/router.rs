@@ -180,6 +180,39 @@ pub struct ShardStats {
     pub table_version: u64,
 }
 
+/// Aggregated write-path counters, summed over one representative replica
+/// (replica 0) per shard — every replica of a shard applies the same ops,
+/// so one representative reflects the shard. All zeros outside `fc-dyn`
+/// incremental mode except `rebuilds`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterWriteStats {
+    /// Updates applied on the incremental fast path.
+    pub incremental_applies: u64,
+    /// Clone-and-rebuild fallbacks (density violation or corruption).
+    pub fallback_rebuilds: u64,
+    /// All rebuilds (threshold, forced, and fallback).
+    pub rebuilds: u64,
+    /// Cumulative per-key-touched cost of the incremental applies.
+    pub keys_touched: u64,
+    /// Live native entries across the shard cascades (gauge).
+    pub live_entries: u64,
+    /// Tombstoned slots awaiting compaction (gauge).
+    pub tombstones: u64,
+}
+
+impl ClusterWriteStats {
+    /// Fraction of cascade slots that are tombstones, over the whole
+    /// cluster (0 when empty or outside incremental mode).
+    pub fn tombstone_ratio(&self) -> f64 {
+        let total = self.live_entries + self.tombstones;
+        if total == 0 {
+            0.0
+        } else {
+            self.tombstones as f64 / total as f64
+        }
+    }
+}
+
 /// A sharded, replicated cooperative-search cluster (see module docs and
 /// `DESIGN.md` §11). All methods are callable concurrently from any
 /// thread.
@@ -882,6 +915,27 @@ impl<K: CatalogKey> ShardCluster<K> {
     pub fn health(&self) -> Vec<Vec<ReplicaHealth>> {
         let state = self.state();
         state.groups.iter().map(|g| g.health()).collect()
+    }
+
+    /// Aggregated write-path counters (see [`ClusterWriteStats`]): the
+    /// per-shard replica-0 [`GenStats`](fc_coop::dynamic::GenStats),
+    /// summed.
+    pub fn write_stats(&self) -> ClusterWriteStats {
+        let state = self.state();
+        let mut out = ClusterWriteStats::default();
+        for group in &state.groups {
+            let Some(svc) = group.replica(0) else {
+                continue;
+            };
+            let gs = svc.gen_stats();
+            out.incremental_applies += gs.incremental_applies;
+            out.fallback_rebuilds += gs.fallback_rebuilds;
+            out.rebuilds += gs.rebuilds;
+            out.keys_touched += gs.keys_touched;
+            out.live_entries += gs.live_entries;
+            out.tombstones += gs.tombstones;
+        }
+        out
     }
 
     /// Snapshot of the cluster counters.

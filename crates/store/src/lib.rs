@@ -48,4 +48,4 @@ pub use manifest::{read_manifest, write_manifest, Manifest};
 pub use recover::{recover, Recovered};
 pub use snapshot::{load_newest_valid, read_snapshot_file, write_snapshot_file, SnapshotData};
 pub use store::{Store, StoreConfig};
-pub use wal::ReplayStats;
+pub use wal::{ReplayStats, WalEntry};

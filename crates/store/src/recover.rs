@@ -61,6 +61,11 @@ pub struct Recovered<K: CatalogKey> {
     pub truncated_bytes: u64,
     /// Corrupt newer snapshots that were skipped to find a valid one.
     pub snapshots_skipped: usize,
+    /// Rebuild (epoch-cut) markers replayed above the watermark. Markers
+    /// are advisory provenance — the final forced rebuild subsumes them —
+    /// but a nonzero count means the producer died between cutting an
+    /// epoch and persisting its snapshot.
+    pub rebuild_markers: u64,
 }
 
 /// Recover the store in `dir` to an audited-clean tree, or refuse with a
@@ -74,7 +79,13 @@ pub fn recover<K: CatalogKey + KeyCodec>(dir: &Path) -> Result<Recovered<K>, Sto
     // buffered fraction — the WAL-vs-rebuild trade DESIGN.md §12 discusses.
     let mut dy = DynamicCoop::new(data.tree, ParamMode::Auto, f64::INFINITY);
     let mut pram = Pram::new(REPLAY_PROCS, Model::Crew);
-    let stats = wal::replay::<K, _>(dir, wal_watermark, |seq, ops| {
+    let stats = wal::replay::<K, _>(dir, wal_watermark, |seq, entry| {
+        let ops = match entry {
+            wal::WalEntry::Ops(ops) => ops,
+            // Advisory epoch-cut provenance: nothing to apply (the final
+            // forced rebuild below subsumes any mid-log compaction).
+            wal::WalEntry::RebuildMarker { .. } => return Ok(()),
+        };
         for op in ops {
             let (node, key) = match op {
                 UpdateOp::Insert(n, k) => (n, k),
@@ -123,6 +134,7 @@ pub fn recover<K: CatalogKey + KeyCodec>(dir: &Path) -> Result<Recovered<K>, Sto
         skipped_records: stats.records_skipped,
         truncated_bytes: stats.truncated_bytes,
         snapshots_skipped,
+        rebuild_markers: stats.markers,
     })
 }
 

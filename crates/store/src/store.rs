@@ -127,6 +127,15 @@ impl<K: CatalogKey + KeyCodec> Store<K> {
         self.lock().wal.append(ops)
     }
 
+    /// Append a durable rebuild-marker record: the caller cut a
+    /// clone-and-rebuild epoch (compaction) whose logical generation is
+    /// `generation`. Persist the matching snapshot *after* this returns so
+    /// the snapshot watermark covers the marker.
+    pub fn append_rebuild_marker(&self, generation: u64) -> Result<u64, StoreError> {
+        // fc-lint: allow(lock-discipline) -- intentional: same ordering contract as append_batch
+        self.lock().wal.append_marker(generation)
+    }
+
     /// Atomically persist `tree` as the next snapshot, watermarked at the
     /// last appended sequence number. Returns the snapshot id.
     pub fn persist_snapshot(

@@ -24,7 +24,15 @@
 //!
 //! Record frame: `len:u32 · payload · crc:u32` where the payload is
 //! `seq:u64 · op_count:u32 · (tag:u8 · node:u32 · key)*` and the CRC
-//! covers the payload.
+//! covers the payload. Op tags are `0` (insert) and `1` (remove).
+//!
+//! A **rebuild marker** record reuses the frame but sets `op_count` to the
+//! reserved sentinel `u32::MAX` followed by `tag:u8 = 2 · generation:u64`:
+//! it records that the producer cut a clone-and-rebuild epoch (compaction)
+//! at this point in the log. Markers carry no catalog mutations — replay
+//! surfaces them as [`WalEntry::RebuildMarker`] so recovery can count and
+//! align epoch cuts, and they advance the sequence like any record (so a
+//! snapshot persisted right after one covers it with its watermark).
 //!
 //! ## Replay semantics
 //!
@@ -59,6 +67,23 @@ pub(crate) const SEG_HEADER_LEN: usize = 28;
 /// Sanity cap on a single record's payload; a larger length field can only
 /// come from corruption.
 const MAX_PAYLOAD: u32 = 1 << 26;
+/// Reserved `op_count` sentinel marking a non-ops record.
+const MARKER_COUNT: u32 = u32::MAX;
+/// Record tag of a rebuild (epoch-cut) marker.
+const MARKER_TAG: u8 = 2;
+
+/// One decoded WAL record, as handed to the replay callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry<K> {
+    /// A durable update batch to apply.
+    Ops(Vec<UpdateOp<K>>),
+    /// The producer cut a clone-and-rebuild epoch (compaction) here;
+    /// `generation` is the producer's logical generation after the cut.
+    RebuildMarker {
+        /// Producer generation after the rebuild.
+        generation: u64,
+    },
+}
 
 /// One WAL segment on disk.
 #[derive(Debug, Clone)]
@@ -81,6 +106,8 @@ pub struct ReplayStats {
     /// Records skipped as already-applied (at or below the watermark, or
     /// duplicated by a half-completed rotation).
     pub records_skipped: u64,
+    /// Rebuild markers among the applied records.
+    pub markers: u64,
     /// Bytes of torn tail truncated off the final segment.
     pub truncated_bytes: u64,
     /// Highest sequence number accounted for (watermark if the log added
@@ -130,10 +157,24 @@ pub(crate) fn encode_record<K: CatalogKey + KeyCodec>(seq: u64, ops: &[UpdateOp<
             }
         }
     }
+    frame_of(&payload)
+}
+
+/// Encode one rebuild-marker frame for `generation` at `seq`.
+pub(crate) fn encode_marker(seq: u64, generation: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(21);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&MARKER_COUNT.to_le_bytes());
+    payload.push(MARKER_TAG);
+    payload.extend_from_slice(&generation.to_le_bytes());
+    frame_of(&payload)
+}
+
+fn frame_of(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(payload.len() + 8);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
     frame
 }
 
@@ -201,12 +242,13 @@ fn truncate_at(
 
 /// Replay every record with `seq > watermark` through `apply`, in order,
 /// truncating torn tails and skipping duplicates (see the module docs for
-/// the full policy). `apply` receives `(seq, ops)` and may veto the replay
-/// with its own `StoreError` (e.g. an op naming a node outside the tree).
+/// the full policy). `apply` receives `(seq, entry)` — an op batch or a
+/// rebuild marker — and may veto the replay with its own `StoreError`
+/// (e.g. an op naming a node outside the tree).
 pub fn replay<K, F>(dir: &Path, watermark: u64, mut apply: F) -> Result<ReplayStats, StoreError>
 where
     K: CatalogKey + KeyCodec,
-    F: FnMut(u64, &[UpdateOp<K>]) -> Result<(), StoreError>,
+    F: FnMut(u64, &WalEntry<K>) -> Result<(), StoreError>,
 {
     let segments = list_segments(dir)?;
     let mut stats = ReplayStats {
@@ -358,14 +400,31 @@ where
                 stats.records_skipped += 1;
                 continue;
             }
-            let ops = decode_ops::<K>(&mut pr, op_count)
-                .ok_or_else(|| corrupt(&seg.path, frame_start, "undecodable ops"))?;
+            let entry = if op_count == MARKER_COUNT {
+                let tag = pr
+                    .u8()
+                    .ok_or_else(|| corrupt(&seg.path, frame_start, "record too short for tag"))?;
+                if tag != MARKER_TAG {
+                    return Err(corrupt(&seg.path, frame_start, "unknown record tag"));
+                }
+                let generation = pr.u64().ok_or_else(|| {
+                    corrupt(&seg.path, frame_start, "record too short for generation")
+                })?;
+                WalEntry::RebuildMarker { generation }
+            } else {
+                let ops = decode_ops::<K>(&mut pr, op_count)
+                    .ok_or_else(|| corrupt(&seg.path, frame_start, "undecodable ops"))?;
+                WalEntry::Ops(ops)
+            };
             if pr.remaining() != 0 {
                 return Err(corrupt(&seg.path, frame_start, "trailing bytes in record"));
             }
-            apply(seq, &ops)?;
+            apply(seq, &entry)?;
             stats.records_applied += 1;
-            stats.ops_applied += ops.len() as u64;
+            match &entry {
+                WalEntry::Ops(ops) => stats.ops_applied += ops.len() as u64,
+                WalEntry::RebuildMarker { .. } => stats.markers += 1,
+            }
             max_seen = seq;
         }
     }
@@ -423,8 +482,19 @@ impl WalWriter {
         &mut self,
         ops: &[UpdateOp<K>],
     ) -> Result<u64, StoreError> {
+        let frame = encode_record(self.next_seq, ops);
+        self.append_frame(frame)
+    }
+
+    /// Append one rebuild-marker record for `generation`; returns its
+    /// sequence number with the same durability contract as `append`.
+    pub(crate) fn append_marker(&mut self, generation: u64) -> Result<u64, StoreError> {
+        let frame = encode_marker(self.next_seq, generation);
+        self.append_frame(frame)
+    }
+
+    fn append_frame(&mut self, frame: Vec<u8>) -> Result<u64, StoreError> {
         let seq = self.next_seq;
-        let frame = encode_record(seq, ops);
         let fsync = self.fsync;
         let active = self.active_segment(seq)?;
         active
@@ -520,8 +590,10 @@ mod tests {
 
     fn collect(dir: &Path, watermark: u64) -> (ReplayStats, SeenRecords) {
         let mut seen = Vec::new();
-        let stats = replay::<i64, _>(dir, watermark, |seq, ops| {
-            seen.push((seq, ops.to_vec()));
+        let stats = replay::<i64, _>(dir, watermark, |seq, entry| {
+            if let WalEntry::Ops(ops) = entry {
+                seen.push((seq, ops.clone()));
+            }
             Ok(())
         })
         .unwrap();
@@ -670,6 +742,62 @@ mod tests {
         assert_eq!(stats.records_applied, 6, "each record applies once");
         assert_eq!(stats.records_skipped, 1, "the duplicate is skipped");
         assert_eq!(seen.len(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_markers_round_trip_interleaved_with_ops() {
+        let dir = tmp("markers");
+        let mut w = WalWriter::new(&dir, 8, false, 1 << 20, 1);
+        assert_eq!(w.append(&ops(0)).unwrap(), 1);
+        assert_eq!(w.append_marker(7).unwrap(), 2);
+        assert_eq!(w.append(&ops(10)).unwrap(), 3);
+        assert_eq!(w.append_marker(8).unwrap(), 4);
+        let mut entries = Vec::new();
+        let stats = replay::<i64, _>(&dir, 0, |seq, entry| {
+            entries.push((seq, entry.clone()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stats.records_applied, 4);
+        assert_eq!(stats.markers, 2);
+        assert_eq!(stats.ops_applied, 6, "markers carry no ops");
+        assert_eq!(stats.last_seq, 4);
+        assert_eq!(entries[1].1, WalEntry::RebuildMarker { generation: 7 });
+        assert_eq!(entries[3].1, WalEntry::RebuildMarker { generation: 8 });
+        assert_eq!(entries[0].1, WalEntry::Ops(ops(0)));
+        // A watermark right after a marker skips it idempotently.
+        let (stats2, seen2) = collect(&dir, 2);
+        assert_eq!(stats2.records_skipped, 2);
+        assert_eq!(stats2.markers, 1, "only the post-watermark marker");
+        assert_eq!(seen2.first().map(|(s, _)| *s), Some(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_marker_tag_is_typed() {
+        let dir = tmp("badmarker");
+        // A marker-count record whose tag byte is not the marker tag.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.push(5);
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        let frame = frame_of(&payload);
+        let mut seg = encode_segment_header(8, 1);
+        seg.extend_from_slice(&frame);
+        fs::write(dir.join(segment_file_name(1)), seg).unwrap();
+        let err = replay::<i64, _>(&dir, 0, |_, _| Ok(())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::WalCorrupt {
+                    reason: "unknown record tag",
+                    ..
+                }
+            ),
+            "{err}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

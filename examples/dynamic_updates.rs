@@ -1,6 +1,12 @@
 //! Dynamic cooperative search (the paper's open problem 4): insert and
-//! delete catalog entries under query load, with buffering and global
-//! rebuilding keeping searches exact.
+//! delete catalog entries under query load, two ways.
+//!
+//! * **Buffered mode** (the baseline): updates buffer per node; a global
+//!   clone-and-rebuild drains them once the threshold trips.
+//! * **Incremental mode** (`fc-dyn`): each update patches bridges and
+//!   samples along the affected node-to-root path only, so the cost of an
+//!   update is per key touched, not per structure — rebuilds only happen
+//!   as density-triggered compaction or corruption fallback.
 //!
 //! ```text
 //! cargo run -p fc-bench --release --example dynamic_updates
@@ -14,26 +20,24 @@ use fc_pram::{Model, Pram};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    let mut rng = SmallRng::seed_from_u64(2026);
-    let tree = gen::balanced_binary(10, 1 << 14, SizeDist::Uniform, &mut rng);
-    println!(
-        "initial tree: {} nodes, {} catalog entries",
-        tree.len(),
-        tree.total_catalog_size()
-    );
-    let mut dy = DynamicCoop::new(tree, ParamMode::Auto, 0.25);
+const PHASES: usize = 6;
+const BURST: usize = 3000;
+const QUERIES: usize = 15;
+
+fn run(mut dy: DynamicCoop<i64>, label: &str, seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut pram = Pram::new(1 << 16, Model::Crew);
     let node_count = dy.structure().tree().len() as u32;
 
+    println!("\n== {label} ==");
     println!(
-        "\n{:>9}  {:>8}  {:>8}  {:>14}  {:>12}",
-        "updates", "pending", "rebuilds", "query steps", "verified"
+        "{:>9}  {:>8}  {:>9}  {:>10}  {:>14}  {:>12}",
+        "updates", "rebuilds", "incr", "cost/op", "query steps", "verified"
     );
     let mut total_updates = 0usize;
-    for _phase in 0..6 {
+    for _phase in 0..PHASES {
         // A burst of mixed updates.
-        for _ in 0..3000 {
+        for _ in 0..BURST {
             let node = NodeId(rng.gen_range(0..node_count));
             let key = rng.gen_range(0..1_000_000i64);
             if rng.gen_bool(0.65) {
@@ -43,10 +47,12 @@ fn main() {
             }
             total_updates += 1;
         }
-        // Queries, verified against the logical catalogs.
+        // Queries, verified against the logical catalogs. In incremental
+        // mode every update so far is already visible; in buffered mode
+        // the search corrects static answers against the buffers.
         let mut steps = 0u64;
         let mut verified = 0usize;
-        for _ in 0..15 {
+        for _ in 0..QUERIES {
             let leaf = gen::random_leaf(dy.structure().tree(), &mut rng);
             let path = dy.structure().tree().path_from_root(leaf);
             let y = rng.gen_range(0..1_000_000i64);
@@ -60,33 +66,81 @@ fn main() {
             assert_eq!(got, want);
             verified += 1;
         }
+        let gs = dy.gen_stats();
+        let cost_per_op = if gs.incremental_applies > 0 {
+            gs.keys_touched as f64 / gs.incremental_applies as f64
+        } else {
+            0.0
+        };
         println!(
-            "{:>9}  {:>8}  {:>8}  {:>14.1}  {:>10}/15",
+            "{:>9}  {:>8}  {:>9}  {:>10.1}  {:>14.1}  {:>10}/{QUERIES}",
             total_updates,
-            dy.pending_changes(),
             dy.rebuilds,
-            steps as f64 / 15.0,
+            gs.incremental_applies,
+            cost_per_op,
+            steps as f64 / QUERIES as f64,
             verified
         );
     }
+
     let gs = dy.gen_stats();
     println!(
-        "\ngeneration stats: generation {}, {} rebuilds, {} changes drained \
-         total ({} by the last rebuild), {} still pending, {} post-rebuild \
-         audit failures",
+        "gen stats: generation {}, {} rebuilds ({} fallback), {} incremental \
+         applies touching {} keys, {} live / {} tombstoned entries \
+         (ratio {:.4}), {} audit failures",
         gs.generation,
         gs.rebuilds,
-        gs.total_drained,
-        gs.last_drained,
-        gs.pending,
+        gs.fallback_rebuilds,
+        gs.incremental_applies,
+        gs.keys_touched,
+        gs.live_entries,
+        gs.tombstones,
+        gs.tombstone_ratio(),
         gs.audit_failures
     );
     assert_eq!(gs.audit_failures, 0, "rebuilds must re-audit clean");
-    // Not every update survives to a drain: an insert annihilated by its
-    // own remove (or a no-op) buffers fewer net changes than updates made.
+    if gs.incremental_applies > 0 {
+        let mean = gs.keys_touched as f64 / gs.incremental_applies as f64;
+        let n = dy.structure().tree().total_catalog_size();
+        println!(
+            "per-update touched cost: {mean:.1} slots+nodes (structure holds \
+             {n} entries — cost is per key, not per structure)"
+        );
+        assert!(
+            mean < n as f64 / 10.0,
+            "incremental cost must not scale with the structure"
+        );
+    }
+    dy.rebuilds as usize
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let tree = gen::balanced_binary(10, 1 << 14, SizeDist::Uniform, &mut rng);
+    println!(
+        "initial tree: {} nodes, {} catalog entries",
+        tree.len(),
+        tree.total_catalog_size()
+    );
+
+    let buffered = run(
+        DynamicCoop::new(tree.clone(), ParamMode::Auto, 0.25),
+        "buffered (clone-and-rebuild baseline)",
+        2027,
+    );
+    let incremental = run(
+        DynamicCoop::new_incremental(tree, ParamMode::Auto, 0.25),
+        "incremental (fc-dyn node-to-root patches)",
+        2027,
+    );
+
+    println!(
+        "\nsame workload: {buffered} full rebuilds buffered vs {incremental} \
+         in incremental mode"
+    );
     assert!(
-        gs.total_drained + gs.pending <= total_updates,
-        "drained + pending cannot exceed the updates applied"
+        incremental <= buffered,
+        "incremental mode must not rebuild more often than the baseline"
     );
     println!("every query matched the logical (post-update) catalogs exactly");
 }

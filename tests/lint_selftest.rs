@@ -110,3 +110,36 @@ fn unknown_rule_ids_are_rejected() {
         "error should list known rules: {err}"
     );
 }
+
+/// The PR 10 incremental-cascade canaries: the strict rule must flag the
+/// unchecked arena walk and the panicking apply, `hot-alloc` must flag
+/// the per-update scratch allocation, and the rewritten twin — `.get`
+/// with blamed `DynError`s, a cycle guard, no allocations — is clean
+/// under both rules.
+#[test]
+fn dyn_incremental_canaries_cover_both_hot_rules() {
+    let strict = check_fixture("hot-path-strict", &fixture("dyn_incremental_bad.rs")).unwrap();
+    assert!(
+        strict
+            .iter()
+            .any(|f| f.message.contains("direct slice indexing")),
+        "strict rule missed the unchecked arena index: {strict:?}"
+    );
+    assert!(
+        strict.iter().any(|f| f.message.contains("unwrap")),
+        "strict rule missed the panicking apply: {strict:?}"
+    );
+    let alloc = check_fixture("hot-alloc", &fixture("dyn_incremental_bad.rs")).unwrap();
+    assert!(
+        alloc.iter().any(|f| f.rule == "hot-alloc"),
+        "hot-alloc missed the per-update scratch allocation: {alloc:?}"
+    );
+
+    for rule in ["hot-path-strict", "hot-alloc"] {
+        let good = check_fixture(rule, &fixture("dyn_incremental_good.rs")).unwrap();
+        assert!(
+            good.is_empty(),
+            "rule `{rule}` flagged the known-good incremental twin: {good:?}"
+        );
+    }
+}

@@ -264,7 +264,16 @@ fn health_report_over_the_wire_names_every_shard() {
             "health report must name shard {shard}:\n{text}"
         );
     }
-    for needle in ["queue", "shed", "breaker", "heat", "answers"] {
+    for needle in [
+        "queue",
+        "shed",
+        "breaker",
+        "heat",
+        "answers",
+        "incr_applies",
+        "fallback_rebuilds",
+        "tombstone_ratio",
+    ] {
         assert!(
             text.contains(needle),
             "health report missing `{needle}`:\n{text}"

@@ -186,8 +186,10 @@ fn wal_replay_matches_direct_application() {
         }
         drop(store);
         let mut replayed: Vec<(u64, Vec<UpdateOp<i64>>)> = Vec::new();
-        let stats = wal::replay::<i64, _>(&dir, 0, |seq, ops| {
-            replayed.push((seq, ops.to_vec()));
+        let stats = wal::replay::<i64, _>(&dir, 0, |seq, entry| {
+            if let wal::WalEntry::Ops(ops) = entry {
+                replayed.push((seq, ops.clone()));
+            }
             Ok(())
         })
         .unwrap();
